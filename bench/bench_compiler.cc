@@ -1,0 +1,119 @@
+// E10 — compiler performance: parse / lower / optimize / full-compile wall
+// times for the element corpus, plus the wire codecs the data plane runs on
+// every message. google-benchmark microbenches.
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "dsl/lexer.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+#include "stack/http2.h"
+#include "stack/proto_codec.h"
+
+namespace adn {
+namespace {
+
+void BM_Lex_FullLibrary(benchmark::State& state) {
+  std::string source = elements::FullLibrarySource();
+  for (auto _ : state) {
+    auto tokens = dsl::Tokenize(source);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_Lex_FullLibrary);
+
+void BM_Parse_FullLibrary(benchmark::State& state) {
+  std::string source = elements::FullLibrarySource();
+  for (auto _ : state) {
+    auto program = dsl::ParseProgram(source);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Parse_FullLibrary);
+
+void BM_Lower_FullLibrary(benchmark::State& state) {
+  auto parsed = dsl::ParseProgram(elements::FullLibrarySource());
+  for (auto _ : state) {
+    auto program = compiler::LowerProgram(*parsed);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Lower_FullLibrary);
+
+void BM_Compile_Fig5(benchmark::State& state) {
+  compiler::Compiler c;
+  std::string source = elements::Fig5ProgramSource();
+  for (auto _ : state) {
+    auto program = c.CompileSource(source, {});
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Compile_Fig5);
+
+void BM_Compile_FullLibrary(benchmark::State& state) {
+  compiler::Compiler c;
+  std::string source = elements::FullLibrarySource();
+  for (auto _ : state) {
+    auto program = c.CompileSource(source, {});
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Compile_FullLibrary);
+
+// --- Wire codecs ---------------------------------------------------------------
+
+rpc::Message SampleMessage(size_t payload) {
+  return rpc::Message::MakeRequest(
+      1, "Store.Get",
+      {{"username", rpc::Value("alice")},
+       {"object_id", rpc::Value(123456)},
+       {"payload", rpc::Value(Bytes(payload, 0x42))}});
+}
+
+void BM_AdnWire_EncodeDecode(benchmark::State& state) {
+  rpc::HeaderSpec spec;
+  spec.fields = {{"username", rpc::ValueType::kText, false},
+                 {"object_id", rpc::ValueType::kInt, false},
+                 {"payload", rpc::ValueType::kBytes, false}};
+  rpc::MethodRegistry methods;
+  methods.Intern("Store.Get");
+  rpc::AdnWireCodec codec(spec, &methods);
+  rpc::Message m = SampleMessage(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes wire;
+    Status s = codec.Encode(m, wire);
+    benchmark::DoNotOptimize(s);
+    auto decoded = codec.Decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_AdnWire_EncodeDecode)->Arg(64)->Arg(1024);
+
+void BM_LayeredStack_EncodeDecode(benchmark::State& state) {
+  rpc::Schema schema;
+  (void)schema.AddColumn({"username", rpc::ValueType::kText, false});
+  (void)schema.AddColumn({"object_id", rpc::ValueType::kInt, false});
+  (void)schema.AddColumn({"payload", rpc::ValueType::kBytes, false});
+  stack::ProtoSchema proto(schema);
+  rpc::Message m = SampleMessage(static_cast<size_t>(state.range(0)));
+  stack::HpackCodec enc, dec;
+  for (auto _ : state) {
+    auto body = stack::ProtoEncode(m, proto);
+    stack::GrpcHttp2Message h2;
+    h2.headers = stack::MakeGrpcRequestHeaders("b", "/Store.Get",
+                                               {{"x-user", "alice"}});
+    h2.grpc_payload = std::move(body).value();
+    Bytes framed = stack::EncodeGrpcMessage(h2, enc);
+    auto parsed = stack::ParseGrpcMessage(framed, dec);
+    auto decoded = stack::ProtoDecode(parsed->grpc_payload, proto);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_LayeredStack_EncodeDecode)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace adn
+
+BENCHMARK_MAIN();

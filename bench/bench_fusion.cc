@@ -1,0 +1,89 @@
+// E12 — ablation of cross-element fusion (paper §4 Q2: "When multiple
+// elements run on the same device, we should be able to do cross-element
+// optimizations"). Four small stamp elements with identical constraints
+// fuse into one; fusion removes per-element dispatch both in the simulated
+// engine and at real wall clock.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "core/network.h"
+#include "mrpc/engine.h"
+
+namespace adn {
+namespace {
+
+const char* kProgram = R"(
+ELEMENT S1 ON REQUEST { INPUT (a INT); SELECT *, a + 1 AS a FROM input; }
+ELEMENT S2 ON REQUEST { INPUT (a INT); SELECT *, a * 2 AS a FROM input; }
+ELEMENT S3 ON REQUEST { INPUT (a INT); SELECT *, a + 3 AS a FROM input; }
+ELEMENT S4 ON REQUEST { INPUT (a INT); SELECT *, a % 1000 AS a FROM input; }
+CHAIN stamps FOR CALLS a -> b { S1, S2, S3, S4 }
+)";
+
+rpc::Message MakeRequest(uint64_t id, Rng& rng) {
+  (void)rng;
+  return rpc::Message::MakeRequest(
+      id, "Stamp.Call",
+      {{"a", rpc::Value(static_cast<int64_t>(id % 977))},
+       {"payload", rpc::Value(Bytes(64, 1))}});
+}
+
+double RunRate(bool fuse) {
+  core::NetworkOptions options;
+  options.compile.passes.fuse_adjacent = fuse;
+  rpc::Schema schema;
+  (void)schema.AddColumn({"a", rpc::ValueType::kInt, false});
+  (void)schema.AddColumn({"payload", rpc::ValueType::kBytes, false});
+  options.compile.request_schema = schema;
+  auto network = core::Network::Create(kProgram, options);
+  if (!network.ok()) std::abort();
+  core::WorkloadOptions workload;
+  workload.concurrency = 128;
+  workload.measured_requests = 15'000;
+  workload.warmup_requests = 1'500;
+  workload.make_request = MakeRequest;
+  auto result = (*network)->RunWorkload("stamps", workload);
+  if (!result.ok()) std::abort();
+  return result->stats.throughput_krps;
+}
+
+// Wall-clock twin: run the same chain through an EngineChain, fused vs not.
+void BM_Chain(benchmark::State& state) {
+  const bool fuse = state.range(0) != 0;
+  compiler::Compiler c;
+  compiler::CompileOptions options;
+  options.passes.fuse_adjacent = fuse;
+  auto program = c.CompileSource(kProgram, options);
+  if (!program.ok()) std::abort();
+  mrpc::EngineChain chain;
+  for (const auto& element : program->chains[0].elements) {
+    chain.AddStage(std::make_unique<mrpc::GeneratedStage>(element.ir, 1));
+  }
+  state.SetLabel(fuse ? "fused: 1 stage" : "unfused: 4 stages");
+  uint64_t id = 0;
+  Rng rng(1);
+  for (auto _ : state) {
+    rpc::Message m = MakeRequest(id++, rng);
+    benchmark::DoNotOptimize(chain.Process(m, 0));
+  }
+}
+BENCHMARK(BM_Chain)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace adn
+
+int main(int argc, char** argv) {
+  using namespace adn;
+  std::printf("Fusion ablation (E12): four same-placement stamp elements.\n\n");
+  double unfused = RunRate(false);
+  double fused = RunRate(true);
+  std::printf("simulated rate, unfused (4 elements): %8.1f krps\n", unfused);
+  std::printf("simulated rate, fused   (1 element) : %8.1f krps\n", fused);
+  std::printf("fusion speedup                      : %8.2fx\n\n", fused / unfused);
+  std::printf("wall-clock per-message (google-benchmark):\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E11 — ablation of the parallelization pass (paper §5.2: "if two elements
+// do not operate on the same RPC fields, they can be executed in parallel").
+//
+// Chain: three independent transforms — payload encryption, a user digest,
+// and a shard hint — whose effect summaries are pairwise disjoint, so the
+// compiler places them in one parallel group. With the pass on, a message's
+// critical path through the engine is the slowest member instead of the sum
+// (total CPU is unchanged; the engine runs the group across its cores).
+#include <cstdio>
+
+#include "core/network.h"
+
+namespace adn {
+namespace {
+
+// Two payload-heavy transforms over *different* byte fields plus one cheap
+// digest: pairwise field-disjoint, hence one parallel group.
+const char* kProgram = R"(
+ELEMENT Encrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, encrypt(payload, 'key') AS payload FROM input;
+}
+ELEMENT CompressBlob ON REQUEST {
+  INPUT (blob BYTES);
+  SELECT *, compress(blob) AS blob FROM input;
+}
+ELEMENT UserDigest ON REQUEST {
+  INPUT (username TEXT);
+  SELECT *, hash(username) AS user_digest FROM input;
+}
+CHAIN indep FOR CALLS a -> b { Encrypt, CompressBlob, UserDigest }
+)";
+
+rpc::Message MakeRequest(uint64_t id, Rng& rng, size_t bytes) {
+  Bytes payload(bytes), blob(bytes);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBelow(256));
+  for (auto& b : blob) b = static_cast<uint8_t>(rng.NextBelow(16));
+  return rpc::Message::MakeRequest(
+      id, "Indep.Call",
+      {{"username", rpc::Value("alice")},
+       {"payload", rpc::Value(std::move(payload))},
+       {"blob", rpc::Value(std::move(blob))}});
+}
+
+struct RunOut {
+  double latency_us;
+  double rate_krps;
+  int groups;
+};
+
+RunOut Run(bool parallelize, size_t payload) {
+  core::NetworkOptions options;
+  options.compile.passes.parallelize = parallelize;
+  options.compile.passes.fuse_adjacent = false;  // isolate the effect
+  auto network = core::Network::Create(kProgram, options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 network.status().ToString().c_str());
+    std::abort();
+  }
+  const auto* chain = (*network)->Chain("indep");
+  int groups = 0;
+  for (int g : chain->parallel_groups) groups = std::max(groups, g + 1);
+
+  core::WorkloadOptions workload;
+  workload.concurrency = 1;
+  workload.measured_requests = 8'000;
+  workload.warmup_requests = 800;
+  workload.make_request = [payload](uint64_t id, Rng& rng) {
+    return MakeRequest(id, rng, payload);
+  };
+  // Engines wide enough to actually overlap group members.
+  workload.client_engine_width = 4;
+  auto latency_run = (*network)->RunWorkload("indep", workload);
+  workload.concurrency = 128;
+  auto rate_run = (*network)->RunWorkload("indep", workload);
+  if (!latency_run.ok() || !rate_run.ok()) std::abort();
+  return {latency_run->stats.mean_latency_us,
+          rate_run->stats.throughput_krps, groups};
+}
+
+}  // namespace
+}  // namespace adn
+
+int main() {
+  using namespace adn;
+  std::printf(
+      "Parallelization ablation (E11): three field-disjoint elements.\n\n");
+  std::printf("%-10s %-14s %8s %14s %12s\n", "payload", "parallelize",
+              "groups", "latency (us)", "rate (krps)");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  for (size_t payload : {size_t{1024}, size_t{8192}, size_t{65536}}) {
+    RunOut off = Run(false, payload);
+    RunOut on = Run(true, payload);
+    std::printf("%-10zu %-14s %8d %14.1f %12.1f\n", payload, "off",
+                off.groups, off.latency_us, off.rate_krps);
+    std::printf("%-10s %-14s %8d %14.1f %12.1f\n", "", "on", on.groups,
+                on.latency_us, on.rate_krps);
+    std::printf("%-10s %-14s %8s %13.2fx\n\n", "", "latency win", "",
+                off.latency_us / on.latency_us);
+  }
+  std::printf(
+      "Expected shape: with the pass on, the chain collapses to one group\n"
+      "and per-message latency approaches the slowest group member;\n"
+      "throughput is CPU-bound either way, so it barely moves.\n");
+  return 0;
+}

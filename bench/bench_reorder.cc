@@ -1,0 +1,90 @@
+// E6 — ablation of the compiler's semantic-preserving reordering (paper §3:
+// "reorders the processing after automatically determining that reordering
+// preserves semantics. In this example, not compressing the RPC field that
+// the following load balancer uses is enough to preserve semantics").
+//
+// Workload: the fig2 chain with a strict ACL (half the users lack write
+// permission), 4 KiB payloads. With drop-early reordering the ACL runs
+// before compression, so denied requests never pay the compression cost;
+// without it, every request is compressed first and then possibly dropped.
+#include <cstdio>
+
+#include "core/network.h"
+#include "elements/library.h"
+
+namespace adn {
+namespace {
+
+std::vector<std::pair<std::string, std::vector<rpc::Row>>> StrictSeeds() {
+  return {{"ac_tab",
+           {{rpc::Value("alice"), rpc::Value("W")},
+            {rpc::Value("bob"), rpc::Value("R")},     // denied
+            {rpc::Value("carol"), rpc::Value("W")},
+            {rpc::Value("dave"), rpc::Value("R")}}}};  // denied
+}
+
+struct RunResult {
+  double rate_krps;
+  double latency_us;
+  std::string order;
+};
+
+RunResult Run(bool reorder, size_t payload_bytes) {
+  core::NetworkOptions options;
+  options.compile.passes.reorder_drop_early = reorder;
+  options.compile.passes.fuse_adjacent = false;  // isolate the reorder effect
+  options.state_seeds = StrictSeeds();
+  auto network = core::Network::Create(elements::Fig2ProgramSource(), options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 network.status().ToString().c_str());
+    std::abort();
+  }
+  core::WorkloadOptions workload;
+  workload.concurrency = 128;
+  workload.measured_requests = 12'000;
+  workload.warmup_requests = 1'200;
+  workload.make_request = core::MakeDefaultRequestFactory(payload_bytes);
+  auto rate_run = (*network)->RunWorkload("fig2", workload);
+  workload.concurrency = 1;
+  auto latency_run = (*network)->RunWorkload("fig2", workload);
+  if (!rate_run.ok() || !latency_run.ok()) std::abort();
+
+  RunResult result;
+  result.rate_krps = rate_run->stats.throughput_krps;
+  result.latency_us = latency_run->stats.mean_latency_us;
+  const auto* chain = (*network)->Chain("fig2");
+  for (size_t i = 0; i < chain->elements.size(); ++i) {
+    if (i > 0) result.order += " -> ";
+    result.order += chain->elements[i].ir->name;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace adn
+
+int main() {
+  using namespace adn;
+  std::printf(
+      "Reordering ablation (E6): fig2 chain, 50%% of requests ACL-denied.\n\n");
+  std::printf("%-10s %-14s %12s %14s   %s\n", "payload", "reordering",
+              "rate (krps)", "latency (us)", "chain order");
+  std::printf("%.*s\n", 100,
+              "---------------------------------------------------------------"
+              "-------------------------------------");
+  for (size_t payload : {size_t{1024}, size_t{4096}, size_t{16384}}) {
+    RunResult off = Run(false, payload);
+    RunResult on = Run(true, payload);
+    std::printf("%-10zu %-14s %12.1f %14.1f   %s\n", payload, "off",
+                off.rate_krps, off.latency_us, off.order.c_str());
+    std::printf("%-10s %-14s %12.1f %14.1f   %s\n", "", "on", on.rate_krps,
+                on.latency_us, on.order.c_str());
+    std::printf("%-10s %-14s %11.2fx\n\n", "", "speedup",
+                on.rate_krps / off.rate_krps);
+  }
+  std::printf(
+      "Expected shape: the win grows with payload size — dropped requests\n"
+      "skip compression entirely once the ACL is hoisted ahead of it.\n");
+  return 0;
+}

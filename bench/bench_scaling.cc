@@ -1,0 +1,129 @@
+// E7 — scaling without disruption (paper §5.2): the controller's feedback
+// loop widens/narrows the engine pool as offered load ramps, and state
+// migration (split/merge of the stateful LB's tables) is lossless with a
+// bounded pause.
+//
+// Part 1: throughput steps — run the fig2 chain at increasing engine widths
+// chosen by AdnController::RecommendEngineWidth from measured utilization.
+// Part 2: migration audit — split/merge a populated LB + quota element and
+// report state bytes, pause time, and hash equality (zero lost rows).
+#include <cstdio>
+
+#include "controller/migration.h"
+#include "core/network.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+
+namespace adn {
+namespace {
+
+std::vector<std::pair<std::string, std::vector<rpc::Row>>> Seeds() {
+  std::vector<rpc::Row> rows;
+  for (const char* user : {"alice", "bob", "carol", "dave"}) {
+    rows.push_back({rpc::Value(std::string(user)), rpc::Value("W")});
+  }
+  return {{"ac_tab", std::move(rows)}};
+}
+
+struct Phase {
+  int offered_concurrency;
+  int width;
+  double rate_krps;
+  double utilization_proxy;  // rate achieved / rate capacity estimate
+};
+
+}  // namespace
+}  // namespace adn
+
+int main() {
+  using namespace adn;
+  std::printf(
+      "Scaling without disruption (E7).\n\n"
+      "Part 1: controller feedback loop widens the engine pool as load "
+      "ramps.\n\n");
+
+  core::NetworkOptions options;
+  options.state_seeds = Seeds();
+  auto network = core::Network::Create(elements::Fig2ProgramSource(), options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed\n");
+    return 1;
+  }
+  controller::ClusterState scratch;
+  controller::AdnController advisor(&scratch, {});
+
+  std::printf("%-8s %-14s %-8s %12s %12s %s\n", "phase", "offered(conc)",
+              "width", "rate(krps)", "util", "decision");
+  std::printf("%.*s\n", 75,
+              "---------------------------------------------------------------------------");
+
+  int width = 1;
+  const int kOffered[] = {8, 32, 128, 256, 256, 4, 2};
+  for (size_t phase = 0; phase < std::size(kOffered); ++phase) {
+    core::WorkloadOptions workload;
+    workload.concurrency = kOffered[phase];
+    workload.measured_requests = 10'000;
+    workload.warmup_requests = 1'000;
+    workload.make_request = core::MakeDefaultRequestFactory(1024);
+    workload.client_engine_width = width;
+    workload.server_engine_width = width;
+    auto run = (*network)->RunWorkload("fig2", workload);
+    if (!run.ok()) {
+      std::fprintf(stderr, "phase %zu failed\n", phase);
+      return 1;
+    }
+    // The feedback signal the paper's controller consumes: engine
+    // utilization reported by the data plane.
+    double utilization = std::max(run->client_engine_utilization,
+                                  run->server_engine_utilization);
+    int next = advisor.RecommendEngineWidth(utilization, width);
+    std::printf("%-8zu %-14d %-8d %12.1f %11.0f%% %s\n", phase,
+                kOffered[phase], width, run->stats.throughput_krps,
+                utilization * 100.0,
+                next > width   ? "scale OUT"
+                : next < width ? "scale IN"
+                               : "steady");
+    width = next;
+  }
+
+  std::printf(
+      "\nPart 2: state migration audit for the stateful LB (endpoints "
+      "table).\n\n");
+  auto parsed = dsl::ParseProgram(std::string(elements::EndpointsTableSql()) +
+                                  std::string(elements::HashLbSql()));
+  auto lowered = compiler::LowerProgram(*parsed);
+  if (!lowered.ok()) return 1;
+
+  std::printf("%-12s %-10s %14s %12s %10s\n", "rows", "shards",
+              "state bytes", "pause (us)", "lossless");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  for (int rows : {16, 256, 4096, 65536}) {
+    mrpc::GeneratedStage source(lowered->elements[0], 1);
+    for (int i = 0; i < rows; ++i) {
+      (void)source.instance().FindTable("endpoints")->Insert(
+          {rpc::Value(i), rpc::Value(100 + i % 7)});
+    }
+    for (size_t shards : {2u, 4u}) {
+      auto out = controller::ScaleOutStage(source, shards, 50);
+      if (!out.ok()) return 1;
+      // Merge back and verify.
+      std::vector<const mrpc::GeneratedStage*> instances;
+      for (const auto& i : out->instances) instances.push_back(i.get());
+      auto merged = controller::ScaleInStages(instances, 99);
+      if (!merged.ok()) return 1;
+      bool lossless =
+          out->report.lossless() && merged->report.lossless() &&
+          merged->instance->instance().StateContentHash() ==
+              source.instance().StateContentHash();
+      std::printf("%-12d %-10zu %14zu %12.1f %10s\n", rows, shards,
+                  out->report.state_bytes,
+                  static_cast<double>(out->report.pause_ns) / 1000.0,
+                  lossless ? "yes" : "NO!");
+    }
+  }
+  std::printf(
+      "\nExpected shape: pause grows linearly with state size (50 us floor),"
+      "\nand every split+merge round-trips the exact table contents.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// §7 "other domains": a data-analytics application whose network does
+// predicate + projection pushdown. Workers ship scan records to an
+// aggregator; the ADN drops non-matching records *in the network* (before
+// the wire on the sender side) and strips the wide debug field the
+// aggregator never reads — the compiler's header minimization keeps it off
+// the wire entirely. Compare wire bytes and throughput against the same
+// application with pushdown disabled.
+#include <cstdio>
+
+#include "core/network.h"
+
+namespace {
+
+// With pushdown: a sender-side filter drops records whose score is below
+// threshold, and a projection keeps only the fields the aggregator reads.
+const char* kPushdownProgram = R"(
+ELEMENT ScoreFilter ON REQUEST {
+  INPUT (score INT);
+  ON DROP SILENT;
+  SELECT * FROM input WHERE score >= 90;
+}
+ELEMENT Project ON REQUEST {
+  INPUT (record_id INT, score INT, payload BYTES);
+  SELECT record_id, score, payload FROM input;  -- drops debug_blob
+}
+CHAIN scan FOR CALLS worker -> aggregator {
+  ScoreFilter AT SENDER,
+  Project AT SENDER
+}
+)";
+
+// Without pushdown: the network forwards everything; the aggregator filters.
+const char* kBaselineProgram = R"(
+ELEMENT Passthrough ON REQUEST {
+  INPUT (record_id INT);
+  SELECT * FROM input;
+}
+CHAIN scan FOR CALLS worker -> aggregator {
+  Passthrough
+}
+)";
+
+adn::rpc::Message MakeRecord(uint64_t id, adn::Rng& rng) {
+  adn::Bytes payload(128);
+  adn::Bytes debug_blob(2048);  // wide diagnostic column, rarely consumed
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBelow(256));
+  for (auto& b : debug_blob) b = static_cast<uint8_t>(rng.NextBelow(4));
+  return adn::rpc::Message::MakeRequest(
+      id, "Scan.Emit",
+      {{"record_id", adn::rpc::Value(static_cast<int64_t>(id))},
+       {"score", adn::rpc::Value(static_cast<int64_t>(rng.NextBelow(100)))},
+       {"payload", adn::rpc::Value(std::move(payload))},
+       {"debug_blob", adn::rpc::Value(std::move(debug_blob))}});
+}
+
+struct Out {
+  double rate_krps;
+  double wire_bytes;
+  uint64_t delivered;
+};
+
+Out Run(const char* program, bool declare_app_reads) {
+  using namespace adn;
+  core::NetworkOptions options;
+  rpc::Schema schema;
+  (void)schema.AddColumn({"record_id", rpc::ValueType::kInt, false});
+  (void)schema.AddColumn({"score", rpc::ValueType::kInt, false});
+  (void)schema.AddColumn({"payload", rpc::ValueType::kBytes, false});
+  (void)schema.AddColumn({"debug_blob", rpc::ValueType::kBytes, false});
+  options.compile.request_schema = schema;
+  if (declare_app_reads) {
+    // The aggregator declares what it consumes; the compiler's header
+    // minimization strips the rest from the wire. The baseline, like a
+    // general-purpose mesh, must conservatively carry every field.
+    options.compile.app_reads = {"record_id", "score", "payload"};
+  }
+  auto network = core::Network::Create(program, options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 network.status().ToString().c_str());
+    std::abort();
+  }
+  core::WorkloadOptions workload;
+  workload.concurrency = 64;
+  workload.measured_requests = 10'000;
+  workload.warmup_requests = 1'000;
+  workload.make_request = MakeRecord;
+  auto result = (*network)->RunWorkload("scan", workload);
+  if (!result.ok()) std::abort();
+  return {result->stats.throughput_krps, result->wire_bytes_per_request,
+          result->stats.completed};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Analytics pushdown (paper §7 'other domains'): scan records with a\n"
+      "2 KiB debug column; the aggregator reads only id/score/payload and\n"
+      "keeps records with score >= 90.\n\n");
+  Out baseline = Run(kBaselineProgram, /*declare_app_reads=*/false);
+  Out pushdown = Run(kPushdownProgram, /*declare_app_reads=*/true);
+  std::printf("%-22s %12s %18s %12s\n", "network", "rate (krps)",
+              "wire B/record", "delivered");
+  std::printf("%.*s\n", 68,
+              "--------------------------------------------------------------------");
+  std::printf("%-22s %12.1f %18.0f %12llu\n", "forward everything",
+              baseline.rate_krps, baseline.wire_bytes,
+              static_cast<unsigned long long>(baseline.delivered));
+  std::printf("%-22s %12.1f %18.0f %12llu\n", "ADN pushdown",
+              pushdown.rate_krps, pushdown.wire_bytes,
+              static_cast<unsigned long long>(pushdown.delivered));
+  std::printf(
+      "\nPushdown sends %.0fx fewer bytes per record: non-matching records\n"
+      "never reach the wire, and the debug column never leaves the worker\n"
+      "(header minimization). The aggregator receives only the %.0f%% of\n"
+      "records it actually wants.\n",
+      baseline.wire_bytes / pushdown.wire_bytes,
+      100.0 * static_cast<double>(pushdown.delivered) /
+          static_cast<double>(baseline.delivered));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: write an ADN program, deploy it, send traffic, read stats.
+//
+//   $ ./build/examples/quickstart
+//
+// The program defines one element (an access-control list, the paper's
+// Figure 4) and one chain. Network::Create stands up the simulated cluster,
+// compiles the DSL, places the element, and seeds its state; RunWorkload
+// drives a closed loop of RPCs through the resulting data plane.
+#include <cstdio>
+
+#include "core/network.h"
+
+int main() {
+  using namespace adn;
+
+  // 1. The network, specified in the ADN DSL (paper §5.1).
+  const std::string program = R"(
+    -- Element state is a relational table the controller can seed,
+    -- snapshot, split and merge.
+    STATE TABLE ac_tab (username TEXT PRIMARY KEY, permission TEXT);
+
+    ELEMENT Acl ON REQUEST {
+      INPUT (username TEXT, payload BYTES);
+      ON DROP ABORT 'permission denied';
+      SELECT * FROM input JOIN ac_tab ON input.username = ac_tab.username
+        WHERE ac_tab.permission = 'W';
+    }
+
+    CHAIN quickstart FOR CALLS client -> server {
+      Acl AT TRUSTED
+    }
+  )";
+
+  // 2. Deploy: compile, optimize, place, seed state.
+  core::NetworkOptions options;
+  options.state_seeds = {
+      {"ac_tab",
+       {{rpc::Value("alice"), rpc::Value("W")},
+        {rpc::Value("bob"), rpc::Value("W")},
+        {rpc::Value("carol"), rpc::Value("W")},
+        {rpc::Value("dave"), rpc::Value("R")}}},  // dave may only read
+  };
+  auto network = core::Network::Create(program, options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Inspect what the control plane produced.
+  const auto* chain = (*network)->Chain("quickstart");
+  const auto* placement = (*network)->PlacementFor("quickstart");
+  std::printf("placement : %s\n", placement->DebugString(*chain).c_str());
+  std::printf("wire spec : %s\n",
+              chain->headers.link_specs[1].DebugString().c_str());
+  std::printf("effects   : %s\n\n",
+              chain->elements[0].ir->effects.DebugString().c_str());
+
+  // 4. Drive traffic: 25%% of requests come from dave and get denied.
+  core::WorkloadOptions workload;
+  workload.concurrency = 32;
+  workload.measured_requests = 10'000;
+  workload.warmup_requests = 1'000;
+  workload.make_request = core::MakeDefaultRequestFactory();
+  auto result = (*network)->RunWorkload("quickstart", workload);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->stats.ToString().c_str());
+  std::printf("denial rate: %.1f%% (dave is 1 of 4 users)\n",
+              100.0 * static_cast<double>(result->stats.dropped) /
+                  static_cast<double>(result->stats.completed +
+                                      result->stats.dropped));
+  return 0;
+}

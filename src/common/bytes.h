@@ -1,0 +1,185 @@
+// Byte-buffer primitives shared by every wire format in the repo.
+//
+// ByteWriter appends into a caller-owned std::vector<uint8_t>; ByteReader is
+// a non-owning, bounds-checked cursor over a span of bytes. Both support the
+// encodings used by our codecs: fixed-width little-endian integers, LEB128
+// varints (protobuf-style), zig-zag signed varints, and length-prefixed
+// strings. Readers never throw; every Read* reports failure via Result.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adn {
+
+using Bytes = std::vector<uint8_t>;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { out_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendLittleEndian(v, 2); }
+  void WriteU32(uint32_t v) { AppendLittleEndian(v, 4); }
+  void WriteU64(uint64_t v) { AppendLittleEndian(v, 8); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  // LEB128 unsigned varint, 1-10 bytes.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // Zig-zag then varint; small magnitudes stay small either sign.
+  void WriteSignedVarint(int64_t v) {
+    WriteVarint((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  void WriteBytes(std::span<const uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  void WriteLengthPrefixed(std::span<const uint8_t> data) {
+    WriteVarint(data.size());
+    WriteBytes(data);
+  }
+
+  void WriteString(std::string_view s) {
+    WriteLengthPrefixed({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  }
+
+  size_t size() const { return out_.size(); }
+
+  // Patch a previously reserved fixed-width slot (e.g. a frame length field).
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_[offset + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  void AppendLittleEndian(uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Underflow("u8");
+    return data_[pos_++];
+  }
+  Result<uint16_t> ReadU16() { return ReadLittleEndian<uint16_t>(2, "u16"); }
+  Result<uint32_t> ReadU32() { return ReadLittleEndian<uint32_t>(4, "u32"); }
+  Result<uint64_t> ReadU64() { return ReadLittleEndian<uint64_t>(8, "u64"); }
+
+  Result<int64_t> ReadI64() {
+    ADN_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    return static_cast<int64_t>(bits);
+  }
+
+  Result<double> ReadF64() {
+    ADN_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return Underflow("varint");
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    return Error(ErrorCode::kParseError, "varint longer than 10 bytes");
+  }
+
+  Result<int64_t> ReadSignedVarint() {
+    ADN_ASSIGN_OR_RETURN(uint64_t z, ReadVarint());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  Result<std::span<const uint8_t>> ReadBytes(size_t n) {
+    if (remaining() < n) return Underflow("bytes");
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::span<const uint8_t>> ReadLengthPrefixed() {
+    ADN_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > remaining()) return Underflow("length-prefixed payload");
+    return ReadBytes(n);
+  }
+
+  Result<std::string> ReadString() {
+    ADN_ASSIGN_OR_RETURN(auto span, ReadLengthPrefixed());
+    return std::string(reinterpret_cast<const char*>(span.data()),
+                       span.size());
+  }
+
+  Status Skip(size_t n) {
+    if (remaining() < n) return Status(Underflow("skip"));
+    pos_ += n;
+    return Status::Ok();
+  }
+
+ private:
+  template <typename T>
+  Result<T> ReadLittleEndian(int n, const char* what) {
+    if (remaining() < static_cast<size_t>(n)) return Underflow(what);
+    uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += static_cast<size_t>(n);
+    return static_cast<T>(v);
+  }
+
+  Error Underflow(const char* what) const {
+    return Error(ErrorCode::kParseError,
+                 std::string("buffer underflow reading ") + what);
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string_view AsStringView(std::span<const uint8_t> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace adn

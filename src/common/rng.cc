@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace adn {
+
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace adn

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random numbers for simulations and property tests.
+//
+// All randomized behaviour in the repo (fault injection probabilities,
+// workload generators, property-test inputs) flows through Rng so that every
+// experiment is reproducible from a seed. xoshiro256** under the hood.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; simple rejection.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+  // Inclusive integer range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Exponential inter-arrival with the given mean (for Poisson workloads).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -mean * Log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double Log(double x);
+
+  uint64_t state_[4];
+};
+
+}  // namespace adn

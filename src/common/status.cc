@@ -1,0 +1,27 @@
+#include "common/status.h"
+
+namespace adn {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kTypeError: return "TypeError";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "UnknownError";
+}
+
+std::string Error::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace adn

@@ -1,0 +1,142 @@
+// Lightweight Status / Result types used throughout the ADN codebase.
+//
+// We deliberately avoid exceptions on data-plane paths (per-message work) and
+// use Result<T> for compiler / controller code where failures are expected
+// (bad DSL input, infeasible placement, ...). This mirrors the error model of
+// production proxies where a malformed message must never unwind the worker.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace adn {
+
+// Broad classification of failures; modules attach a human-readable message.
+enum class ErrorCode {
+  kInvalidArgument,   // caller passed something nonsensical
+  kParseError,        // DSL / wire-format syntax error
+  kTypeError,         // DSL type-checking failure
+  kNotFound,          // missing table / field / service / processor
+  kAlreadyExists,     // duplicate definition
+  kUnsupported,       // valid input but not supported by a backend/platform
+  kResourceExhausted, // queue full, no capacity on any processor
+  kFailedPrecondition,// operation invalid in current state
+  kInternal,          // invariant violation (bug)
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// An error with a code and a contextual message. Cheap to move.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ParseError: unexpected token ')' at line 3"
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Status: success or an Error. Use for operations with no result value.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+  Status(ErrorCode code, std::string message)
+      : error_(Error(code, std::move(message))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  std::string ToString() const { return ok() ? "OK" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: either a value or an Error. A minimal std::expected stand-in.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}         // NOLINT: implicit by design
+  Result(Error error) : repr_(std::move(error)) {}     // NOLINT: implicit by design
+  Result(ErrorCode code, std::string message)
+      : repr_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(repr_);
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return Status(error());
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Error> repr_;
+};
+
+// Propagate an error from an expression producing Status.
+#define ADN_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::adn::Status adn_status_ = (expr);             \
+    if (!adn_status_.ok()) return adn_status_.error(); \
+  } while (false)
+
+// Assign from a Result<T> or propagate its error.
+// Usage: ADN_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define ADN_ASSIGN_OR_RETURN(decl, expr)        \
+  ADN_ASSIGN_OR_RETURN_IMPL_(                   \
+      ADN_RESULT_CONCAT_(adn_result_, __LINE__), decl, expr)
+
+#define ADN_RESULT_CONCAT_INNER_(a, b) a##b
+#define ADN_RESULT_CONCAT_(a, b) ADN_RESULT_CONCAT_INNER_(a, b)
+#define ADN_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.error();                \
+  decl = std::move(tmp).value()
+
+}  // namespace adn

@@ -1,0 +1,32 @@
+// Small string helpers used by the DSL front end and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adn {
+
+// Split on a single-character delimiter; keeps empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view s);
+
+// Join pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+// ASCII-only case transforms (DSL keywords are case-insensitive).
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// FNV-1a 64-bit; stable across platforms, used for field ids and LB hashing.
+uint64_t Fnv1a64(std::string_view s);
+uint64_t Fnv1a64(const void* data, size_t size);
+
+}  // namespace adn

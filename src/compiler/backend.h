@@ -1,0 +1,68 @@
+// Backends: lower an ElementIr onto a target platform (paper §4 Q2: "How to
+// translate the high-level specifications to efficient distributed
+// implementation across a range of hardware and software platforms? This
+// includes both the low-level code (e.g., eBPF, P4) ...").
+//
+// Three targets beyond the native in-process engine:
+//   - eBPF: in-kernel execution. Feasibility mirrors verifier reality: only
+//     helper-backed functions, no unbounded state scans, floats only as
+//     compare-with-literal (lowered to integer thresholds), map-backed
+//     tables with key lookups.
+//   - SmartNIC: general cores, anything native runs (at a clock scale).
+//   - P4 switch: match-action only — read-only tables populated from the
+//     control plane, no payload transforms, and every field the program
+//     touches must sit inside the parse window (~200 B).
+//
+// EmitEbpfC / EmitP4 produce inspectable program text; execution in the
+// simulator reuses the portable ElementInstance with the platform's cost
+// scale (we do not ship a BPF JIT — the text is the artifact, the semantics
+// are shared).
+#pragma once
+
+#include <string>
+
+#include "ir/element_ir.h"
+#include "rpc/wire.h"
+#include "sim/cost_model.h"
+
+namespace adn::compiler {
+
+enum class TargetPlatform : uint8_t {
+  kNative,    // RPC library / mRPC engine / user-space proxy
+  kEbpf,      // sender/receiver kernel
+  kSmartNic,  // NIC cores
+  kP4Switch,  // programmable switch pipeline
+};
+
+std::string_view TargetPlatformName(TargetPlatform target);
+
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string reason;  // first blocking constraint when infeasible
+
+  static FeasibilityReport Yes() { return {}; }
+  static FeasibilityReport No(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+FeasibilityReport CheckFeasible(const ir::ElementIr& element,
+                                TargetPlatform target);
+
+// For P4, additionally verify the fields the element reads fall within the
+// switch parse window given the link's header layout.
+FeasibilityReport CheckP4ParseDepth(const ir::ElementIr& element,
+                                    const rpc::HeaderSpec& link_header,
+                                    size_t parse_depth_bytes);
+
+// Per-message execution cost of the element on the target, in simulated ns.
+// `payload_bytes` sizes the per-byte UDF costs (compression etc.).
+double EstimateCostNs(const ir::ElementIr& element, TargetPlatform target,
+                      const sim::CostModel& model, size_t payload_bytes);
+
+// Generated-code artifacts (text). Deterministic given the IR.
+std::string EmitEbpfC(const ir::ElementIr& element);
+std::string EmitP4(const ir::ElementIr& element,
+                   const rpc::HeaderSpec& link_header);
+
+}  // namespace adn::compiler

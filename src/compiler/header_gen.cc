@@ -1,0 +1,132 @@
+#include "compiler/header_gen.h"
+
+#include <algorithm>
+#include <set>
+
+namespace adn::compiler {
+
+using rpc::Column;
+using rpc::Schema;
+
+Result<Schema> EvolveSchema(const Schema& in, const ir::ElementIr& element) {
+  // Check the element's reads are satisfied.
+  for (const std::string& f : element.effects.fields_read) {
+    if (in.FindColumn(f) == nullptr) {
+      return Error(ErrorCode::kNotFound,
+                   "element '" + element.name + "' reads field '" + f +
+                       "' which is not present at its position in the chain");
+    }
+  }
+  if (element.IsFilter()) return in;  // filters don't alter the tuple
+
+  Schema schema = in;
+  for (const ir::StmtIr& stmt : element.statements) {
+    if (stmt.kind != ir::StmtIr::Kind::kSelect) continue;
+    const ir::SelectIr& sel = *stmt.select;
+    Schema next;
+    if (sel.passthrough) {
+      next = schema;
+      for (const auto& out : sel.outputs) {
+        if (auto idx = next.IndexOf(out.name); idx.has_value()) {
+          Schema rebuilt;
+          for (size_t i = 0; i < next.columns().size(); ++i) {
+            Column c = next.columns()[i];
+            if (i == *idx) c.type = out.type;
+            (void)rebuilt.AddColumn(std::move(c));
+          }
+          next = std::move(rebuilt);
+        } else {
+          (void)next.AddColumn({out.name, out.type, false});
+        }
+      }
+    } else {
+      for (const auto& out : sel.outputs) {
+        if (next.FindColumn(out.name) == nullptr) {
+          (void)next.AddColumn({out.name, out.type, false});
+        }
+      }
+    }
+    schema = std::move(next);
+  }
+  return schema;
+}
+
+Result<ChainHeaders> ComputeChainHeaders(
+    const ChainIr& chain, const Schema& app_request_schema,
+    const std::vector<std::string>& app_reads,
+    const std::vector<std::string>& priority_fields) {
+  ChainHeaders out;
+  const size_t n = chain.elements.size();
+
+  // Forward pass: schema at each position.
+  out.schemas.push_back(app_request_schema);
+  for (size_t i = 0; i < n; ++i) {
+    ADN_ASSIGN_OR_RETURN(
+        Schema next, EvolveSchema(out.schemas.back(), *chain.elements[i]));
+    out.schemas.push_back(std::move(next));
+  }
+
+  // Application consumption set: explicit, or everything the chain delivers.
+  std::set<std::string> final_needs;
+  if (app_reads.empty()) {
+    for (const Column& c : out.schemas.back().columns()) {
+      if (c.name != std::string(ir::kDestinationField)) {
+        final_needs.insert(c.name);
+      }
+    }
+  } else {
+    final_needs.insert(app_reads.begin(), app_reads.end());
+  }
+
+  // Backward pass: needed-fields set per link.
+  // needs[i] = fields required on the link *into* element i (or into the app
+  // for i == n).
+  std::vector<std::set<std::string>> needs(n + 1);
+  needs[n] = final_needs;
+  for (size_t i = n; i-- > 0;) {
+    needs[i] = needs[i + 1];
+    const ir::ElementIr& e = *chain.elements[i];
+    // Fields the element writes are produced here, not required upstream —
+    // unless the write is a modification that also reads the field (the
+    // read set captures that).
+    for (const std::string& w : e.effects.fields_written) {
+      needs[i].erase(w);
+    }
+    for (const std::string& r : e.effects.fields_read) {
+      needs[i].insert(r);
+    }
+  }
+
+  // Build a HeaderSpec per link, front-loading priority fields.
+  out.link_specs.resize(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    const Schema& schema = out.schemas[i];
+    std::vector<Column> fields;
+    auto add_if_needed = [&](const Column& c) {
+      if (needs[i].count(c.name) == 0) return;
+      for (const Column& existing : fields) {
+        if (existing.name == c.name) return;
+      }
+      fields.push_back({c.name, c.type, false});
+    };
+    // Priority fields first (in given order), then schema order.
+    for (const std::string& p : priority_fields) {
+      if (const Column* c = schema.FindColumn(p); c != nullptr) {
+        add_if_needed(*c);
+      }
+    }
+    for (const Column& c : schema.columns()) add_if_needed(c);
+    out.link_specs[i].fields = std::move(fields);
+  }
+  return out;
+}
+
+size_t LayeredStackHeaderBytes(size_t field_count) {
+  // Ethernet 14 + IPv4 20 + TCP 32 (with timestamps) = 66 bytes of L2-L4.
+  // HTTP/2: 9-byte frame header for HEADERS + 9 for DATA; HPACK-encoded
+  // pseudo-headers and the grpc-* metadata set run ~120 bytes even when
+  // indexed; gRPC message prefix 5 bytes; protobuf tag+len ~2 bytes/field.
+  return 66 + 18 + 120 + 5 + 2 * field_count;
+}
+
+}  // namespace adn::compiler

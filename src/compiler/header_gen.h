@@ -1,0 +1,51 @@
+// Header synthesis: "we need to determine the minimum set of headers needed
+// to satisfy the network requirements" (paper §4 Q2).
+//
+// For every cut point of a chain (between element i and i+1, or between the
+// last element and the destination application) the minimal header is the
+// set of RPC fields some downstream consumer still reads: later elements'
+// read sets plus the fields the application itself consumes. Everything else
+// is dead on that link and is not carried.
+//
+// Field order inside the spec is significant for hardware targets: fields
+// read by switch/NIC-offloaded elements are placed first so they fall inside
+// the device's parse window (the paper's 200-byte P4 example).
+#pragma once
+
+#include <vector>
+
+#include "compiler/lower.h"
+#include "rpc/wire.h"
+
+namespace adn::compiler {
+
+// Evolve the tuple schema across one element (what fields exist after it).
+// Fails if the element reads a field the schema does not provide — this is
+// the deploy-time check that an application actually emits what the chain
+// needs.
+Result<rpc::Schema> EvolveSchema(const rpc::Schema& in,
+                                 const ir::ElementIr& element);
+
+struct ChainHeaders {
+  // link_specs[i] = header on the link after element i-1 and before element
+  // i; link_specs[0] is app->first element; link_specs[n] is last->app.
+  std::vector<rpc::HeaderSpec> link_specs;
+  // Tuple schema at each position (schemas[0] = app request schema).
+  std::vector<rpc::Schema> schemas;
+};
+
+// `app_request_schema`: fields the caller emits. `app_reads`: fields the
+// callee consumes (defaults to everything that survives the chain).
+// `priority_fields`: field names to front-load in every spec (offload
+// targets' read sets); may be empty.
+Result<ChainHeaders> ComputeChainHeaders(
+    const ChainIr& chain, const rpc::Schema& app_request_schema,
+    const std::vector<std::string>& app_reads = {},
+    const std::vector<std::string>& priority_fields = {});
+
+// Bytes of header+field metadata the standard layered stack (Ethernet + IP +
+// TCP + HTTP/2 + gRPC framing + protobuf tags) spends for a message with the
+// given field count — used by the header-size comparison experiment.
+size_t LayeredStackHeaderBytes(size_t field_count);
+
+}  // namespace adn::compiler

@@ -1,0 +1,196 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+
+#include "compiler/backend.h"
+#include "ir/analysis.h"
+
+namespace adn::compiler {
+
+namespace {
+
+// Rank for the offload-sink order: sender-bound first, receiver-bound last,
+// hardware-offloadable unconstrained elements after plain ones so they can
+// land on the switch/NIC side of the path.
+int OffloadRank(const ir::ElementIr& element,
+                dsl::LocationConstraint constraint) {
+  switch (constraint) {
+    case dsl::LocationConstraint::kSender: return 0;
+    case dsl::LocationConstraint::kReceiver: return 3;
+    default: break;
+  }
+  return CheckFeasible(element, TargetPlatform::kP4Switch).feasible ? 2 : 1;
+}
+
+// Deep-copy an ExprNode tree (ElementIr holds them by value, but StmtIr
+// contains optionals of structs with vectors — default copy works; this
+// helper exists for clarity at call sites).
+ir::ElementIr CopyElement(const ir::ElementIr& e) { return e; }
+
+}  // namespace
+
+Result<ir::ElementIr> FuseElements(const ir::ElementIr& a,
+                                   const ir::ElementIr& b) {
+  if (a.IsFilter() || b.IsFilter()) {
+    return Error(ErrorCode::kUnsupported,
+                 "cannot fuse filter elements ('" + a.name + "' + '" +
+                     b.name + "')");
+  }
+  if (a.direction != b.direction) {
+    return Error(ErrorCode::kUnsupported,
+                 "cannot fuse elements with different directions ('" +
+                     a.name + "' is " + std::string(DirectionName(a.direction)) +
+                     ", '" + b.name + "' is " +
+                     std::string(DirectionName(b.direction)) + ")");
+  }
+  ir::ElementIr fused = CopyElement(a);
+  fused.name = a.name + "+" + b.name;
+  for (const ir::StmtIr& s : b.statements) fused.statements.push_back(s);
+
+  // Union of state tables.
+  for (const auto& [name, schema] : b.state_tables) {
+    if (fused.FindStateSchema(name) == nullptr) {
+      fused.state_tables.emplace_back(name, schema);
+    }
+  }
+  // Union of input schemas (b's inputs may be produced by a; only add the
+  // ones a doesn't already declare).
+  for (const rpc::Column& c : b.input.columns()) {
+    if (fused.input.FindColumn(c.name) == nullptr) {
+      (void)fused.input.AddColumn(c);
+    }
+  }
+  // Merge effects.
+  auto merge = [](std::vector<std::string>& into,
+                  const std::vector<std::string>& from) {
+    for (const auto& s : from) {
+      if (std::find(into.begin(), into.end(), s) == into.end()) {
+        into.push_back(s);
+      }
+    }
+    std::sort(into.begin(), into.end());
+  };
+  merge(fused.effects.fields_read, b.effects.fields_read);
+  merge(fused.effects.fields_written, b.effects.fields_written);
+  merge(fused.effects.tables_read, b.effects.tables_read);
+  merge(fused.effects.tables_written, b.effects.tables_written);
+  fused.effects.may_drop |= b.effects.may_drop;
+  fused.effects.nondeterministic |= b.effects.nondeterministic;
+  fused.effects.reads_metadata |= b.effects.reads_metadata;
+  fused.effects.sets_destination |= b.effects.sets_destination;
+  return fused;
+}
+
+Result<OptimizedChain> RunPasses(const ChainIr& chain,
+                                 const PassOptions& options) {
+  OptimizedChain out;
+  out.chain = chain;
+
+  // --- Pass 1: reordering ----------------------------------------------------
+  std::vector<size_t> order(out.chain.elements.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.order_strategy == OrderStrategy::kOffloadSink) {
+    // Bubble sort by OffloadRank with commutativity as the swap guard.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 1; i < order.size(); ++i) {
+        const auto& prev = *out.chain.elements[order[i - 1]];
+        const auto& cur = *out.chain.elements[order[i]];
+        int prev_rank = OffloadRank(prev, out.chain.constraints[order[i - 1]]);
+        int cur_rank = OffloadRank(cur, out.chain.constraints[order[i]]);
+        if (prev_rank <= cur_rank) continue;
+        if (!ir::CheckCommutes(prev.effects, cur.effects).Commutes()) continue;
+        std::swap(order[i - 1], order[i]);
+        changed = true;
+      }
+    }
+  } else if (options.reorder_drop_early) {
+    std::vector<const ir::ElementIr*> view;
+    view.reserve(out.chain.elements.size());
+    for (const auto& e : out.chain.elements) view.push_back(e.get());
+    order = ir::ComputeDropEarlyOrder(view);
+  }
+  {
+    bool changed = false;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] != i) changed = true;
+    }
+    if (changed) {
+      // Reordering must not separate an element from its constraint; the
+      // constraint travels with the element.
+      std::vector<std::shared_ptr<const ir::ElementIr>> elements;
+      std::vector<dsl::LocationConstraint> constraints;
+      std::string detail = "new order:";
+      for (size_t idx : order) {
+        elements.push_back(out.chain.elements[idx]);
+        constraints.push_back(out.chain.constraints[idx]);
+        detail += " " + out.chain.elements[idx]->name;
+      }
+      out.chain.elements = std::move(elements);
+      out.chain.constraints = std::move(constraints);
+      out.reports.push_back(
+          {options.order_strategy == OrderStrategy::kOffloadSink
+               ? "reorder-offload-sink"
+               : "reorder-drop-early",
+           detail});
+    }
+  }
+
+  // --- Pass 2: adjacent fusion ----------------------------------------------
+  if (options.fuse_adjacent) {
+    std::vector<std::shared_ptr<const ir::ElementIr>> elements;
+    std::vector<dsl::LocationConstraint> constraints;
+    size_t i = 0;
+    while (i < out.chain.elements.size()) {
+      auto current = out.chain.elements[i];
+      dsl::LocationConstraint constraint = out.chain.constraints[i];
+      size_t j = i + 1;
+      while (j < out.chain.elements.size() &&
+             !current->IsFilter() && !out.chain.elements[j]->IsFilter() &&
+             out.chain.constraints[j] == constraint &&
+             out.chain.elements[j]->direction == current->direction) {
+        auto fused = FuseElements(*current, *out.chain.elements[j]);
+        if (!fused.ok()) break;
+        out.reports.push_back(
+            {"fuse-adjacent", current->name + " + " +
+                                  out.chain.elements[j]->name + " -> " +
+                                  fused->name});
+        current = std::make_shared<const ir::ElementIr>(
+            std::move(fused).value());
+        ++j;
+      }
+      elements.push_back(std::move(current));
+      constraints.push_back(constraint);
+      i = j;
+    }
+    out.chain.elements = std::move(elements);
+    out.chain.constraints = std::move(constraints);
+  }
+
+  // --- Pass 3: parallel grouping --------------------------------------------
+  if (options.parallelize) {
+    std::vector<const ir::ElementIr*> view;
+    for (const auto& e : out.chain.elements) view.push_back(e.get());
+    out.parallel_groups = ir::PartitionIntoParallelGroups(view);
+    int max_group = out.parallel_groups.empty()
+                        ? -1
+                        : *std::max_element(out.parallel_groups.begin(),
+                                            out.parallel_groups.end());
+    if (max_group + 1 < static_cast<int>(out.chain.elements.size())) {
+      out.reports.push_back(
+          {"parallelize",
+           std::to_string(out.chain.elements.size()) + " elements in " +
+               std::to_string(max_group + 1) + " sequential group(s)"});
+    }
+  } else {
+    out.parallel_groups.resize(out.chain.elements.size());
+    for (size_t i = 0; i < out.parallel_groups.size(); ++i) {
+      out.parallel_groups[i] = static_cast<int>(i);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace adn::compiler

@@ -1,0 +1,65 @@
+// IR optimization passes (paper §5.2: "It then applies a set of
+// optimizations on the IR. For example, if two elements do not operate on
+// the same RPC fields, they can be executed in parallel.").
+//
+// Implemented passes:
+//   - drop-early reordering: move drop-capable cheap elements (ACL, fault
+//     injection) ahead of expensive ones when the effect summaries commute,
+//     so discarded messages don't pay for processing they'll never use;
+//   - adjacent fusion: merge consecutive SQL elements with identical
+//     placement constraints into one element, eliminating per-element
+//     dispatch (cross-element optimization);
+//   - parallel grouping: annotate maximal runs of pairwise-independent
+//     elements that a processor may execute concurrently.
+// Every transformation is recorded in a PassReport for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/lower.h"
+
+namespace adn::compiler {
+
+// How the reorder pass arranges commuting elements.
+enum class OrderStrategy {
+  // Hoist cheap drop-capable elements ahead of expensive ones: discarded
+  // messages skip work. Best when everything runs on the same processor.
+  kDropEarly,
+  // Sink hardware-offloadable and receiver-bound elements late, float
+  // sender-bound ones early, so the placement solver can push work onto the
+  // switch/NIC without violating path monotonicity. This realizes the
+  // paper's Figure 2 config 3: compression runs first at the sender, and
+  // the load balancer (whose key field stays uncompressed in the header)
+  // moves to the programmable switch.
+  kOffloadSink,
+};
+
+struct PassOptions {
+  bool reorder_drop_early = true;  // applies under kDropEarly
+  OrderStrategy order_strategy = OrderStrategy::kDropEarly;
+  bool fuse_adjacent = true;
+  bool parallelize = true;
+};
+
+struct PassReport {
+  std::string pass;
+  std::string detail;
+};
+
+struct OptimizedChain {
+  ChainIr chain;  // transformed copy
+  // Parallel group id per element position (equal ids may run concurrently).
+  std::vector<int> parallel_groups;
+  std::vector<PassReport> reports;
+};
+
+Result<OptimizedChain> RunPasses(const ChainIr& chain,
+                                 const PassOptions& options);
+
+// Fuse two adjacent SQL elements into one (exposed for tests). Fails if
+// either is a filter element or directions differ.
+Result<ir::ElementIr> FuseElements(const ir::ElementIr& a,
+                                   const ir::ElementIr& b);
+
+}  // namespace adn::compiler

@@ -1,0 +1,108 @@
+#include "controller/cluster.h"
+
+namespace adn::controller {
+
+void ClusterState::Emit(const ClusterEvent& event) {
+  for (const auto& w : watchers_) w(event);
+}
+
+Status ClusterState::AddMachine(MachineSpec machine) {
+  if (FindMachine(machine.name) != nullptr) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "machine '" + machine.name + "' already exists");
+  }
+  std::string name = machine.name;
+  machines_.push_back(std::move(machine));
+  Emit({ClusterEvent::Kind::kMachineAdded, name});
+  return Status::Ok();
+}
+
+Status ClusterState::AddService(std::string name) {
+  if (FindService(name) != nullptr) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "service '" + name + "' already exists");
+  }
+  services_.push_back(ServiceSpec{name, {}});
+  Emit({ClusterEvent::Kind::kServiceAdded, name});
+  return Status::Ok();
+}
+
+Result<rpc::EndpointId> ClusterState::AddReplica(std::string_view service,
+                                                 std::string_view machine) {
+  if (FindMachine(machine) == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 "machine '" + std::string(machine) + "' not found");
+  }
+  for (ServiceSpec& s : services_) {
+    if (s.name == service) {
+      rpc::EndpointId endpoint = next_endpoint_++;
+      s.replicas.push_back(ReplicaSpec{endpoint, std::string(machine)});
+      ClusterEvent event{ClusterEvent::Kind::kReplicaAdded, s.name};
+      event.endpoint = endpoint;
+      Emit(event);
+      return endpoint;
+    }
+  }
+  return Error(ErrorCode::kNotFound,
+               "service '" + std::string(service) + "' not found");
+}
+
+Status ClusterState::RemoveReplica(std::string_view service,
+                                   rpc::EndpointId endpoint) {
+  for (ServiceSpec& s : services_) {
+    if (s.name != service) continue;
+    for (auto it = s.replicas.begin(); it != s.replicas.end(); ++it) {
+      if (it->endpoint == endpoint) {
+        s.replicas.erase(it);
+        ClusterEvent event{ClusterEvent::Kind::kReplicaRemoved, s.name};
+        event.endpoint = endpoint;
+        Emit(event);
+        return Status::Ok();
+      }
+    }
+    return Status(ErrorCode::kNotFound,
+                  "endpoint " + std::to_string(endpoint) + " not in service " +
+                      std::string(service));
+  }
+  return Status(ErrorCode::kNotFound,
+                "service '" + std::string(service) + "' not found");
+}
+
+Status ClusterState::ApplyConfig(std::string name,
+                                 std::string program_source) {
+  for (AdnConfigResource& c : configs_) {
+    if (c.name == name) {
+      c.program_source = std::move(program_source);
+      ++c.generation;
+      Emit({ClusterEvent::Kind::kConfigApplied, name});
+      return Status::Ok();
+    }
+  }
+  configs_.push_back(AdnConfigResource{name, std::move(program_source), 1});
+  Emit({ClusterEvent::Kind::kConfigApplied, std::move(name)});
+  return Status::Ok();
+}
+
+const MachineSpec* ClusterState::FindMachine(std::string_view name) const {
+  for (const auto& m : machines_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ServiceSpec* ClusterState::FindService(std::string_view name) const {
+  for (const auto& s : services_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const AdnConfigResource* ClusterState::FindConfig(
+    std::string_view name) const {
+  for (const auto& c : configs_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace adn::controller

@@ -1,0 +1,95 @@
+// Simulated cluster manager — the Kubernetes stand-in the ADN controller
+// watches (paper §5.2: "The ADN controller is a logically centralized
+// component that has global knowledge (acquired via cluster managers such as
+// Kubernetes) of the network topology, service locations, and available ADN
+// processors"; §6: the prototype watches an ADNConfig custom resource).
+//
+// Machines expose their processor inventory (cores, SmartNIC, programmable
+// switch on their network path); services own replica sets of endpoints;
+// ADNConfig resources carry DSL programs. Every mutation emits a watch
+// event, which is what drives the controller's reconcile loop.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/message.h"
+
+namespace adn::controller {
+
+struct MachineSpec {
+  std::string name;
+  int cores = 8;
+  bool has_smartnic = false;
+  // True when the ToR on this machine's path is programmable.
+  bool p4_switch_on_path = false;
+};
+
+struct ReplicaSpec {
+  rpc::EndpointId endpoint = rpc::kInvalidEndpoint;
+  std::string machine;
+};
+
+struct ServiceSpec {
+  std::string name;
+  std::vector<ReplicaSpec> replicas;
+};
+
+// The ADNConfig custom resource (paper §6).
+struct AdnConfigResource {
+  std::string name;
+  std::string program_source;  // DSL text
+  int64_t generation = 0;      // bumped on every apply
+};
+
+struct ClusterEvent {
+  enum class Kind {
+    kMachineAdded,
+    kServiceAdded,
+    kReplicaAdded,
+    kReplicaRemoved,
+    kConfigApplied,
+  };
+  Kind kind;
+  std::string subject;  // machine/service/config name
+  rpc::EndpointId endpoint = rpc::kInvalidEndpoint;  // replica events
+};
+
+class ClusterState {
+ public:
+  using WatchCallback = std::function<void(const ClusterEvent&)>;
+
+  // Watchers receive every event emitted after subscription.
+  void Watch(WatchCallback callback) {
+    watchers_.push_back(std::move(callback));
+  }
+
+  Status AddMachine(MachineSpec machine);
+  Status AddService(std::string name);
+  // Returns the assigned endpoint id.
+  Result<rpc::EndpointId> AddReplica(std::string_view service,
+                                     std::string_view machine);
+  Status RemoveReplica(std::string_view service, rpc::EndpointId endpoint);
+  Status ApplyConfig(std::string name, std::string program_source);
+
+  const MachineSpec* FindMachine(std::string_view name) const;
+  const ServiceSpec* FindService(std::string_view name) const;
+  const AdnConfigResource* FindConfig(std::string_view name) const;
+
+  const std::vector<MachineSpec>& machines() const { return machines_; }
+  const std::vector<ServiceSpec>& services() const { return services_; }
+
+ private:
+  void Emit(const ClusterEvent& event);
+
+  std::vector<MachineSpec> machines_;
+  std::vector<ServiceSpec> services_;
+  std::vector<AdnConfigResource> configs_;
+  std::vector<WatchCallback> watchers_;
+  rpc::EndpointId next_endpoint_ = 1;
+};
+
+}  // namespace adn::controller

@@ -1,0 +1,84 @@
+// The ADN runtime controller (paper Figure 3, §5.2, §6).
+//
+// Watches the cluster manager for ADNConfig and deployment changes,
+// recompiles programs, solves placement, seeds element state (ACL rules,
+// quota, the LB endpoints table derived from live replicas), and reacts to
+// data-plane feedback (utilization reports) with scaling recommendations.
+//
+// Replica churn is handled *without redeploying code*: only the LB elements'
+// endpoints tables are recomputed — the tabular-state design at work.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "controller/cluster.h"
+#include "controller/placement.h"
+#include "elements/library.h"
+#include "mrpc/adn_path.h"
+
+namespace adn::controller {
+
+struct ControllerOptions {
+  PlacementPolicy policy = PlacementPolicy::kNativeOnly;
+  PathEnvironment environment;
+  compiler::CompileOptions compile;
+  // Static policy state injected into element tables at deployment:
+  // table name -> rows (e.g. ac_tab rules, quota balances).
+  std::vector<std::pair<std::string, std::vector<rpc::Row>>> state_seeds;
+  // Scaling thresholds for the feedback loop.
+  double scale_out_utilization = 0.80;
+  double scale_in_utilization = 0.25;
+  int max_engine_width = 8;
+};
+
+class AdnController {
+ public:
+  AdnController(ClusterState* cluster, ControllerOptions options);
+
+  // --- Reconciliation -------------------------------------------------------
+  // Deployment state after the last successful reconcile.
+  struct Deployment {
+    compiler::CompiledProgram program;
+    std::vector<PlacementDecision> placements;  // parallel to program.chains
+    int64_t generation = 0;
+  };
+  const Deployment* deployment() const {
+    return has_deployment_ ? &deployment_ : nullptr;
+  }
+  const Status& last_status() const { return last_status_; }
+  int reconcile_count() const { return reconcile_count_; }
+  int endpoint_updates() const { return endpoint_updates_; }
+
+  // --- Data-plane provisioning ----------------------------------------------
+  // Build placed stage factories for a compiled chain: generated stages for
+  // SQL elements (state seeded), host filter operators for FILTER elements.
+  Result<std::vector<mrpc::PlacedStage>> BuildStages(
+      std::string_view chain_name, uint64_t seed_base) const;
+
+  // The LB routing rows for the callee service of a chain: shard -> endpoint
+  // over elements::kLbShards shards, round-robin across live replicas.
+  std::vector<rpc::Row> EndpointRows(std::string_view service) const;
+
+  // --- Feedback loop ----------------------------------------------------------
+  // Given an engine's utilization in the last window, recommend a width.
+  int RecommendEngineWidth(double utilization, int current_width) const;
+
+ private:
+  void OnEvent(const ClusterEvent& event);
+  void Reconcile();
+
+  ClusterState* cluster_;
+  ControllerOptions options_;
+  compiler::Compiler compiler_;
+  Deployment deployment_;
+  bool has_deployment_ = false;
+  Status last_status_;
+  int reconcile_count_ = 0;
+  int endpoint_updates_ = 0;
+};
+
+}  // namespace adn::controller

@@ -1,0 +1,94 @@
+#include "controller/migration.h"
+
+namespace adn::controller {
+
+sim::SimTime EstimatePauseNs(size_t state_bytes) {
+  // Reconfiguration handshake (quiesce queues, install routes) + copy.
+  constexpr sim::SimTime kHandshakeNs = 50'000;  // 50 us
+  constexpr double kPerByteNs = 0.25;            // shm/RDMA-class copy
+  return kHandshakeNs +
+         static_cast<sim::SimTime>(kPerByteNs * static_cast<double>(state_bytes));
+}
+
+Result<ScaleOutResult> ScaleOutStage(const mrpc::GeneratedStage& source,
+                                     size_t n, uint64_t seed_base) {
+  if (n == 0) {
+    return Error(ErrorCode::kInvalidArgument, "cannot scale out to 0");
+  }
+  const ir::ElementInstance& instance = source.instance();
+  ADN_ASSIGN_OR_RETURN(std::vector<Bytes> shards, instance.SplitState(n));
+
+  ScaleOutResult out;
+  out.report.source_state_hash = instance.StateContentHash();
+  auto code = std::make_shared<const ir::ElementIr>(instance.code());
+  for (size_t i = 0; i < n; ++i) {
+    auto stage = std::make_unique<mrpc::GeneratedStage>(code, seed_base + i);
+    ADN_RETURN_IF_ERROR(stage->instance().RestoreState(shards[i]));
+    out.report.state_bytes += shards[i].size();
+    out.report.result_state_hash ^= stage->instance().StateContentHash();
+    out.instances.push_back(std::move(stage));
+  }
+  out.report.pause_ns = EstimatePauseNs(out.report.state_bytes);
+  return out;
+}
+
+Result<ScaleInResult> ScaleInStages(
+    const std::vector<const mrpc::GeneratedStage*>& sources, uint64_t seed) {
+  if (sources.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "no instances to merge");
+  }
+  ScaleInResult out;
+  auto code =
+      std::make_shared<const ir::ElementIr>(sources[0]->instance().code());
+  out.instance = std::make_unique<mrpc::GeneratedStage>(code, seed);
+  for (const mrpc::GeneratedStage* source : sources) {
+    if (source->instance().code().name != code->name) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "cannot merge instances of different elements ('" +
+                       code->name + "' vs '" +
+                       source->instance().code().name + "')");
+    }
+    Bytes snapshot = source->instance().SnapshotState();
+    out.report.state_bytes += snapshot.size();
+    out.report.source_state_hash ^= source->instance().StateContentHash();
+    ADN_RETURN_IF_ERROR(out.instance->instance().MergeState(snapshot));
+  }
+  out.report.result_state_hash = out.instance->instance().StateContentHash();
+  out.report.pause_ns = EstimatePauseNs(out.report.state_bytes);
+  return out;
+}
+
+Result<ScaleInResult> HotUpdateStage(
+    const mrpc::GeneratedStage& running,
+    std::shared_ptr<const ir::ElementIr> new_code, uint64_t seed) {
+  // Schema compatibility: the new code must declare the same state tables
+  // (same names and schemas) so the snapshot restores cleanly.
+  const ir::ElementIr& old_code = running.instance().code();
+  if (new_code->state_tables.size() != old_code.state_tables.size()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "hot update of '" + old_code.name +
+                     "' changes the number of state tables; use a fresh "
+                     "deployment instead");
+  }
+  for (size_t i = 0; i < new_code->state_tables.size(); ++i) {
+    if (new_code->state_tables[i].first != old_code.state_tables[i].first ||
+        !(new_code->state_tables[i].second ==
+          old_code.state_tables[i].second)) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "hot update of '" + old_code.name +
+                       "' changes the schema of state table '" +
+                       old_code.state_tables[i].first + "'");
+    }
+  }
+  ScaleInResult out;
+  out.instance = std::make_unique<mrpc::GeneratedStage>(new_code, seed);
+  Bytes snapshot = running.instance().SnapshotState();
+  out.report.state_bytes = snapshot.size();
+  out.report.source_state_hash = running.instance().StateContentHash();
+  ADN_RETURN_IF_ERROR(out.instance->instance().RestoreState(snapshot));
+  out.report.result_state_hash = out.instance->instance().StateContentHash();
+  out.report.pause_ns = EstimatePauseNs(out.report.state_bytes);
+  return out;
+}
+
+}  // namespace adn::controller

@@ -1,0 +1,56 @@
+// State migration: scale-out, scale-in and hot update of stateful element
+// instances without losing state or messages (paper §5.2: "To migrate or
+// scale out a load balancer, the controller can copy over its state and
+// start running a new instance; while reducing the number of load balancer
+// instances, it can merge their states and kill some instances. ... State
+// decoupling also enables us to hot-update element processing logic.").
+//
+// The protocol modeled here is pause -> drain -> snapshot/shard -> resume:
+// messages arriving during the pause are queued (never dropped), and the
+// pause duration is proportional to the snapshot size. Tests assert that
+// split+merge round-trips the exact table contents (content hashes equal).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mrpc/engine.h"
+#include "sim/simulator.h"
+
+namespace adn::controller {
+
+struct MigrationReport {
+  size_t state_bytes = 0;
+  sim::SimTime pause_ns = 0;  // data-plane pause while state moves
+  uint64_t source_state_hash = 0;
+  uint64_t result_state_hash = 0;  // XOR across result instances
+  bool lossless() const { return source_state_hash == result_state_hash; }
+};
+
+// Pause model: fixed reconfiguration handshake + per-byte copy cost.
+sim::SimTime EstimatePauseNs(size_t state_bytes);
+
+// Shard one instance's state across `n` fresh instances of the same code.
+struct ScaleOutResult {
+  std::vector<std::unique_ptr<mrpc::GeneratedStage>> instances;
+  MigrationReport report;
+};
+Result<ScaleOutResult> ScaleOutStage(const mrpc::GeneratedStage& source,
+                                     size_t n, uint64_t seed_base);
+
+// Merge several instances' state into one fresh instance.
+struct ScaleInResult {
+  std::unique_ptr<mrpc::GeneratedStage> instance;
+  MigrationReport report;
+};
+Result<ScaleInResult> ScaleInStages(
+    const std::vector<const mrpc::GeneratedStage*>& sources,
+    uint64_t seed);
+
+// Replace the element code while carrying the state over. Fails when the
+// new code's state schema is incompatible.
+Result<ScaleInResult> HotUpdateStage(
+    const mrpc::GeneratedStage& running,
+    std::shared_ptr<const ir::ElementIr> new_code, uint64_t seed);
+
+}  // namespace adn::controller

@@ -1,0 +1,275 @@
+#include "controller/placement.h"
+
+#include <array>
+#include <limits>
+
+namespace adn::controller {
+
+using compiler::CompiledChain;
+using compiler::CompiledElement;
+using compiler::TargetPlatform;
+using mrpc::Site;
+
+namespace {
+
+// Candidate sites in request-path order; placement must be monotone over
+// this order.
+constexpr std::array<Site, 8> kPathOrder = {
+    Site::kClientApp,    Site::kClientEngine, Site::kClientKernel,
+    Site::kSwitch,       Site::kServerNic,    Site::kServerKernel,
+    Site::kServerEngine, Site::kServerApp,
+};
+
+TargetPlatform PlatformOf(Site site) {
+  switch (site) {
+    case Site::kClientKernel:
+    case Site::kServerKernel:
+      return TargetPlatform::kEbpf;
+    case Site::kSwitch:
+      return TargetPlatform::kP4Switch;
+    case Site::kServerNic:
+      return TargetPlatform::kSmartNic;
+    default:
+      return TargetPlatform::kNative;
+  }
+}
+
+bool SiteAvailable(Site site, const PathEnvironment& env) {
+  switch (site) {
+    case Site::kClientApp:
+    case Site::kServerApp:
+      return env.allow_in_app;
+    case Site::kClientEngine:
+    case Site::kServerEngine:
+      // Always available: even under kInApp the engines remain the fallback
+      // for TRUSTED elements that must not run inside application binaries.
+      return true;
+    case Site::kClientKernel:
+      return env.sender_kernel_offload;
+    case Site::kServerKernel:
+      return env.receiver_kernel_offload;
+    case Site::kSwitch:
+      return env.p4_switch_on_path;
+    case Site::kServerNic:
+      return env.receiver_smartnic;
+  }
+  return false;
+}
+
+bool SatisfiesConstraint(Site site, dsl::LocationConstraint constraint,
+                         const PathEnvironment& env) {
+  const bool is_app = site == Site::kClientApp || site == Site::kServerApp;
+  const bool sender_side =
+      site == Site::kClientApp || site == Site::kClientEngine ||
+      site == Site::kClientKernel;
+  const bool receiver_side =
+      site == Site::kServerNic || site == Site::kServerKernel ||
+      site == Site::kServerEngine || site == Site::kServerApp;
+  switch (constraint) {
+    case dsl::LocationConstraint::kAny:
+      return true;
+    case dsl::LocationConstraint::kSender:
+      return sender_side;
+    case dsl::LocationConstraint::kReceiver:
+      return receiver_side;
+    case dsl::LocationConstraint::kTrusted:
+      return !is_app || env.trust_app_binaries;
+  }
+  return false;
+}
+
+bool DirectionAllows(const ir::ElementIr& element, Site site) {
+  if (element.direction == dsl::Direction::kRequest) return true;
+  // Response/BOTH elements must sit on sites the response path traverses
+  // with processing capability: apps and engines.
+  return site == Site::kClientApp || site == Site::kClientEngine ||
+         site == Site::kServerEngine || site == Site::kServerApp;
+}
+
+bool PlatformFeasible(const CompiledElement& element, Site site) {
+  switch (PlatformOf(site)) {
+    case TargetPlatform::kNative:
+    case TargetPlatform::kSmartNic:
+      return true;
+    case TargetPlatform::kEbpf:
+      return element.ebpf.feasible;
+    case TargetPlatform::kP4Switch:
+      return element.p4.feasible;
+  }
+  return false;
+}
+
+// Per-element cost of running at a site, by policy. Lower is better.
+double SiteCost(const CompiledElement& element, Site site,
+                PlacementPolicy policy, const sim::CostModel& model) {
+  double native_ns = compiler::EstimateCostNs(
+      *element.ir, TargetPlatform::kNative, model, /*payload_bytes=*/64);
+  double on_target_ns = compiler::EstimateCostNs(*element.ir, PlatformOf(site),
+                                                 model, /*payload_bytes=*/64);
+  const bool host = site != Site::kSwitch && site != Site::kServerNic;
+  switch (policy) {
+    case PlacementPolicy::kNativeOnly:
+      // Strongly prefer engines; mild preference for the client side so the
+      // whole chain lands on one runtime (fewer partial graphs).
+      if (site == Site::kClientEngine) return 0;
+      if (site == Site::kServerEngine) return 1;
+      return 1e9;
+    case PlacementPolicy::kInApp:
+      if (site == Site::kClientApp) return 0;
+      if (site == Site::kServerApp) return 1;
+      return 1e9;
+    case PlacementPolicy::kMinHostCpu:
+      // Offloaded cycles are free host-wise; tiny tie-break toward earlier
+      // (drop-early keeps working) and toward cheaper targets.
+      return (host ? on_target_ns : 0.0) + on_target_ns * 1e-3;
+    case PlacementPolicy::kMinLatency: {
+      // Per-site latency contribution: the work itself plus the hop tax of
+      // activating a detour site.
+      double hop_tax = 0;
+      switch (site) {
+        case Site::kClientEngine:
+        case Site::kServerEngine:
+          hop_tax = static_cast<double>(2 * model.shm_hop_ns +
+                                        model.mrpc_engine_dispatch_ns);
+          break;
+        case Site::kSwitch:
+          hop_tax = static_cast<double>(model.p4_pipeline_ns);
+          break;
+        default:
+          break;
+      }
+      return on_target_ns + hop_tax;
+    }
+  }
+  return native_ns;
+}
+
+}  // namespace
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kNativeOnly: return "native-only";
+    case PlacementPolicy::kInApp: return "in-app";
+    case PlacementPolicy::kMinHostCpu: return "min-host-cpu";
+    case PlacementPolicy::kMinLatency: return "min-latency";
+  }
+  return "?";
+}
+
+std::string PlacementDecision::DebugString(
+    const CompiledChain& chain) const {
+  std::string out;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    out += chain.elements[i].ir->name;
+    out += " @ ";
+    out += SiteName(sites[i]);
+    out += " (";
+    out += compiler::TargetPlatformName(platforms[i]);
+    out += ")";
+    if (i + 1 < sites.size()) out += ", ";
+  }
+  return out;
+}
+
+Result<PlacementDecision> PlaceChain(const CompiledChain& chain,
+                                     const PathEnvironment& environment,
+                                     PlacementPolicy policy) {
+  const size_t n = chain.elements.size();
+  const size_t s = kPathOrder.size();
+  const sim::CostModel& model = sim::CostModel::Default();
+  constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+  // feasible[i][j]: element i may run at site j.
+  std::vector<std::array<double, 8>> cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CompiledElement& element = chain.elements[i];
+    for (size_t j = 0; j < s; ++j) {
+      Site site = kPathOrder[j];
+      bool ok = SiteAvailable(site, environment) &&
+                SatisfiesConstraint(site, chain.constraints[i], environment) &&
+                DirectionAllows(*element.ir, site) &&
+                PlatformFeasible(element, site);
+      // kNativeOnly/kInApp still need a fallback when their preferred site
+      // is unavailable; infeasible stays infeasible.
+      cost[i][j] = ok ? SiteCost(element, site, policy, model) : kInfeasible;
+    }
+  }
+
+  // DP: best[i][j] = min total cost placing elements 0..i with element i at
+  // site j, sites non-decreasing.
+  std::vector<std::array<double, 8>> best(n);
+  std::vector<std::array<int, 8>> parent(n);
+  for (size_t j = 0; j < s; ++j) {
+    best[0][j] = cost[0][j];
+    parent[0][j] = -1;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < s; ++j) {
+      best[i][j] = kInfeasible;
+      parent[i][j] = -1;
+      if (cost[i][j] == kInfeasible) continue;
+      for (size_t k = 0; k <= j; ++k) {
+        if (best[i - 1][k] == kInfeasible) continue;
+        double total = best[i - 1][k] + cost[i][j];
+        if (total < best[i][j]) {
+          best[i][j] = total;
+          parent[i][j] = static_cast<int>(k);
+        }
+      }
+    }
+  }
+
+  // Pick the best terminal site.
+  size_t end = s;
+  double best_total = kInfeasible;
+  for (size_t j = 0; j < s; ++j) {
+    if (best[n - 1][j] < best_total) {
+      best_total = best[n - 1][j];
+      end = j;
+    }
+  }
+  if (end == s) {
+    // Diagnose: find the first element with no feasible site at all.
+    for (size_t i = 0; i < n; ++i) {
+      bool any = false;
+      for (size_t j = 0; j < s; ++j) {
+        if (cost[i][j] != kInfeasible) any = true;
+      }
+      if (!any) {
+        return Error(ErrorCode::kResourceExhausted,
+                     "element '" + chain.elements[i].ir->name +
+                         "' has no feasible processor in this environment "
+                         "(constraint " +
+                         std::string(dsl::LocationConstraintName(
+                             chain.constraints[i])) +
+                         ", policy " + std::string(PlacementPolicyName(policy)) +
+                         ")");
+      }
+    }
+    return Error(ErrorCode::kResourceExhausted,
+                 "no monotone placement satisfies the chain's location "
+                 "constraints in this environment");
+  }
+
+  PlacementDecision decision;
+  decision.sites.resize(n);
+  decision.platforms.resize(n);
+  decision.rationale.resize(n);
+  size_t j = end;
+  for (size_t i = n; i-- > 0;) {
+    decision.sites[i] = kPathOrder[j];
+    decision.platforms[i] = PlatformOf(kPathOrder[j]);
+    const bool host = kPathOrder[j] != Site::kSwitch &&
+                      kPathOrder[j] != Site::kServerNic;
+    double ns = compiler::EstimateCostNs(*chain.elements[i].ir,
+                                         decision.platforms[i], model, 64);
+    if (host) decision.estimated_host_cpu_ns += ns;
+    decision.rationale[i] =
+        std::string(SiteName(kPathOrder[j])) + " via " +
+        std::string(compiler::TargetPlatformName(decision.platforms[i]));
+    if (i > 0) j = static_cast<size_t>(parent[i][j]);
+  }
+  return decision;
+}
+
+}  // namespace adn::controller

@@ -1,0 +1,68 @@
+// Placement solver: decide, for every element of a compiled chain, which
+// processor on the path executes it (paper §4 Q3 / §3: "Depending on
+// available resources, RPC processing may happen in the RPC library,
+// in-kernel, in a separate process, on a programmable hardware device, or in
+// a mix of locations"; the four Figure 2 configurations are four placements
+// of the same chain).
+//
+// Constraints honored:
+//   - DSL location constraints (AT SENDER / RECEIVER / TRUSTED),
+//   - platform feasibility (eBPF verifier model, P4 match-action + parse
+//     depth) as precomputed by the compiler,
+//   - path monotonicity: request-direction elements must land on
+//     non-decreasing sites along client-app -> ... -> server-app,
+//   - security: TRUSTED elements never run inside application binaries,
+//   - response/BOTH-direction elements only on symmetric sites (app/engine).
+//
+// Objective is policy-driven: minimize host CPU (offload-greedy), minimize
+// latency (avoid extra hops), or native-only (everything on mRPC engines,
+// the paper's §6 prototype). Solved exactly by DP over (element, site) —
+// chains are short.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "mrpc/adn_path.h"
+
+namespace adn::controller {
+
+enum class PlacementPolicy {
+  kNativeOnly,  // everything on the mRPC service engines (paper prototype)
+  kInApp,       // everything in the RPC library where allowed (Fig 2 cfg 1)
+  kMinHostCpu,  // offload-greedy (Fig 2 cfg 2/3)
+  kMinLatency,  // fewest extra hops subject to constraints
+};
+
+std::string_view PlacementPolicyName(PlacementPolicy policy);
+
+// What the deployment environment offers on this caller->callee path.
+struct PathEnvironment {
+  bool sender_kernel_offload = false;  // eBPF allowed on the sender machine
+  bool receiver_kernel_offload = false;
+  bool receiver_smartnic = false;
+  bool p4_switch_on_path = false;
+  bool allow_in_app = true;  // operators may forbid app-embedded processing
+  // Operator override of the security model: allow TRUSTED elements inside
+  // application binaries (the paper's Figure 2 config 1 draws the whole
+  // chain in-app; the default keeps mandatory policies out of the app).
+  bool trust_app_binaries = false;
+};
+
+struct PlacementDecision {
+  // Parallel to chain.elements.
+  std::vector<mrpc::Site> sites;
+  std::vector<compiler::TargetPlatform> platforms;
+  // Human-readable rationale per element.
+  std::vector<std::string> rationale;
+  double estimated_host_cpu_ns = 0.0;
+
+  std::string DebugString(const compiler::CompiledChain& chain) const;
+};
+
+Result<PlacementDecision> PlaceChain(const compiler::CompiledChain& chain,
+                                     const PathEnvironment& environment,
+                                     PlacementPolicy policy);
+
+}  // namespace adn::controller

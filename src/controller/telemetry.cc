@@ -1,0 +1,86 @@
+#include "controller/telemetry.h"
+
+namespace adn::controller {
+
+std::string_view ScalingAdviceName(ScalingAdvice advice) {
+  switch (advice) {
+    case ScalingAdvice::kScaleOut: return "scale-out";
+    case ScalingAdvice::kSteady: return "steady";
+    case ScalingAdvice::kScaleIn: return "scale-in";
+  }
+  return "?";
+}
+
+Status TelemetryHub::Ingest(ProcessorReport report) {
+  if (report.processor.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "report without processor id");
+  }
+  if (report.window_end < report.window_start) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "report window ends before it starts");
+  }
+  if (report.utilization < 0.0 || report.utilization > 1.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "utilization outside [0,1]");
+  }
+  PerProcessor& state = processors_[report.processor];
+  for (const auto& [name, value] : report.counters) {
+    state.counter_totals[name] += value;
+  }
+  state.window.push_back(std::move(report));
+  if (state.window.size() > options_.window_reports) {
+    state.window.pop_front();
+  }
+  ++ingested_;
+  return Status::Ok();
+}
+
+double TelemetryHub::SmoothedUtilization(std::string_view processor) const {
+  auto it = processors_.find(processor);
+  if (it == processors_.end() || it->second.window.empty()) return 0.0;
+  double total = 0.0;
+  for (const ProcessorReport& r : it->second.window) {
+    total += r.utilization;
+  }
+  return total / static_cast<double>(it->second.window.size());
+}
+
+ScalingAdvice TelemetryHub::Advise(std::string_view processor) const {
+  double utilization = SmoothedUtilization(processor);
+  if (utilization > options_.scale_out_utilization) {
+    return ScalingAdvice::kScaleOut;
+  }
+  if (utilization < options_.scale_in_utilization) {
+    return ScalingAdvice::kScaleIn;
+  }
+  return ScalingAdvice::kSteady;
+}
+
+std::vector<std::string> TelemetryHub::DropAlerts() const {
+  std::vector<std::string> out;
+  for (const auto& [name, state] : processors_) {
+    uint64_t processed = 0, dropped = 0;
+    for (const ProcessorReport& r : state.window) {
+      processed += r.processed;
+      dropped += r.dropped;
+    }
+    uint64_t total = processed + dropped;
+    if (total == 0) continue;
+    if (static_cast<double>(dropped) / static_cast<double>(total) >
+        options_.drop_alert_fraction) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+int64_t TelemetryHub::CounterTotal(std::string_view processor,
+                                   std::string_view counter) const {
+  auto it = processors_.find(processor);
+  if (it == processors_.end()) return 0;
+  auto counter_it = it->second.counter_totals.find(std::string(counter));
+  return counter_it == it->second.counter_totals.end() ? 0
+                                                       : counter_it->second;
+}
+
+}  // namespace adn::controller

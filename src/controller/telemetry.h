@@ -1,0 +1,77 @@
+// Data-plane telemetry (paper §5.3: "Each processor ... periodically sends
+// reports of logging, tracing, and runtime statistical information back to
+// the controller", and Figure 3's Feedback arrow into the controller).
+//
+// Processors push ProcessorReports; the hub keeps per-processor sliding
+// aggregates and turns them into the controller's scaling/rebalancing
+// signals. Log records harvested from elements' log tables ride along the
+// same channel.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace adn::controller {
+
+struct ProcessorReport {
+  std::string processor;       // e.g. "client-engine"
+  sim::SimTime window_start = 0;
+  sim::SimTime window_end = 0;
+  uint64_t processed = 0;
+  uint64_t dropped = 0;
+  double utilization = 0.0;    // [0,1] over the window
+  // Telemetry counters harvested from elements (e.g. per-method counts).
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+// What the hub advises the controller to do with one processor.
+enum class ScalingAdvice { kScaleOut, kSteady, kScaleIn };
+std::string_view ScalingAdviceName(ScalingAdvice advice);
+
+struct TelemetryOptions {
+  size_t window_reports = 4;       // sliding window length
+  double scale_out_utilization = 0.80;
+  double scale_in_utilization = 0.25;
+  double drop_alert_fraction = 0.10;  // alert when drops exceed this
+};
+
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(TelemetryOptions options = {}) : options_(options) {}
+
+  Status Ingest(ProcessorReport report);
+
+  // Smoothed utilization over the sliding window (0 if unknown processor).
+  double SmoothedUtilization(std::string_view processor) const;
+
+  // Advice derived from the smoothed utilization.
+  ScalingAdvice Advise(std::string_view processor) const;
+
+  // Processors whose drop fraction over the window exceeds the alert
+  // threshold (the controller surfaces these to operators).
+  std::vector<std::string> DropAlerts() const;
+
+  // Aggregate counter across all reports of a processor (e.g. total
+  // requests a Telemetry element counted per method).
+  int64_t CounterTotal(std::string_view processor,
+                       std::string_view counter) const;
+
+  uint64_t reports_ingested() const { return ingested_; }
+
+ private:
+  struct PerProcessor {
+    std::deque<ProcessorReport> window;
+    std::map<std::string, int64_t> counter_totals;
+  };
+
+  TelemetryOptions options_;
+  std::map<std::string, PerProcessor, std::less<>> processors_;
+  uint64_t ingested_ = 0;
+};
+
+}  // namespace adn::controller

@@ -1,0 +1,57 @@
+#include "core/client_policy.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace adn::core {
+
+RetryBudget::RetryBudget(const RetryPolicy& policy) : policy_(policy) {}
+
+void RetryBudget::OnRequest() {
+  ++requests_;
+  // Slide the window: decay both counters so the fraction reflects recent
+  // traffic only.
+  if (requests_ > policy_.budget_window_requests) {
+    requests_ = (requests_ + 1) / 2;
+    retries_ = retries_ / 2;
+  }
+}
+
+bool RetryBudget::TryConsume() {
+  if (requests_ == 0) return false;
+  double fraction =
+      static_cast<double>(retries_ + 1) / static_cast<double>(requests_);
+  if (fraction > policy_.budget_fraction) return false;
+  ++retries_;
+  return true;
+}
+
+double RetryBudget::current_fraction() const {
+  if (requests_ == 0) return 0.0;
+  return static_cast<double>(retries_) / static_cast<double>(requests_);
+}
+
+int64_t BackoffForAttempt(const RetryPolicy& policy, int attempt) {
+  double backoff = static_cast<double>(policy.base_backoff_ns);
+  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  return std::min(policy.max_backoff_ns, static_cast<int64_t>(backoff));
+}
+
+bool IsRetriableError(std::string_view abort_message) {
+  // Transient network-injected failures are retriable; policy denials are
+  // permanent.
+  if (abort_message.find("fault injected") != std::string_view::npos) {
+    return true;
+  }
+  if (abort_message.find("rate limit") != std::string_view::npos) {
+    return true;
+  }
+  if (abort_message.find("circuit open") != std::string_view::npos) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace adn::core

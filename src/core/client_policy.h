@@ -1,0 +1,54 @@
+// Client-side stream-shaping policies: retries with exponential backoff and
+// a retry budget, plus deadlines (paper §5.1's timeout/retry filters — these
+// particular operators live in the RPC library next to the caller because
+// only the caller can re-issue a request).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace adn::core {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // total tries including the first
+  int64_t base_backoff_ns = 1'000'000;   // 1 ms
+  int64_t max_backoff_ns = 64'000'000;   // 64 ms
+  double backoff_multiplier = 2.0;
+  // Retry budget: at most this fraction of recent requests may be retries
+  // (prevents retry storms; modeled on Envoy/gRPC retry budgets).
+  double budget_fraction = 0.2;
+  int64_t budget_window_requests = 100;
+};
+
+// Tracks the retry budget over a sliding request count window.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryPolicy& policy);
+
+  // Call for every initial request issued.
+  void OnRequest();
+  // True if a retry may be issued now (and consumes budget when allowed).
+  bool TryConsume();
+
+  double current_fraction() const;
+
+ private:
+  RetryPolicy policy_;
+  int64_t requests_ = 0;
+  int64_t retries_ = 0;
+};
+
+// Deterministic backoff schedule for attempt n (1-based first retry).
+int64_t BackoffForAttempt(const RetryPolicy& policy, int attempt);
+
+// Decide whether an attempt may be retried: attempts remaining, budget
+// available, and the error is retriable (aborts from fault injection are;
+// ACL denials are not — retrying a deny never succeeds).
+bool IsRetriableError(std::string_view abort_message);
+
+struct TimeoutPolicy {
+  int64_t deadline_ns = 10'000'000;  // 10 ms end-to-end
+};
+
+}  // namespace adn::core

@@ -1,0 +1,164 @@
+#include "core/gateway.h"
+
+#include "common/strings.h"
+
+namespace adn::core {
+
+namespace {
+
+const std::string* FindHeader(const stack::HeaderList& headers,
+                              std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string_view MappedName(
+    const std::vector<std::pair<std::string, std::string>>& mapping,
+    std::string_view from) {
+  for (const auto& [a, b] : mapping) {
+    if (a == from) return b;
+  }
+  return from;  // identity by default
+}
+
+}  // namespace
+
+IngressGateway::IngressGateway(rpc::Schema external_schema,
+                               IngressMapping mapping,
+                               rpc::HeaderSpec adn_spec,
+                               rpc::MethodRegistry* methods)
+    : proto_(external_schema),
+      mapping_(std::move(mapping)),
+      codec_(std::move(adn_spec), methods),
+      methods_(methods) {}
+
+Result<rpc::Message> IngressGateway::DecodeExternal(
+    std::span<const uint8_t> grpc_wire, stack::HpackCodec& hpack) {
+  ADN_ASSIGN_OR_RETURN(stack::GrpcHttp2Message h2,
+                       stack::ParseGrpcMessage(grpc_wire, hpack));
+  ADN_ASSIGN_OR_RETURN(rpc::Message body,
+                       stack::ProtoDecode(h2.grpc_payload, proto_));
+
+  rpc::Message out;
+  out.set_kind(rpc::MessageKind::kRequest);
+  // Method from :path.
+  const std::string* path = FindHeader(h2.headers, ":path");
+  if (path == nullptr) {
+    return Error(ErrorCode::kParseError, "external request has no :path");
+  }
+  std::string method = *path;
+  if (StartsWith(method, mapping_.path_prefix)) {
+    method = method.substr(mapping_.path_prefix.size());
+  }
+  out.set_method(method);
+  methods_->Intern(method);
+
+  // Body fields (renamed per mapping).
+  for (const auto& field : body.fields()) {
+    out.SetField(MappedName(mapping_.body_fields, field.name), field.value);
+  }
+  // Header-carried fields.
+  for (const auto& [header, field] : mapping_.header_fields) {
+    const std::string* v = FindHeader(h2.headers, header);
+    if (v != nullptr) out.SetField(field, rpc::Value(*v));
+  }
+  return out;
+}
+
+Result<Bytes> IngressGateway::TranslateIn(std::span<const uint8_t> grpc_wire,
+                                          stack::HpackCodec& hpack,
+                                          uint64_t id,
+                                          rpc::EndpointId destination) {
+  ADN_ASSIGN_OR_RETURN(rpc::Message m, DecodeExternal(grpc_wire, hpack));
+  m.set_id(id);
+  m.set_destination(destination);
+  Bytes out;
+  ADN_RETURN_IF_ERROR(codec_.Encode(m, out));
+  ++translated_;
+  return out;
+}
+
+EgressGateway::EgressGateway(rpc::Schema external_schema,
+                             IngressMapping mapping, rpc::HeaderSpec adn_spec,
+                             rpc::MethodRegistry* methods)
+    : proto_(external_schema),
+      mapping_(std::move(mapping)),
+      codec_(std::move(adn_spec), methods) {}
+
+Result<Bytes> EgressGateway::TranslateOut(std::span<const uint8_t> adn_wire,
+                                          stack::HpackCodec& hpack,
+                                          uint32_t stream_id) {
+  ADN_ASSIGN_OR_RETURN(rpc::Message m, codec_.Decode(adn_wire));
+
+  // Rename ADN fields back to the external schema's names (reverse map).
+  rpc::Message external;
+  for (const auto& field : m.fields()) {
+    std::string_view name = field.name;
+    for (const auto& [ext, adn_name] : mapping_.body_fields) {
+      if (adn_name == name) {
+        name = ext;
+        break;
+      }
+    }
+    external.SetField(name, field.value);
+  }
+
+  stack::GrpcHttp2Message h2;
+  int grpc_status = m.kind() == rpc::MessageKind::kError ? 13 : 0;
+  stack::HeaderList custom;
+  if (m.kind() == rpc::MessageKind::kError) {
+    custom.emplace_back("grpc-message", m.error_detail());
+  }
+  h2.headers = stack::MakeGrpcResponseHeaders(grpc_status, custom);
+  ADN_ASSIGN_OR_RETURN(h2.grpc_payload,
+                       stack::ProtoEncode(external, proto_));
+  h2.stream_id = stream_id;
+  h2.end_stream = true;
+  return stack::EncodeGrpcMessage(h2, hpack);
+}
+
+PeeringTranslator::PeeringTranslator(
+    rpc::HeaderSpec spec_a, rpc::MethodRegistry* methods_a,
+    rpc::HeaderSpec spec_b, rpc::MethodRegistry* methods_b,
+    std::vector<FieldMap> field_map,
+    std::vector<std::pair<std::string, std::string>> method_map)
+    : codec_a_(std::move(spec_a), methods_a),
+      codec_b_(std::move(spec_b), methods_b),
+      field_map_(std::move(field_map)),
+      method_map_(std::move(method_map)) {}
+
+Result<Bytes> PeeringTranslator::Translate(std::span<const uint8_t> wire_a) {
+  ADN_ASSIGN_OR_RETURN(rpc::Message m, codec_a_.Decode(wire_a));
+
+  rpc::Message out;
+  out.set_id(m.id());
+  out.set_kind(m.kind());
+  out.set_source(m.source());
+  out.set_destination(m.destination());
+  out.set_error_detail(m.error_detail());
+  std::string method = m.method();
+  for (const auto& [a, b] : method_map_) {
+    if (a == method) {
+      method = b;
+      break;
+    }
+  }
+  out.set_method(method);
+  for (const auto& field : m.fields()) {
+    std::string_view name = field.name;
+    for (const FieldMap& fm : field_map_) {
+      if (fm.from == name) {
+        name = fm.to;
+        break;
+      }
+    }
+    out.SetField(name, field.value);
+  }
+  Bytes wire_b;
+  ADN_RETURN_IF_ERROR(codec_b_.Encode(out, wire_b));
+  return wire_b;
+}
+
+}  // namespace adn::core

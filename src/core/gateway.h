@@ -1,0 +1,117 @@
+// External communication for ADN applications (paper §7):
+//
+//   "As with service meshes, such communication can happen via designated
+//   ingress and egress locations for an application. The ingress locations
+//   translate incoming IP packets into the ADN format, and the egress
+//   locations do the reverse translation."
+//
+//   "When two ADN-based applications communicate, instead of translating
+//   the sender ADN's messages to a standard format and then translating the
+//   standard format to the receiver ADN's format, we can directly translate
+//   information between the two ADNs."
+//
+// IngressGateway converts real gRPC-over-HTTP/2 bytes (the format external
+// clients speak) into the application's minimal ADN wire format, mapping
+// HTTP headers and protobuf fields onto ADN tuple fields; EgressGateway is
+// the inverse. PeeringTranslator implements "application peering": a direct
+// ADN-to-ADN field mapping with no intermediate standard format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpc/wire.h"
+#include "stack/http2.h"
+#include "stack/proto_codec.h"
+
+namespace adn::core {
+
+// How external protocol artifacts map onto ADN tuple fields.
+struct IngressMapping {
+  // HTTP header -> ADN field (TEXT), e.g. {"x-user", "username"}.
+  std::vector<std::pair<std::string, std::string>> header_fields;
+  // Protobuf field name -> ADN field name (same name when empty mapping).
+  std::vector<std::pair<std::string, std::string>> body_fields;
+  // HTTP/2 :path prefix stripped to obtain the ADN method name
+  // ("/Store.Get" -> "Store.Get").
+  std::string path_prefix = "/";
+};
+
+class IngressGateway {
+ public:
+  // `external_schema`: the protobuf schema external clients encode with.
+  // `adn_spec`/`methods`: the target application's wire contract.
+  IngressGateway(rpc::Schema external_schema, IngressMapping mapping,
+                 rpc::HeaderSpec adn_spec, rpc::MethodRegistry* methods);
+
+  // gRPC-over-HTTP/2 request bytes -> ADN wire bytes. `hpack` is the
+  // external connection's decoder state. Assigns the given message id and
+  // destination endpoint.
+  Result<Bytes> TranslateIn(std::span<const uint8_t> grpc_wire,
+                            stack::HpackCodec& hpack, uint64_t id,
+                            rpc::EndpointId destination);
+
+  // The decoded intermediate (for inspection/tests).
+  Result<rpc::Message> DecodeExternal(std::span<const uint8_t> grpc_wire,
+                                      stack::HpackCodec& hpack);
+
+  uint64_t translated() const { return translated_; }
+
+ private:
+  stack::ProtoSchema proto_;
+  IngressMapping mapping_;
+  rpc::AdnWireCodec codec_;
+  rpc::MethodRegistry* methods_;
+  uint64_t translated_ = 0;
+};
+
+class EgressGateway {
+ public:
+  EgressGateway(rpc::Schema external_schema, IngressMapping mapping,
+                rpc::HeaderSpec adn_spec, rpc::MethodRegistry* methods);
+
+  // ADN wire bytes (a response) -> gRPC-over-HTTP/2 bytes for the external
+  // client. `hpack` is the external connection's encoder state.
+  Result<Bytes> TranslateOut(std::span<const uint8_t> adn_wire,
+                             stack::HpackCodec& hpack, uint32_t stream_id);
+
+ private:
+  stack::ProtoSchema proto_;
+  IngressMapping mapping_;
+  rpc::AdnWireCodec codec_;
+};
+
+// --- Application peering -------------------------------------------------------
+// Direct translation between two ADNs' wire contracts: decode with A's
+// codec, rename fields, encode with B's codec — one step instead of
+// "A -> standard format -> B", and never down to IP framing.
+class PeeringTranslator {
+ public:
+  struct FieldMap {
+    std::string from;  // field name in ADN A
+    std::string to;    // field name in ADN B
+  };
+
+  PeeringTranslator(rpc::HeaderSpec spec_a, rpc::MethodRegistry* methods_a,
+                    rpc::HeaderSpec spec_b, rpc::MethodRegistry* methods_b,
+                    std::vector<FieldMap> field_map,
+                    std::vector<std::pair<std::string, std::string>>
+                        method_map);
+
+  // A-format wire bytes -> B-format wire bytes.
+  Result<Bytes> Translate(std::span<const uint8_t> wire_a);
+
+  // Steps a message pays via peering vs via the standard-format detour
+  // (decode+encode counts) — quantifies §7's "removes one translation step".
+  static constexpr int kPeeringSteps = 2;     // decode A, encode B
+  static constexpr int kViaStandardSteps = 4; // decode A, encode std,
+                                              // decode std, encode B
+
+ private:
+  rpc::AdnWireCodec codec_a_;
+  rpc::AdnWireCodec codec_b_;
+  std::vector<FieldMap> field_map_;
+  std::vector<std::pair<std::string, std::string>> method_map_;
+};
+
+}  // namespace adn::core

@@ -1,0 +1,173 @@
+#include "core/network.h"
+
+#include "dsl/parser.h"
+
+namespace adn::core {
+
+Result<std::unique_ptr<Network>> Network::Create(std::string dsl_source,
+                                                 NetworkOptions options) {
+  auto network = std::unique_ptr<Network>(new Network());
+  network->source_ = std::move(dsl_source);
+  network->options_ = options;
+
+  // Two-machine testbed like the paper's evaluation, plus whatever the
+  // environment claims to have.
+  {
+    controller::MachineSpec m1;
+    m1.name = "machine-a";
+    m1.cores = 10;
+    m1.p4_switch_on_path = options.environment.p4_switch_on_path;
+    ADN_RETURN_IF_ERROR(network->cluster_.AddMachine(m1));
+    controller::MachineSpec m2;
+    m2.name = "machine-b";
+    m2.cores = 10;
+    m2.has_smartnic = options.environment.receiver_smartnic;
+    m2.p4_switch_on_path = options.environment.p4_switch_on_path;
+    ADN_RETURN_IF_ERROR(network->cluster_.AddMachine(m2));
+  }
+
+  controller::ControllerOptions controller_options;
+  controller_options.policy = options.policy;
+  controller_options.environment = options.environment;
+  controller_options.compile = options.compile;
+  controller_options.state_seeds = options.state_seeds;
+  network->controller_ = std::make_unique<controller::AdnController>(
+      &network->cluster_, std::move(controller_options));
+
+  // Services come from the program's chains; parse once to learn them.
+  ADN_ASSIGN_OR_RETURN(dsl::Program parsed,
+                       dsl::ParseProgram(network->source_));
+  for (const dsl::ChainDecl& chain : parsed.chains) {
+    if (network->cluster_.FindService(chain.caller_service) == nullptr) {
+      ADN_RETURN_IF_ERROR(network->cluster_.AddService(chain.caller_service));
+      auto caller =
+          network->cluster_.AddReplica(chain.caller_service, "machine-a");
+      if (!caller.ok()) return caller.error();
+    }
+    if (network->cluster_.FindService(chain.callee_service) == nullptr) {
+      ADN_RETURN_IF_ERROR(network->cluster_.AddService(chain.callee_service));
+      for (int i = 0; i < options.callee_replicas; ++i) {
+        auto replica =
+            network->cluster_.AddReplica(chain.callee_service, "machine-b");
+        if (!replica.ok()) return replica.error();
+      }
+    }
+  }
+
+  // Apply the program; the controller reconciles synchronously.
+  ADN_RETURN_IF_ERROR(
+      network->cluster_.ApplyConfig("adn-program", network->source_));
+  if (!network->controller_->last_status().ok()) {
+    return network->controller_->last_status().error();
+  }
+  return network;
+}
+
+const compiler::CompiledProgram& Network::program() const {
+  return controller_->deployment()->program;
+}
+
+const controller::PlacementDecision* Network::PlacementFor(
+    std::string_view chain) const {
+  const auto* deployment = controller_->deployment();
+  if (deployment == nullptr) return nullptr;
+  for (size_t i = 0; i < deployment->program.chains.size(); ++i) {
+    if (deployment->program.chains[i].name == chain) {
+      return &deployment->placements[i];
+    }
+  }
+  return nullptr;
+}
+
+const compiler::CompiledChain* Network::Chain(std::string_view chain) const {
+  const auto* deployment = controller_->deployment();
+  return deployment != nullptr ? deployment->program.FindChain(chain)
+                               : nullptr;
+}
+
+Result<rpc::EndpointId> Network::AddCalleeReplica(std::string_view chain) {
+  const compiler::CompiledChain* compiled = Chain(chain);
+  if (compiled == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 "chain '" + std::string(chain) + "' not found");
+  }
+  return cluster_.AddReplica(compiled->callee_service, "machine-b");
+}
+
+Status Network::RemoveCalleeReplica(std::string_view chain,
+                                    rpc::EndpointId endpoint) {
+  const compiler::CompiledChain* compiled = Chain(chain);
+  if (compiled == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "chain '" + std::string(chain) + "' not found");
+  }
+  return cluster_.RemoveReplica(compiled->callee_service, endpoint);
+}
+
+Result<mrpc::AdnPathResult> Network::RunWorkload(
+    std::string_view chain, const WorkloadOptions& workload) {
+  const compiler::CompiledChain* compiled = Chain(chain);
+  const controller::PlacementDecision* placement = PlacementFor(chain);
+  if (compiled == nullptr || placement == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 "chain '" + std::string(chain) + "' is not deployed");
+  }
+  ADN_ASSIGN_OR_RETURN(std::vector<mrpc::PlacedStage> stages,
+                       controller_->BuildStages(chain, options_.seed));
+
+  mrpc::AdnPathConfig config;
+  config.label = workload.label.empty()
+                     ? "ADN:" + std::string(chain) + " (" +
+                           std::string(controller::PlacementPolicyName(
+                               options_.policy)) +
+                           ")"
+                     : workload.label;
+  config.concurrency = workload.concurrency;
+  config.measured_requests = workload.measured_requests;
+  config.warmup_requests = workload.warmup_requests;
+  config.seed = options_.seed;
+  config.model = workload.model;
+  config.make_request = workload.make_request;
+  config.stages = std::move(stages);
+  config.client_engine_width = workload.client_engine_width;
+  config.server_engine_width = workload.server_engine_width;
+  // The wire header between the machines is the spec at the sender->receiver
+  // cut: after the last client-side element.
+  size_t cut = 0;
+  for (size_t i = 0; i < placement->sites.size(); ++i) {
+    if (placement->sites[i] == mrpc::Site::kClientApp ||
+        placement->sites[i] == mrpc::Site::kClientEngine ||
+        placement->sites[i] == mrpc::Site::kClientKernel) {
+      cut = i + 1;
+    }
+  }
+  config.header = compiled->headers.link_specs[cut];
+  // In-app policy: no mRPC service runtimes on the path.
+  config.client_engine_present =
+      options_.policy != controller::PlacementPolicy::kInApp;
+  config.server_engine_present =
+      options_.policy != controller::PlacementPolicy::kInApp;
+  return RunAdnPathExperiment(config);
+}
+
+std::function<rpc::Message(uint64_t, Rng&)> MakeDefaultRequestFactory(
+    size_t payload_bytes, std::string method) {
+  return [payload_bytes, method](uint64_t id, Rng& rng) {
+    static const char* kUsers[] = {"alice", "bob", "carol", "dave"};
+    Bytes payload(payload_bytes);
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    return rpc::Message::MakeRequest(
+        id, method,
+        {
+            {"username", rpc::Value(std::string(
+                             kUsers[rng.NextBelow(4)]))},
+            {"object_id", rpc::Value(static_cast<int64_t>(
+                              rng.NextBelow(100000)))},
+            {"payload", rpc::Value(std::move(payload))},
+        });
+  };
+}
+
+}  // namespace adn::core

@@ -1,0 +1,85 @@
+// adn::core::Network — the library's front door.
+//
+// A Network owns the whole ADN lifecycle for one application: it stands up a
+// simulated cluster (machines + services + replicas), applies the DSL
+// program as an ADNConfig, runs the controller (compile -> optimize ->
+// place -> seed state), and can drive closed-loop workloads over the
+// resulting data plane, returning latency/throughput statistics.
+//
+//   auto network = core::Network::Create(source, options);
+//   auto result  = network->RunWorkload("fig5", workload);
+//
+// Inspection accessors expose everything the control plane produced:
+// compiled chains, pass reports, placements, per-link header specs, and the
+// generated eBPF/P4 artifacts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "controller/controller.h"
+#include "mrpc/adn_path.h"
+
+namespace adn::core {
+
+struct NetworkOptions {
+  controller::PlacementPolicy policy =
+      controller::PlacementPolicy::kNativeOnly;
+  controller::PathEnvironment environment;
+  compiler::CompileOptions compile;
+  // Replicas of the callee service (drives the LB endpoints table).
+  int callee_replicas = 2;
+  // Policy state (ACL rules etc.): table -> rows.
+  std::vector<std::pair<std::string, std::vector<rpc::Row>>> state_seeds;
+  uint64_t seed = 1;
+};
+
+struct WorkloadOptions {
+  int concurrency = 128;
+  uint64_t measured_requests = 20'000;
+  uint64_t warmup_requests = 2'000;
+  std::function<rpc::Message(uint64_t id, Rng& rng)> make_request;
+  sim::CostModel model = sim::CostModel::Default();
+  int client_engine_width = 1;
+  int server_engine_width = 1;
+  std::string label;
+};
+
+class Network {
+ public:
+  static Result<std::unique_ptr<Network>> Create(std::string dsl_source,
+                                                 NetworkOptions options);
+
+  // --- Control-plane inspection ---------------------------------------------
+  const compiler::CompiledProgram& program() const;
+  const controller::PlacementDecision* PlacementFor(
+      std::string_view chain) const;
+  const compiler::CompiledChain* Chain(std::string_view chain) const;
+  const controller::AdnController& controller() const { return *controller_; }
+  controller::ClusterState& cluster() { return cluster_; }
+
+  // --- Deployment churn -------------------------------------------------------
+  // Add/remove a callee replica; the controller refreshes LB state.
+  Result<rpc::EndpointId> AddCalleeReplica(std::string_view chain);
+  Status RemoveCalleeReplica(std::string_view chain, rpc::EndpointId endpoint);
+
+  // --- Data plane ---------------------------------------------------------------
+  // Run a closed-loop workload across the placed chain.
+  Result<mrpc::AdnPathResult> RunWorkload(std::string_view chain,
+                                          const WorkloadOptions& workload);
+
+ private:
+  Network() = default;
+
+  std::string source_;
+  NetworkOptions options_;
+  controller::ClusterState cluster_;
+  std::unique_ptr<controller::AdnController> controller_;
+};
+
+// A default "short byte string" request factory matching the paper's §6
+// workload (username + object id + payload fields).
+std::function<rpc::Message(uint64_t, Rng&)> MakeDefaultRequestFactory(
+    size_t payload_bytes = 64, std::string method = "Echo.Call");
+
+}  // namespace adn::core

@@ -1,0 +1,78 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace adn::core {
+
+ZipfSampler::ZipfSampler(size_t n, double skew) {
+  cdf_.reserve(n);
+  double total = 0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), skew);
+    cdf_.push_back(total);
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+PayloadSizeSampler::PayloadSizeSampler(size_t median_bytes, double sigma,
+                                       size_t min_bytes, size_t max_bytes)
+    : mu_(std::log(static_cast<double>(median_bytes))),
+      sigma_(sigma),
+      min_bytes_(min_bytes),
+      max_bytes_(max_bytes) {}
+
+size_t PayloadSizeSampler::Sample(Rng& rng) const {
+  // Box-Muller from two uniforms.
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  if (u1 <= 0.0) u1 = 1e-12;
+  double normal =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  double size = std::exp(mu_ + sigma_ * normal);
+  if (size < static_cast<double>(min_bytes_)) return min_bytes_;
+  if (size > static_cast<double>(max_bytes_)) return max_bytes_;
+  return static_cast<size_t>(size);
+}
+
+std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
+    TraceWorkloadOptions options) {
+  auto users = std::make_shared<ZipfSampler>(options.user_population,
+                                             options.user_skew);
+  auto objects = std::make_shared<ZipfSampler>(options.object_population,
+                                               options.object_skew);
+  auto sizes = std::make_shared<PayloadSizeSampler>(
+      options.payload_median_bytes, options.payload_sigma,
+      options.payload_min_bytes, options.payload_max_bytes);
+  // Expand the method mix into a weighted pick table.
+  auto methods = std::make_shared<std::vector<std::string>>();
+  for (const auto& [method, weight] : options.method_mix) {
+    for (int i = 0; i < weight; ++i) methods->push_back(method);
+  }
+  if (methods->empty()) methods->push_back("Trace.Call");
+
+  return [users, objects, sizes, methods](uint64_t id, Rng& rng) {
+    size_t user_rank = users->Sample(rng);
+    size_t object_rank = objects->Sample(rng);
+    size_t payload_bytes = sizes->Sample(rng);
+    Bytes payload(payload_bytes);
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBelow(256));
+    const std::string& method =
+        (*methods)[rng.NextBelow(methods->size())];
+    return rpc::Message::MakeRequest(
+        id, method,
+        {{"username",
+          rpc::Value("user" + std::to_string(user_rank))},
+         {"object_id", rpc::Value(static_cast<int64_t>(object_rank))},
+         {"payload", rpc::Value(std::move(payload))}});
+  };
+}
+
+}  // namespace adn::core

@@ -1,0 +1,65 @@
+// Synthetic workload generators modeled on published microservice traces
+// (the paper motivates ADN with production microservice behaviour [47, 59]):
+// Zipf-skewed users and objects, log-normal payload sizes, and a weighted
+// method mix. All deterministic under a seed; used by examples and benches
+// that want more realistic traffic than fixed-size echoes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rpc/message.h"
+
+namespace adn::core {
+
+// Zipf(s) sampler over ranks [0, n). Precomputes the CDF once; sampling is
+// a binary search. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew);
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Log-normal sizes clamped to [min_bytes, max_bytes]. Parameterized by the
+// median and sigma of the underlying normal (microservice payload studies
+// report medians of a few hundred bytes with heavy tails).
+class PayloadSizeSampler {
+ public:
+  PayloadSizeSampler(size_t median_bytes, double sigma, size_t min_bytes,
+                     size_t max_bytes);
+  size_t Sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+  size_t min_bytes_;
+  size_t max_bytes_;
+};
+
+struct TraceWorkloadOptions {
+  size_t user_population = 1000;
+  double user_skew = 1.1;        // Zipf skew for usernames
+  size_t object_population = 100'000;
+  double object_skew = 0.9;      // Zipf skew for object ids
+  size_t payload_median_bytes = 256;
+  double payload_sigma = 1.0;
+  size_t payload_min_bytes = 16;
+  size_t payload_max_bytes = 64 * 1024;
+  // Weighted method mix, e.g. {{"Store.Get", 80}, {"Store.Put", 20}}.
+  std::vector<std::pair<std::string, int>> method_mix = {
+      {"Store.Get", 80}, {"Store.Put", 20}};
+};
+
+// Build a request factory (compatible with WorkloadOptions::make_request)
+// producing username/object_id/payload fields drawn from the distributions.
+std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
+    TraceWorkloadOptions options);
+
+}  // namespace adn::core

@@ -1,0 +1,110 @@
+#include "dsl/ast.h"
+
+namespace adn::dsl {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kConcat: return "||";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+std::string_view DirectionName(Direction d) {
+  switch (d) {
+    case Direction::kRequest: return "REQUEST";
+    case Direction::kResponse: return "RESPONSE";
+    case Direction::kBoth: return "BOTH";
+  }
+  return "?";
+}
+
+std::string_view LocationConstraintName(LocationConstraint c) {
+  switch (c) {
+    case LocationConstraint::kAny: return "ANY";
+    case LocationConstraint::kSender: return "SENDER";
+    case LocationConstraint::kReceiver: return "RECEIVER";
+    case LocationConstraint::kTrusted: return "TRUSTED";
+  }
+  return "?";
+}
+
+ExprPtr MakeExpr(SourceLocation loc,
+                 std::variant<LiteralExpr, ColumnRefExpr, CallExpr, UnaryExpr,
+                              BinaryExpr>
+                     node) {
+  auto e = std::make_unique<Expr>();
+  e->location = loc;
+  e->node = std::move(node);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  struct Printer {
+    std::string operator()(const LiteralExpr& e) const {
+      return e.value.ToDisplayString();
+    }
+    std::string operator()(const ColumnRefExpr& e) const {
+      return e.table.empty() ? e.column : e.table + "." + e.column;
+    }
+    std::string operator()(const CallExpr& e) const {
+      std::string out = e.function + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.args[i]->ToString();
+      }
+      return out + ")";
+    }
+    std::string operator()(const UnaryExpr& e) const {
+      return std::string(e.op == UnaryOp::kNegate ? "-" : "NOT ") +
+             e.operand->ToString();
+    }
+    std::string operator()(const BinaryExpr& e) const {
+      return "(" + e.lhs->ToString() + " " +
+             std::string(BinaryOpName(e.op)) + " " + e.rhs->ToString() + ")";
+    }
+  };
+  return std::visit(Printer{}, node);
+}
+
+const TableDecl* Program::FindTable(std::string_view name) const {
+  for (const auto& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const ElementDecl* Program::FindElement(std::string_view name) const {
+  for (const auto& e : elements) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const FilterDecl* Program::FindFilter(std::string_view name) const {
+  for (const auto& f : filters) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const ChainDecl* Program::FindChain(std::string_view name) const {
+  for (const auto& c : chains) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace adn::dsl

@@ -1,0 +1,240 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace adn::dsl {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      ADN_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      SourceLocation loc = location_;
+      if (AtEnd()) {
+        tokens.push_back(Token{TokenKind::kEnd, "", 0, 0, loc});
+        return tokens;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexWord(loc));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        ADN_ASSIGN_OR_RETURN(Token t, LexNumber(loc));
+        tokens.push_back(std::move(t));
+      } else if (c == '\'') {
+        ADN_ASSIGN_OR_RETURN(Token t, LexString(loc));
+        tokens.push_back(std::move(t));
+      } else {
+        ADN_ASSIGN_OR_RETURN(Token t, LexOperator(loc));
+        tokens.push_back(std::move(t));
+      }
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++location_.line;
+      location_.column = 1;
+    } else {
+      ++location_.column;
+    }
+    return c;
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        SourceLocation start = location_;
+        Advance();
+        Advance();
+        while (!(AtEnd() || (Peek() == '*' && Peek(1) == '/'))) Advance();
+        if (AtEnd()) {
+          return Status(ErrorCode::kParseError,
+                        "unterminated block comment starting at " +
+                            start.ToString());
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Token LexWord(SourceLocation loc) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    std::string word(source_.substr(start, pos_ - start));
+    std::string upper = ToUpperAscii(word);
+    if (IsDslKeyword(upper)) {
+      return Token{TokenKind::kKeyword, std::move(upper), 0, 0, loc};
+    }
+    return Token{TokenKind::kIdentifier, std::move(word), 0, 0, loc};
+  }
+
+  Result<Token> LexNumber(SourceLocation loc) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t mark = pos_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      } else {
+        pos_ = mark;  // 'e' belongs to a following identifier, not the number
+      }
+    }
+    std::string text(source_.substr(start, pos_ - start));
+    Token t;
+    t.location = loc;
+    t.text = text;
+    if (is_float) {
+      t.kind = TokenKind::kFloatLiteral;
+      t.float_value = std::stod(text);
+    } else {
+      t.kind = TokenKind::kIntLiteral;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                       t.int_value);
+      if (ec != std::errc()) {
+        return Error(ErrorCode::kParseError,
+                     "integer literal out of range at " + loc.ToString());
+      }
+    }
+    return t;
+  }
+
+  Result<Token> LexString(SourceLocation loc) {
+    Advance();  // opening quote
+    std::string value;
+    while (true) {
+      if (AtEnd()) {
+        return Error(ErrorCode::kParseError,
+                     "unterminated string literal starting at " +
+                         loc.ToString());
+      }
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {  // escaped quote
+          value.push_back('\'');
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    return Token{TokenKind::kStringLiteral, std::move(value), 0, 0, loc};
+  }
+
+  Result<Token> LexOperator(SourceLocation loc) {
+    char c = Advance();
+    auto make = [&](TokenKind kind, std::string text) {
+      return Token{kind, std::move(text), 0, 0, loc};
+    };
+    switch (c) {
+      case '(': return make(TokenKind::kLParen, "(");
+      case ')': return make(TokenKind::kRParen, ")");
+      case '{': return make(TokenKind::kLBrace, "{");
+      case '}': return make(TokenKind::kRBrace, "}");
+      case ',': return make(TokenKind::kComma, ",");
+      case ';': return make(TokenKind::kSemicolon, ";");
+      case '.': return make(TokenKind::kDot, ".");
+      case '*': return make(TokenKind::kStar, "*");
+      case '+': return make(TokenKind::kPlus, "+");
+      case '/': return make(TokenKind::kSlash, "/");
+      case '%': return make(TokenKind::kPercent, "%");
+      case '=': return make(TokenKind::kEq, "=");
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          return make(TokenKind::kArrow, "->");
+        }
+        return make(TokenKind::kMinus, "-");
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          return make(TokenKind::kNe, "!=");
+        }
+        return Error(ErrorCode::kParseError,
+                     "unexpected '!' at " + loc.ToString() +
+                         " (did you mean '!=' ?)");
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return make(TokenKind::kLe, "<=");
+        }
+        if (Peek() == '>') {
+          Advance();
+          return make(TokenKind::kNe, "<>");
+        }
+        return make(TokenKind::kLt, "<");
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return make(TokenKind::kGe, ">=");
+        }
+        return make(TokenKind::kGt, ">");
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          return make(TokenKind::kConcat, "||");
+        }
+        return Error(ErrorCode::kParseError,
+                     "unexpected '|' at " + loc.ToString() +
+                         " (did you mean '||' ?)");
+      default:
+        return Error(ErrorCode::kParseError,
+                     std::string("unexpected character '") + c + "' at " +
+                         loc.ToString());
+    }
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  SourceLocation location_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace adn::dsl

@@ -1,0 +1,16 @@
+// Hand-written lexer for the ADN DSL.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dsl/token.h"
+
+namespace adn::dsl {
+
+// Tokenize a whole program. Comments: `-- to end of line` and `/* ... */`.
+// String literals use single quotes with '' as the escaped quote (SQL style).
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace adn::dsl

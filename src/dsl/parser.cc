@@ -1,0 +1,628 @@
+#include "dsl/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "dsl/lexer.h"
+
+namespace adn::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!Check(TokenKind::kEnd)) {
+      if (CheckKeyword("STATE")) {
+        ADN_ASSIGN_OR_RETURN(TableDecl t, ParseTableDecl());
+        if (program.FindTable(t.name) != nullptr) {
+          return DuplicateError("table", t.name, t.location);
+        }
+        program.tables.push_back(std::move(t));
+      } else if (CheckKeyword("ELEMENT")) {
+        ADN_ASSIGN_OR_RETURN(ElementDecl e, ParseElementDecl());
+        if (program.FindElement(e.name) != nullptr ||
+            program.FindFilter(e.name) != nullptr) {
+          return DuplicateError("element", e.name, e.location);
+        }
+        program.elements.push_back(std::move(e));
+      } else if (CheckKeyword("FILTER")) {
+        ADN_ASSIGN_OR_RETURN(FilterDecl f, ParseFilterDecl());
+        if (program.FindElement(f.name) != nullptr ||
+            program.FindFilter(f.name) != nullptr) {
+          return DuplicateError("filter", f.name, f.location);
+        }
+        program.filters.push_back(std::move(f));
+      } else if (CheckKeyword("CHAIN")) {
+        ADN_ASSIGN_OR_RETURN(ChainDecl c, ParseChainDecl());
+        if (program.FindChain(c.name) != nullptr) {
+          return DuplicateError("chain", c.name, c.location);
+        }
+        program.chains.push_back(std::move(c));
+      } else {
+        return Error(ErrorCode::kParseError,
+                     "expected STATE, ELEMENT, FILTER or CHAIN, got " +
+                         Peek().Describe() + " at " +
+                         Peek().location.ToString());
+      }
+    }
+    return program;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return e;
+  }
+
+ private:
+  // --- Token plumbing -------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::Ok();
+    return Status(ErrorCode::kParseError,
+                  "expected " + std::string(TokenKindName(kind)) + ", got " +
+                      Peek().Describe() + " at " + Peek().location.ToString());
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::Ok();
+    return Status(ErrorCode::kParseError,
+                  "expected " + std::string(kw) + ", got " +
+                      Peek().Describe() + " at " + Peek().location.ToString());
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error(ErrorCode::kParseError,
+                   "expected " + std::string(what) + " name, got " +
+                       Peek().Describe() + " at " +
+                       Peek().location.ToString());
+    }
+    return Advance().text;
+  }
+
+  Error DuplicateError(std::string_view what, const std::string& name,
+                       SourceLocation loc) const {
+    return Error(ErrorCode::kAlreadyExists,
+                 "duplicate " + std::string(what) + " '" + name + "' at " +
+                     loc.ToString());
+  }
+
+  // --- Declarations ---------------------------------------------------------
+  Result<TableDecl> ParseTableDecl() {
+    TableDecl decl;
+    decl.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("STATE"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    ADN_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("table"));
+    ADN_ASSIGN_OR_RETURN(decl.schema, ParseColumnList());
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return decl;
+  }
+
+  Result<rpc::Schema> ParseColumnList() {
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    rpc::Schema schema;
+    do {
+      rpc::Column col;
+      ADN_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column"));
+      if (!Check(TokenKind::kIdentifier) && !Check(TokenKind::kKeyword)) {
+        return Error(ErrorCode::kParseError,
+                     "expected a type after column '" + col.name + "' at " +
+                         Peek().location.ToString());
+      }
+      std::string type_name = Advance().text;
+      ADN_ASSIGN_OR_RETURN(col.type, rpc::ParseValueType(type_name));
+      if (MatchKeyword("PRIMARY")) {
+        ADN_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        col.primary_key = true;
+      }
+      ADN_RETURN_IF_ERROR(schema.AddColumn(std::move(col)));
+    } while (Match(TokenKind::kComma));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return schema;
+  }
+
+  Result<Direction> ParseDirection() {
+    if (MatchKeyword("REQUEST")) return Direction::kRequest;
+    if (MatchKeyword("RESPONSE")) return Direction::kResponse;
+    if (MatchKeyword("BOTH")) return Direction::kBoth;
+    return Error(ErrorCode::kParseError,
+                 "expected REQUEST, RESPONSE or BOTH at " +
+                     Peek().location.ToString());
+  }
+
+  Result<ElementDecl> ParseElementDecl() {
+    ElementDecl decl;
+    decl.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("ELEMENT"));
+    ADN_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("element"));
+    if (MatchKeyword("ON")) {
+      ADN_ASSIGN_OR_RETURN(decl.direction, ParseDirection());
+    }
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    // `input` is not reserved (it also names the SELECT source); the INPUT
+    // declaration is recognized contextually: identifier "input" + '('.
+    if (Check(TokenKind::kIdentifier) &&
+        EqualsIgnoreAsciiCase(Peek().text, "input") &&
+        Peek(1).kind == TokenKind::kLParen) {
+      Advance();
+      ADN_ASSIGN_OR_RETURN(decl.input, ParseColumnList());
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    if (CheckKeyword("ON") && Peek(1).IsKeyword("DROP")) {
+      Advance();
+      Advance();
+      if (MatchKeyword("ABORT")) {
+        decl.on_drop = DropBehavior::kAbort;
+        if (Check(TokenKind::kStringLiteral)) {
+          decl.abort_message = Advance().text;
+        }
+      } else if (MatchKeyword("SILENT")) {
+        decl.on_drop = DropBehavior::kSilent;
+      } else {
+        return Error(ErrorCode::kParseError,
+                     "expected ABORT or SILENT after ON DROP at " +
+                         Peek().location.ToString());
+      }
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    while (!Check(TokenKind::kRBrace)) {
+      ADN_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      decl.body.push_back(std::move(stmt));
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (decl.body.empty()) {
+      return Error(ErrorCode::kParseError,
+                   "element '" + decl.name + "' has an empty body at " +
+                       decl.location.ToString());
+    }
+    if (decl.abort_message.empty()) {
+      decl.abort_message = "dropped by element " + decl.name;
+    }
+    return decl;
+  }
+
+  Result<FilterDecl> ParseFilterDecl() {
+    FilterDecl decl;
+    decl.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("FILTER"));
+    ADN_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("filter"));
+    if (MatchKeyword("ON")) {
+      ADN_ASSIGN_OR_RETURN(decl.direction, ParseDirection());
+    }
+    ADN_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    ADN_ASSIGN_OR_RETURN(decl.op, ExpectIdentifier("operator"));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        ADN_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier("argument"));
+        // Arguments use `name => literal`; the lexer splits '=>' into '='
+        // followed by '>'. Plain '=' is accepted too.
+        ADN_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+        (void)Match(TokenKind::kGt);
+        ADN_ASSIGN_OR_RETURN(rpc::Value v, ParseLiteralValue());
+        decl.args.emplace_back(std::move(key), std::move(v));
+      } while (Match(TokenKind::kComma));
+    }
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return decl;
+  }
+
+  Result<rpc::Value> ParseLiteralValue() {
+    bool negate = Match(TokenKind::kMinus);
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return rpc::Value(negate ? -t.int_value : t.int_value);
+      case TokenKind::kFloatLiteral:
+        Advance();
+        return rpc::Value(negate ? -t.float_value : t.float_value);
+      case TokenKind::kStringLiteral:
+        if (negate) break;
+        Advance();
+        return rpc::Value(t.text);
+      case TokenKind::kKeyword:
+        if (negate) break;
+        if (MatchKeyword("TRUE")) return rpc::Value(true);
+        if (MatchKeyword("FALSE")) return rpc::Value(false);
+        if (MatchKeyword("NULL")) return rpc::Value::Null();
+        break;
+      default:
+        break;
+    }
+    return Error(ErrorCode::kParseError,
+                 "expected a literal, got " + Peek().Describe() + " at " +
+                     Peek().location.ToString());
+  }
+
+  Result<ChainDecl> ParseChainDecl() {
+    ChainDecl decl;
+    decl.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("CHAIN"));
+    ADN_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("chain"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("CALLS"));
+    ADN_ASSIGN_OR_RETURN(decl.caller_service, ExpectIdentifier("service"));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    ADN_ASSIGN_OR_RETURN(decl.callee_service, ExpectIdentifier("service"));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    do {
+      ChainElementRef ref;
+      ref.source_location = Peek().location;
+      ADN_ASSIGN_OR_RETURN(ref.element, ExpectIdentifier("element"));
+      if (MatchKeyword("AT")) {
+        if (MatchKeyword("ANY")) {
+          ref.location = LocationConstraint::kAny;
+        } else if (MatchKeyword("SENDER")) {
+          ref.location = LocationConstraint::kSender;
+        } else if (MatchKeyword("RECEIVER")) {
+          ref.location = LocationConstraint::kReceiver;
+        } else if (MatchKeyword("TRUSTED")) {
+          ref.location = LocationConstraint::kTrusted;
+        } else {
+          return Error(ErrorCode::kParseError,
+                       "expected ANY, SENDER, RECEIVER or TRUSTED at " +
+                           Peek().location.ToString());
+        }
+      }
+      decl.elements.push_back(std::move(ref));
+    } while (Match(TokenKind::kComma));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return decl;
+  }
+
+  // --- Statements -----------------------------------------------------------
+  Result<Statement> ParseStatement() {
+    if (CheckKeyword("SELECT")) {
+      ADN_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      return Statement(std::move(s));
+    }
+    if (CheckKeyword("INSERT")) {
+      ADN_ASSIGN_OR_RETURN(InsertStmt s, ParseInsert());
+      return Statement(std::move(s));
+    }
+    if (CheckKeyword("UPDATE")) {
+      ADN_ASSIGN_OR_RETURN(UpdateStmt s, ParseUpdate());
+      return Statement(std::move(s));
+    }
+    if (CheckKeyword("DELETE")) {
+      ADN_ASSIGN_OR_RETURN(DeleteStmt s, ParseDelete());
+      return Statement(std::move(s));
+    }
+    return Error(ErrorCode::kParseError,
+                 "expected SELECT, INSERT, UPDATE or DELETE, got " +
+                     Peek().Describe() + " at " + Peek().location.ToString());
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    stmt.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Figure 4 of the paper writes `SELECT FROM ...` (empty select list) to
+    // mean pass-through of all fields; accept it as `SELECT *`.
+    if (CheckKeyword("FROM")) {
+      SelectItem star;
+      star.is_star = true;
+      star.location = Peek().location;
+      stmt.items.push_back(std::move(star));
+    } else {
+      do {
+        ADN_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        stmt.items.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+    ADN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ADN_ASSIGN_OR_RETURN(stmt.from, ExpectIdentifier("source"));
+    if (MatchKeyword("JOIN")) {
+      JoinClause join;
+      join.location = Peek().location;
+      ADN_ASSIGN_OR_RETURN(join.table, ExpectIdentifier("table"));
+      ADN_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      // The condition parses as one comparison expression; require a
+      // top-level equality and split it into probe sides.
+      ADN_ASSIGN_OR_RETURN(ExprPtr condition, ParseExpr());
+      auto* eq = std::get_if<BinaryExpr>(&condition->node);
+      if (eq == nullptr || eq->op != BinaryOp::kEq) {
+        return Error(ErrorCode::kParseError,
+                     "JOIN ON wants an equality condition at " +
+                         join.location.ToString());
+      }
+      join.left = std::move(eq->lhs);
+      join.right = std::move(eq->rhs);
+      stmt.join = std::move(join);
+    }
+    if (MatchKeyword("WHERE")) {
+      ADN_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    item.location = Peek().location;
+    if (Match(TokenKind::kStar)) {
+      item.is_star = true;
+      return item;
+    }
+    // `table.*` is also a star over the input.
+    if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kDot &&
+        Peek(2).kind == TokenKind::kStar) {
+      item.is_star = true;
+      Advance();
+      Advance();
+      Advance();
+      return item;
+    }
+    ADN_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("AS")) {
+      ADN_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    } else if (const auto* col = item.expr->As<ColumnRefExpr>()) {
+      item.alias = col->column;
+    } else {
+      return Error(ErrorCode::kParseError,
+                   "computed select item needs AS <name> at " +
+                       item.location.ToString());
+    }
+    return item;
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    InsertStmt stmt;
+    stmt.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    ADN_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table"));
+    if (Match(TokenKind::kLParen)) {
+      do {
+        ADN_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+        stmt.columns.push_back(std::move(c));
+      } while (Match(TokenKind::kComma));
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    if (MatchKeyword("VALUES")) {
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      do {
+        ADN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.values.push_back(std::move(e));
+      } while (Match(TokenKind::kComma));
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    } else if (CheckKeyword("SELECT")) {
+      ADN_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      stmt.from_select = std::make_unique<SelectStmt>(std::move(sel));
+    } else {
+      return Error(ErrorCode::kParseError,
+                   "expected VALUES or SELECT after INSERT INTO at " +
+                       Peek().location.ToString());
+    }
+    return stmt;
+  }
+
+  Result<UpdateStmt> ParseUpdate() {
+    UpdateStmt stmt;
+    stmt.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    ADN_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      ADN_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      ADN_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      ADN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+    } while (Match(TokenKind::kComma));
+    if (MatchKeyword("WHERE")) {
+      ADN_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<DeleteStmt> ParseDelete() {
+    DeleteStmt stmt;
+    stmt.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    ADN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ADN_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table"));
+    if (MatchKeyword("WHERE")) {
+      ADN_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // --- Expressions ----------------------------------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (CheckKeyword("OR")) {
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeExpr(loc,
+                     BinaryExpr{BinaryOp::kOr, std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (CheckKeyword("AND")) {
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeExpr(
+          loc, BinaryExpr{BinaryOp::kAnd, std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (CheckKeyword("NOT")) {
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeExpr(loc, UnaryExpr{UnaryOp::kNot, std::move(operand)});
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    SourceLocation loc = Advance().location;
+    ADN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return MakeExpr(loc, BinaryExpr{op, std::move(lhs), std::move(rhs)});
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Check(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Check(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else if (Check(TokenKind::kConcat)) {
+        op = BinaryOp::kConcat;
+      } else {
+        return lhs;
+      }
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeExpr(loc, BinaryExpr{op, std::move(lhs), std::move(rhs)});
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ADN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Check(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Check(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Check(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeExpr(loc, BinaryExpr{op, std::move(lhs), std::move(rhs)});
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      SourceLocation loc = Advance().location;
+      ADN_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeExpr(loc, UnaryExpr{UnaryOp::kNegate, std::move(operand)});
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    SourceLocation loc = Peek().location;
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral: {
+        int64_t v = t.int_value;
+        Advance();
+        return MakeExpr(loc, LiteralExpr{rpc::Value(v)});
+      }
+      case TokenKind::kFloatLiteral: {
+        double v = t.float_value;
+        Advance();
+        return MakeExpr(loc, LiteralExpr{rpc::Value(v)});
+      }
+      case TokenKind::kStringLiteral: {
+        std::string v = t.text;
+        Advance();
+        return MakeExpr(loc, LiteralExpr{rpc::Value(std::move(v))});
+      }
+      case TokenKind::kKeyword: {
+        if (MatchKeyword("TRUE")) return MakeExpr(loc, LiteralExpr{rpc::Value(true)});
+        if (MatchKeyword("FALSE")) return MakeExpr(loc, LiteralExpr{rpc::Value(false)});
+        if (MatchKeyword("NULL")) return MakeExpr(loc, LiteralExpr{rpc::Value::Null()});
+        return Error(ErrorCode::kParseError,
+                     "unexpected " + t.Describe() + " in expression at " +
+                         loc.ToString());
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        ADN_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        std::string first = Advance().text;
+        if (Match(TokenKind::kLParen)) {  // function call
+          CallExpr call;
+          call.function = std::move(first);
+          if (!Check(TokenKind::kRParen)) {
+            do {
+              ADN_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              call.args.push_back(std::move(arg));
+            } while (Match(TokenKind::kComma));
+          }
+          ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return MakeExpr(loc, std::move(call));
+        }
+        if (Match(TokenKind::kDot)) {  // qualified column
+          ADN_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+          return MakeExpr(loc, ColumnRefExpr{std::move(first), std::move(col)});
+        }
+        return MakeExpr(loc, ColumnRefExpr{"", std::move(first)});
+      }
+      default:
+        return Error(ErrorCode::kParseError,
+                     "unexpected " + t.Describe() + " in expression at " +
+                         loc.ToString());
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  ADN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view source) {
+  ADN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseStandaloneExpression();
+}
+
+}  // namespace adn::dsl

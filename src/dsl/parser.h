@@ -1,0 +1,42 @@
+// Recursive-descent parser for the ADN DSL.
+//
+// Grammar sketch (keywords case-insensitive):
+//
+//   program      := (table_decl | element_decl | filter_decl | chain_decl)*
+//   table_decl   := STATE TABLE ident '(' column (',' column)* ')' ';'
+//   column       := ident type [PRIMARY KEY]
+//   element_decl := ELEMENT ident [ON direction] '{' input_decl? drop_decl?
+//                   statement* '}'
+//   input_decl   := INPUT '(' column (',' column)* ')' ';'
+//   drop_decl    := ON DROP (ABORT [string] | SILENT) ';'
+//   statement    := (select | insert | update | delete) ';'
+//   select       := SELECT select_item (',' select_item)* FROM ident
+//                   [JOIN ident ON expr '=' expr] [WHERE expr]
+//   insert       := INSERT INTO ident ['(' ident,* ')']
+//                   (VALUES '(' expr,* ')' | select)
+//   update       := UPDATE ident SET ident '=' expr (',' ...)* [WHERE expr]
+//   delete       := DELETE FROM ident [WHERE expr]
+//   filter_decl  := FILTER ident [ON direction] USING ident
+//                   '(' [ident '=' literal (',' ...)*] ')' ';'
+//   chain_decl   := CHAIN ident FOR CALLS ident '->' ident
+//                   '{' chain_elem (',' chain_elem)* '}'
+//   chain_elem   := ident [AT (ANY|SENDER|RECEIVER|TRUSTED)]
+//
+// Expression precedence (loosest to tightest):
+//   OR < AND < NOT < comparison (= != < <= > >=) < additive (+ - ||)
+//      < multiplicative (* / %) < unary - < primary
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dsl/ast.h"
+
+namespace adn::dsl {
+
+Result<Program> ParseProgram(std::string_view source);
+
+// Parse a standalone expression (used by tests and the REPL-ish tools).
+Result<ExprPtr> ParseExpression(std::string_view source);
+
+}  // namespace adn::dsl

@@ -1,0 +1,77 @@
+#include "dsl/token.h"
+
+#include <array>
+
+namespace adn::dsl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kConcat: return "'||'";
+    case TokenKind::kArrow: return "'->'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword " + text;
+    case TokenKind::kIntLiteral:
+    case TokenKind::kFloatLiteral:
+      return "number " + text;
+    case TokenKind::kStringLiteral:
+      return "string '" + text + "'";
+    default:
+      return std::string(TokenKindName(kind));
+  }
+}
+
+bool IsDslKeyword(std::string_view upper) {
+  static constexpr std::array kKeywords = {
+      // Declarations.
+      "STATE", "TABLE", "ELEMENT", "FILTER", "CHAIN",
+      // Element modifiers.
+      "ON", "REQUEST", "RESPONSE", "BOTH", "DROP", "ABORT", "SILENT",
+      // SQL statements.
+      "SELECT", "FROM", "JOIN", "WHERE", "INSERT", "INTO", "VALUES",
+      "UPDATE", "SET", "DELETE", "AS",
+      // Expressions.
+      "AND", "OR", "NOT", "NULL", "TRUE", "FALSE",
+      // Schema.
+      "PRIMARY", "KEY",
+      // Filters and chains.
+      "USING", "FOR", "CALLS", "AT", "ANY", "SENDER", "RECEIVER", "TRUSTED",
+  };
+  for (std::string_view kw : kKeywords) {
+    if (kw == upper) return true;
+  }
+  return false;
+}
+
+}  // namespace adn::dsl

@@ -1,0 +1,59 @@
+// Token stream for the ADN DSL.
+//
+// The DSL is the paper's §5.1 programming abstraction: SQL-like element
+// bodies (Figure 4), plus declarations for state tables, elements, filter
+// elements with platform-specific operators, and chains with location
+// constraints (§4 Q1). Keywords are case-insensitive; identifiers are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adn::dsl {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdentifier,   // foo, ac_tab, input
+  kKeyword,      // SELECT, ELEMENT, ... (normalized to upper case in text)
+  kIntLiteral,   // 42
+  kFloatLiteral, // 0.05
+  kStringLiteral,// 'W'  (text holds the unquoted value)
+  // Punctuation / operators:
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kSemicolon, kDot,
+  kStar, kPlus, kMinus, kSlash, kPercent,
+  kEq,        // =
+  kNe,        // != or <>
+  kLt, kLe, kGt, kGe,
+  kConcat,    // ||
+  kArrow,     // ->
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct SourceLocation {
+  int line = 1;
+  int column = 1;
+
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/keyword/literal spelling
+  int64_t int_value = 0;  // kIntLiteral
+  double float_value = 0; // kFloatLiteral
+  SourceLocation location;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  std::string Describe() const;
+};
+
+// True if `upper` (an upper-cased identifier) is a reserved DSL keyword.
+bool IsDslKeyword(std::string_view upper);
+
+}  // namespace adn::dsl

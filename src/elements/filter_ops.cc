@@ -1,0 +1,150 @@
+#include "elements/filter_ops.h"
+
+#include <algorithm>
+
+namespace adn::elements {
+
+using ir::ProcessOutcome;
+using ir::ProcessResult;
+
+namespace {
+
+ProcessResult Abort(std::string message) {
+  ProcessResult r;
+  r.outcome = ProcessOutcome::kDropAbort;
+  r.abort_message = std::move(message);
+  return r;
+}
+
+const rpc::Value* FindArg(const ir::FilterIr& filter, std::string_view name) {
+  for (const auto& [k, v] : filter.args) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+int64_t IntArg(const ir::FilterIr& filter, std::string_view name,
+               int64_t fallback) {
+  const rpc::Value* v = FindArg(filter, name);
+  return v != nullptr && v->type() == rpc::ValueType::kInt ? v->AsInt()
+                                                           : fallback;
+}
+
+}  // namespace
+
+// --- RateLimitOp -------------------------------------------------------------
+
+RateLimitOp::RateLimitOp(int64_t rps, int64_t burst)
+    : rps_(static_cast<double>(rps)),
+      burst_(static_cast<double>(std::max<int64_t>(burst, 1))),
+      tokens_(burst_) {}
+
+ProcessResult RateLimitOp::Process(rpc::Message&, int64_t now_ns) {
+  if (!started_) {
+    started_ = true;
+    last_refill_ns_ = now_ns;
+  }
+  double elapsed_s =
+      static_cast<double>(now_ns - last_refill_ns_) / 1e9;
+  if (elapsed_s > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rps_);
+    last_refill_ns_ = now_ns;
+  }
+  if (tokens_ < 1.0) {
+    return Abort("rate limit exceeded");
+  }
+  tokens_ -= 1.0;
+  return ProcessResult::Pass();
+}
+
+// --- DedupOp -------------------------------------------------------------------
+
+DedupOp::DedupOp(size_t window) : window_(std::max<size_t>(window, 1)) {}
+
+ProcessResult DedupOp::Process(rpc::Message& m, int64_t) {
+  if (seen_.count(m.id()) != 0) {
+    ProcessResult r;
+    r.outcome = ProcessOutcome::kDropSilent;
+    return r;
+  }
+  seen_.insert(m.id());
+  order_.push_back(m.id());
+  if (order_.size() > window_) {
+    seen_.erase(order_.front());
+    order_.pop_front();
+  }
+  return ProcessResult::Pass();
+}
+
+// --- CircuitBreakerOp ------------------------------------------------------------
+
+CircuitBreakerOp::CircuitBreakerOp(double error_threshold, size_t window,
+                                   int64_t cooldown_ns)
+    : threshold_(error_threshold),
+      window_(std::max<size_t>(window, 1)),
+      cooldown_ns_(cooldown_ns) {}
+
+void CircuitBreakerOp::RecordOutcome(bool error, int64_t now_ns) {
+  outcomes_.push_back(error);
+  if (error) ++errors_;
+  if (outcomes_.size() > window_) {
+    if (outcomes_.front()) --errors_;
+    outcomes_.pop_front();
+  }
+  if (outcomes_.size() == window_ &&
+      static_cast<double>(errors_) / static_cast<double>(window_) >
+          threshold_) {
+    open_ = true;
+    open_until_ns_ = now_ns + cooldown_ns_;
+    outcomes_.clear();
+    errors_ = 0;
+  }
+}
+
+ProcessResult CircuitBreakerOp::Process(rpc::Message& m, int64_t now_ns) {
+  if (m.kind() == rpc::MessageKind::kResponse) {
+    RecordOutcome(/*error=*/false, now_ns);
+    return ProcessResult::Pass();
+  }
+  if (open_) {
+    if (now_ns < open_until_ns_) {
+      return Abort("circuit open");
+    }
+    open_ = false;  // half-open: let traffic probe again
+  }
+  return ProcessResult::Pass();
+}
+
+// --- Factory ----------------------------------------------------------------------
+
+Result<std::unique_ptr<mrpc::EngineStage>> MakeFilterStage(
+    const ir::FilterIr& filter) {
+  if (filter.op == "rate_limit") {
+    return std::unique_ptr<mrpc::EngineStage>(std::make_unique<RateLimitOp>(
+        IntArg(filter, "rps", 1000), IntArg(filter, "burst", 16)));
+  }
+  if (filter.op == "dedup") {
+    return std::unique_ptr<mrpc::EngineStage>(std::make_unique<DedupOp>(
+        static_cast<size_t>(IntArg(filter, "window", 1024))));
+  }
+  if (filter.op == "circuit_breaker") {
+    const rpc::Value* t = FindArg(filter, "error_threshold");
+    double threshold =
+        t != nullptr && t->IsNumeric() ? t->NumericAsDouble() : 0.5;
+    return std::unique_ptr<mrpc::EngineStage>(
+        std::make_unique<CircuitBreakerOp>(
+            threshold, static_cast<size_t>(IntArg(filter, "window", 64)),
+            IntArg(filter, "cooldown_ms", 100) * 1'000'000));
+  }
+  if (filter.op == "retry" || filter.op == "timeout") {
+    return Error(ErrorCode::kUnsupported,
+                 "filter operator '" + filter.op +
+                     "' runs in the client library (see RetryPolicy in "
+                     "core/client_policy.h), not as an engine stage");
+  }
+  return Error(ErrorCode::kNotFound,
+               "no host implementation for filter operator '" + filter.op +
+                   "'");
+}
+
+}  // namespace adn::elements

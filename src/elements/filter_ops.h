@@ -1,0 +1,98 @@
+// Stream-shaping filter operators (paper §5.1: "'shaping' the RPC stream via
+// mechanisms such as timeouts, retries, and congestion control ... complex
+// ones will use operators with platform-specific implementations").
+//
+// These are the host implementations the data plane binds when a chain
+// references a FILTER element. Each consults only message metadata and its
+// own state — never RPC fields — matching the effect summary the compiler
+// assigns to filters.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "ir/element_ir.h"
+#include "mrpc/engine.h"
+
+namespace adn::elements {
+
+// Token-bucket rate limiter: `rps` sustained, `burst` bucket depth.
+class RateLimitOp : public mrpc::EngineStage {
+ public:
+  RateLimitOp(int64_t rps, int64_t burst);
+
+  std::string_view name() const override { return "filter.rate_limit"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return 5.0 * model.adn_op_ns;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rps_;
+  double burst_;
+  double tokens_;
+  int64_t last_refill_ns_ = 0;
+  bool started_ = false;
+};
+
+// Sliding-window duplicate suppression keyed on RPC id.
+class DedupOp : public mrpc::EngineStage {
+ public:
+  explicit DedupOp(size_t window);
+
+  std::string_view name() const override { return "filter.dedup"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return 4.0 * model.adn_op_ns;
+  }
+
+ private:
+  size_t window_;
+  std::unordered_set<uint64_t> seen_;
+  std::deque<uint64_t> order_;
+};
+
+// Error-rate circuit breaker: opens when the error fraction over the last
+// `window` outcomes exceeds `threshold`; closes after `cooldown_ns`.
+class CircuitBreakerOp : public mrpc::EngineStage {
+ public:
+  CircuitBreakerOp(double error_threshold, size_t window,
+                   int64_t cooldown_ns);
+
+  std::string_view name() const override { return "filter.circuit_breaker"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind != rpc::MessageKind::kError;  // observes responses too
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return 6.0 * model.adn_op_ns;
+  }
+
+  bool open() const { return open_; }
+  // Outcome feedback (the engine reports response status here).
+  void RecordOutcome(bool error, int64_t now_ns);
+
+ private:
+  double threshold_;
+  size_t window_;
+  int64_t cooldown_ns_;
+  std::deque<bool> outcomes_;  // true = error
+  size_t errors_ = 0;
+  bool open_ = false;
+  int64_t open_until_ns_ = 0;
+};
+
+// Bind a FilterIr (from the compiler) to its host implementation.
+Result<std::unique_ptr<mrpc::EngineStage>> MakeFilterStage(
+    const ir::FilterIr& filter);
+
+}  // namespace adn::elements

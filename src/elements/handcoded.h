@@ -1,0 +1,115 @@
+// Hand-written element implementations — the counterpart of the paper's
+// "hand-optimized mRPC modules written by mRPC developers".
+//
+// Each stage implements exactly the same observable behaviour as its
+// DSL-generated twin (tests assert parity) but as direct C++ with
+// purpose-built state structures instead of an interpreted plan over
+// relational tables. The generated-vs-hand-coded comparison (paper §6:
+// 3-12% overhead, ~100x less user code) runs these against GeneratedStage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "mrpc/engine.h"
+
+namespace adn::elements {
+
+struct LogRecord {
+  int64_t rpc_id;
+  std::string who;
+  int64_t bytes;
+};
+
+class HandLogging : public mrpc::EngineStage {
+ public:
+  std::string_view name() const override { return "hand.Logging"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind != rpc::MessageKind::kError;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+  const std::vector<LogRecord>& records() const { return records_; }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+class HandAcl : public mrpc::EngineStage {
+ public:
+  // username -> permission ('R'/'W').
+  explicit HandAcl(std::unordered_map<std::string, char> rules)
+      : rules_(std::move(rules)) {}
+
+  std::string_view name() const override { return "hand.Acl"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+ private:
+  std::unordered_map<std::string, char> rules_;
+};
+
+class HandFault : public mrpc::EngineStage {
+ public:
+  HandFault(double abort_probability, uint64_t seed)
+      : probability_(abort_probability), rng_(seed) {}
+
+  std::string_view name() const override { return "hand.Fault"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+ private:
+  double probability_;
+  Rng rng_;
+};
+
+class HandHashLb : public mrpc::EngineStage {
+ public:
+  // shard -> endpoint, dense over [0, shards).
+  explicit HandHashLb(std::vector<rpc::EndpointId> shard_to_endpoint)
+      : shard_to_endpoint_(std::move(shard_to_endpoint)) {}
+
+  std::string_view name() const override { return "hand.HashLb"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+ private:
+  std::vector<rpc::EndpointId> shard_to_endpoint_;
+};
+
+class HandCompress : public mrpc::EngineStage {
+ public:
+  explicit HandCompress(bool compress) : compress_(compress) {}
+  std::string_view name() const override {
+    return compress_ ? "hand.Compress" : "hand.Decompress";
+  }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+ private:
+  bool compress_;
+};
+
+}  // namespace adn::elements

@@ -1,0 +1,213 @@
+#include "elements/library.h"
+
+namespace adn::elements {
+
+std::string_view AclTableSql() {
+  return "STATE TABLE ac_tab (username TEXT PRIMARY KEY, permission TEXT);\n";
+}
+
+std::string_view LogTableSql() {
+  return "STATE TABLE log_tab (rpc INT, who TEXT, bytes INT);\n";
+}
+
+std::string_view EndpointsTableSql() {
+  return "STATE TABLE endpoints (shard INT PRIMARY KEY, endpoint INT);\n";
+}
+
+std::string_view QuotaTableSql() {
+  return "STATE TABLE quota (username TEXT PRIMARY KEY, remaining INT);\n";
+}
+
+std::string_view TelemetryTableSql() {
+  return "STATE TABLE telemetry (method TEXT PRIMARY KEY, count INT);\n";
+}
+
+std::string_view LoggingSql() {
+  return R"(
+-- Record both requests and responses to the log table.
+ELEMENT Logging ON BOTH {
+  INPUT (username TEXT, payload BYTES);
+  INSERT INTO log_tab VALUES (rpc_id(), username, len(payload));
+}
+)";
+}
+
+std::string_view AclSql() {
+  return R"(
+-- Paper Figure 4: block users that do not have write permission.
+ELEMENT Acl ON REQUEST {
+  INPUT (username TEXT, payload BYTES);
+  ON DROP ABORT 'permission denied';
+  SELECT * FROM input JOIN ac_tab ON input.username = ac_tab.username
+    WHERE ac_tab.permission = 'W';
+}
+)";
+}
+
+std::string_view FaultSql() {
+  return R"(
+-- Abort requests with a configured probability (5%).
+ELEMENT Fault ON REQUEST {
+  INPUT (payload BYTES);
+  ON DROP ABORT 'fault injected';
+  SELECT * FROM input WHERE random() >= 0.05;
+}
+)";
+}
+
+std::string_view HashLbSql() {
+  return R"(
+-- Route to the replica owning the object's shard. The controller keeps the
+-- endpoints table in sync with the deployment (adds/removes replicas).
+ELEMENT HashLb ON REQUEST {
+  INPUT (object_id INT, payload BYTES);
+  ON DROP ABORT 'no backend for shard';
+  SELECT *, endpoints.endpoint AS __destination
+    FROM input JOIN endpoints ON hash(object_id) % 16 = endpoints.shard;
+}
+)";
+}
+
+std::string_view CompressSql() {
+  return R"(
+ELEMENT Compress ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, compress(payload) AS payload FROM input;
+}
+)";
+}
+
+std::string_view DecompressSql() {
+  return R"(
+ELEMENT Decompress ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, decompress(payload) AS payload FROM input;
+}
+)";
+}
+
+std::string_view EncryptSql() {
+  return R"(
+ELEMENT Encrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, encrypt(payload, 'adn-demo-key') AS payload FROM input;
+}
+)";
+}
+
+std::string_view DecryptSql() {
+  return R"(
+ELEMENT Decrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, decrypt(payload, 'adn-demo-key') AS payload FROM input;
+}
+)";
+}
+
+std::string_view QuotaSql() {
+  return R"(
+-- Per-user admission: require remaining quota, then decrement it.
+ELEMENT Quota ON REQUEST {
+  INPUT (username TEXT);
+  ON DROP ABORT 'quota exceeded';
+  SELECT * FROM input JOIN quota ON input.username = quota.username
+    WHERE quota.remaining > 0;
+  UPDATE quota SET remaining = remaining - 1 WHERE username = input.username;
+}
+)";
+}
+
+std::string_view TelemetrySql() {
+  return R"(
+-- Per-method request counters, scraped by the controller.
+ELEMENT Telemetry ON REQUEST {
+  INPUT (payload BYTES);
+  UPDATE telemetry SET count = count + 1 WHERE method = method();
+}
+)";
+}
+
+std::string_view RateLimitFilterSql() {
+  return "FILTER Limiter ON REQUEST USING rate_limit(rps => 50000, "
+         "burst => 128);\n";
+}
+
+std::string_view DedupFilterSql() {
+  return "FILTER Dedup ON REQUEST USING dedup(window => 4096);\n";
+}
+
+std::string Fig5ProgramSource() {
+  std::string out;
+  out += AclTableSql();
+  out += LogTableSql();
+  out += LoggingSql();
+  out += AclSql();
+  out += FaultSql();
+  out += R"(
+CHAIN fig5 FOR CALLS client -> server {
+  Logging,
+  Acl AT TRUSTED,
+  Fault
+}
+)";
+  return out;
+}
+
+std::string Fig2ProgramSource() {
+  std::string out;
+  out += AclTableSql();
+  out += EndpointsTableSql();
+  out += HashLbSql();
+  out += CompressSql();
+  out += DecompressSql();
+  out += AclSql();
+  out += R"(
+CHAIN fig2 FOR CALLS service_a -> service_b {
+  HashLb,
+  Compress AT SENDER,
+  Decompress AT RECEIVER,
+  Acl AT TRUSTED
+}
+)";
+  return out;
+}
+
+std::string FullLibrarySource() {
+  std::string out;
+  out += AclTableSql();
+  out += LogTableSql();
+  out += EndpointsTableSql();
+  out += QuotaTableSql();
+  out += TelemetryTableSql();
+  out += LoggingSql();
+  out += AclSql();
+  out += FaultSql();
+  out += HashLbSql();
+  out += CompressSql();
+  out += DecompressSql();
+  out += EncryptSql();
+  out += DecryptSql();
+  out += QuotaSql();
+  out += TelemetrySql();
+  out += RateLimitFilterSql();
+  out += DedupFilterSql();
+  out += R"(
+CHAIN everything FOR CALLS frontend -> backend {
+  Dedup,
+  Limiter,
+  Quota,
+  Telemetry,
+  Logging,
+  HashLb,
+  Compress AT SENDER,
+  Encrypt AT SENDER,
+  Decrypt AT RECEIVER,
+  Decompress AT RECEIVER,
+  Acl AT TRUSTED,
+  Fault
+}
+)";
+  return out;
+}
+
+}  // namespace adn::elements

@@ -1,0 +1,55 @@
+// The ADN element library: canonical DSL sources for the elements the paper
+// uses (§6: Logging, ACL, Fault) plus the §2 example chain (load balancing
+// by object id, compression/decompression, access control) and a set of
+// extras (quota, telemetry, encryption, rate limiting).
+//
+// These are the "tens of lines of SQL" the paper contrasts with hundreds of
+// lines of hand-written Rust; the hand-written counterparts live in
+// elements/handcoded.h.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adn::elements {
+
+// --- State tables ------------------------------------------------------------
+std::string_view AclTableSql();        // ac_tab(username PK, permission)
+std::string_view LogTableSql();        // log_tab(rpc, who, bytes)
+std::string_view EndpointsTableSql();  // endpoints(shard PK, endpoint)
+std::string_view QuotaTableSql();      // quota(username PK, remaining)
+std::string_view TelemetryTableSql();  // telemetry(method PK, count)
+
+// --- Elements (paper §6 evaluation set) ---------------------------------------
+std::string_view LoggingSql();  // records rpc id, user, payload size
+std::string_view AclSql();      // Figure 4: block users without 'W'
+std::string_view FaultSql();    // abort with probability 0.05
+
+// --- Elements (paper §2 example chain) ------------------------------------------
+// Load-balance requests to one of the backends by hash(object_id) over 16
+// shards; the controller owns the endpoints table.
+inline constexpr int kLbShards = 16;
+std::string_view HashLbSql();
+std::string_view CompressSql();
+std::string_view DecompressSql();
+
+// --- Extras ---------------------------------------------------------------------
+std::string_view EncryptSql();
+std::string_view DecryptSql();
+std::string_view QuotaSql();
+std::string_view TelemetrySql();
+std::string_view RateLimitFilterSql();  // FILTER ... USING rate_limit(...)
+std::string_view DedupFilterSql();
+
+// Full program sources used across tests/benches/examples.
+
+// Fig. 5 workload: Logging, Acl, Fault between client and server.
+std::string Fig5ProgramSource();
+
+// §2 chain: HashLb, Compress (sender side) ... Decompress, Acl (receiver).
+std::string Fig2ProgramSource();
+
+// Everything in the library, one chain each (for compiler stress tests).
+std::string FullLibrarySource();
+
+}  // namespace adn::elements

@@ -1,0 +1,160 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+namespace adn::ir {
+
+namespace {
+
+// First common element of two sorted-or-not name lists, or empty.
+std::string FirstIntersection(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  for (const std::string& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return x;
+  }
+  return {};
+}
+
+bool HasStateWrites(const EffectSummary& e) {
+  return !e.tables_written.empty();
+}
+
+}  // namespace
+
+std::string_view ConflictKindName(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::kNone: return "none";
+    case ConflictKind::kFieldReadWrite: return "field-read-write";
+    case ConflictKind::kFieldWriteWrite: return "field-write-write";
+    case ConflictKind::kStateConflict: return "state-conflict";
+    case ConflictKind::kDropVsStateWrite: return "drop-vs-state-write";
+    case ConflictKind::kDropVsRoute: return "drop-vs-route";
+    case ConflictKind::kOrderSensitiveMeta: return "order-sensitive";
+  }
+  return "?";
+}
+
+ConflictReport CheckCommutes(const EffectSummary& a, const EffectSummary& b) {
+  // Field-level write/read hazards in either direction.
+  if (std::string f = FirstIntersection(a.fields_written, b.fields_read);
+      !f.empty()) {
+    return {ConflictKind::kFieldReadWrite, "field '" + f + "'"};
+  }
+  if (std::string f = FirstIntersection(b.fields_written, a.fields_read);
+      !f.empty()) {
+    return {ConflictKind::kFieldReadWrite, "field '" + f + "'"};
+  }
+  if (std::string f = FirstIntersection(a.fields_written, b.fields_written);
+      !f.empty()) {
+    return {ConflictKind::kFieldWriteWrite, "field '" + f + "'"};
+  }
+  // State tables: RW or WW on the same table is order-sensitive.
+  if (std::string t = FirstIntersection(a.tables_written, b.tables_read);
+      !t.empty()) {
+    return {ConflictKind::kStateConflict, "table '" + t + "'"};
+  }
+  if (std::string t = FirstIntersection(b.tables_written, a.tables_read);
+      !t.empty()) {
+    return {ConflictKind::kStateConflict, "table '" + t + "'"};
+  }
+  if (std::string t = FirstIntersection(a.tables_written, b.tables_written);
+      !t.empty()) {
+    return {ConflictKind::kStateConflict, "table '" + t + "'"};
+  }
+  // A drop on one side makes the other's state writes observable-order
+  // dependent: "log then maybe-drop" differs from "maybe-drop then log".
+  if (a.may_drop && HasStateWrites(b)) {
+    return {ConflictKind::kDropVsStateWrite,
+            "a drops while b writes state"};
+  }
+  if (b.may_drop && HasStateWrites(a)) {
+    return {ConflictKind::kDropVsStateWrite,
+            "b drops while a writes state"};
+  }
+  // Dropping around a routing decision is fine for correctness (the message
+  // dies either way), but routing around a *stateful* LB would already be a
+  // state conflict; pure-hash routing commutes with drops. No conflict here.
+  return {ConflictKind::kNone, ""};
+}
+
+ConflictReport CheckParallelizable(const EffectSummary& a,
+                                   const EffectSummary& b) {
+  ConflictReport ordered = CheckCommutes(a, b);
+  if (!ordered.Commutes()) return ordered;
+  // Parallel execution additionally forbids both dropping (ambiguous abort
+  // message / double error) — we conservatively allow at most one dropper.
+  if (a.may_drop && b.may_drop) {
+    return {ConflictKind::kDropVsRoute, "both sides may drop"};
+  }
+  // Two routing decisions in parallel would race on __destination, but that
+  // is already a write-write conflict on the field; nothing more to check.
+  return {ConflictKind::kNone, ""};
+}
+
+std::vector<int> PartitionIntoParallelGroups(
+    const std::vector<const ElementIr*>& chain) {
+  std::vector<int> groups(chain.size(), 0);
+  int current = 0;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    // Joinable into the current group only if parallelizable with EVERY
+    // member of the group.
+    bool ok = true;
+    for (size_t j = i; j-- > 0;) {
+      if (groups[j] != current) break;
+      if (!CheckParallelizable(chain[j]->effects, chain[i]->effects)
+               .Commutes()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) ++current;
+    groups[i] = current;
+  }
+  return groups;
+}
+
+namespace {
+
+// Relative per-message cost for reorder profitability. OpCount covers the
+// interpreter work; payload-transforming UDFs (compress, encrypt, ...) cost
+// orders of magnitude more than any op, so weigh them heavily.
+int RelativeCost(const ElementIr& element) {
+  int cost = element.OpCount();
+  for (const StmtIr& stmt : element.statements) {
+    if (stmt.kind != StmtIr::Kind::kSelect) continue;
+    for (const auto& out : stmt.select->outputs) {
+      bool ok = out.expr.AllFunctions(
+          [](const FunctionDef& f) { return f.per_byte_cost_ns == 0.0; });
+      if (!ok) cost += 100;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<size_t> ComputeDropEarlyOrder(
+    const std::vector<const ElementIr*>& chain) {
+  // Bubble drop-capable elements toward the front, one adjacent swap at a
+  // time, only when the pair commutes and the move is profitable: the
+  // dropper is cheaper than the element it hops over (we save the hopped
+  // element's cost on dropped messages and pay nothing extra otherwise).
+  std::vector<size_t> order(chain.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < order.size(); ++i) {
+      const ElementIr* prev = chain[order[i - 1]];
+      const ElementIr* cur = chain[order[i]];
+      if (!cur->effects.may_drop || prev->effects.may_drop) continue;
+      if (RelativeCost(*cur) > RelativeCost(*prev)) continue;  // not profitable
+      if (!CheckCommutes(prev->effects, cur->effects).Commutes()) continue;
+      std::swap(order[i - 1], order[i]);
+      changed = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace adn::ir

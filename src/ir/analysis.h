@@ -1,0 +1,58 @@
+// Chain-level analysis: when may two elements be reordered or run in
+// parallel? (paper §3: "parallelizing or reordering them while preserving
+// semantics"; §5.2: "if two elements do not operate on the same RPC fields,
+// they can be executed in parallel").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/element_ir.h"
+
+namespace adn::ir {
+
+// Why two elements conflict; kNone means they commute.
+enum class ConflictKind {
+  kNone,
+  kFieldReadWrite,   // one writes a field the other reads
+  kFieldWriteWrite,  // both write the same field
+  kStateConflict,    // shared state table with at least one writer
+  kDropVsStateWrite, // one may drop; the other records state (observable)
+  kDropVsRoute,      // one may drop; the other picks the destination — a
+                     // dropped message must not count against a backend
+  kOrderSensitiveMeta,  // both nondeterministic over shared resources
+};
+
+std::string_view ConflictKindName(ConflictKind kind);
+
+struct ConflictReport {
+  ConflictKind kind = ConflictKind::kNone;
+  std::string detail;  // e.g. the offending field name
+  bool Commutes() const { return kind == ConflictKind::kNone; }
+};
+
+// Can `a` and `b`, adjacent in a chain (a before b), be swapped without
+// changing observable behaviour (final delivered messages, state contents,
+// abort/drop decisions)?
+ConflictReport CheckCommutes(const EffectSummary& a, const EffectSummary& b);
+
+// Can they run in parallel on the same message? Stricter than commuting:
+// both see the same input snapshot, so neither may write a field or state
+// table the other touches, and at most one may drop.
+ConflictReport CheckParallelizable(const EffectSummary& a,
+                                   const EffectSummary& b);
+
+// Greedy chain partition into parallel groups: each group is a maximal run
+// of consecutive elements that are pairwise parallelizable. Returns the
+// group index per element position.
+std::vector<int> PartitionIntoParallelGroups(
+    const std::vector<const ElementIr*>& chain);
+
+// "Drop early" reordering: move drop-capable cheap elements as early as the
+// commutativity relation allows, so work isn't spent on messages that will
+// be discarded. Returns the new order as indexes into `chain`. Stable for
+// non-movable elements.
+std::vector<size_t> ComputeDropEarlyOrder(
+    const std::vector<const ElementIr*>& chain);
+
+}  // namespace adn::ir

@@ -1,0 +1,81 @@
+#include "ir/element_ir.h"
+
+#include <algorithm>
+
+namespace adn::ir {
+
+int StmtIr::OpCount() const {
+  int total = 1;  // statement dispatch
+  switch (kind) {
+    case Kind::kSelect: {
+      const SelectIr& s = *select;
+      for (const auto& out : s.outputs) total += out.expr.OpCount();
+      if (s.join.has_value()) total += 2 + s.join->probe.OpCount();
+      if (s.where.has_value()) total += s.where->OpCount();
+      break;
+    }
+    case Kind::kInsert: {
+      for (const auto& v : insert->values) total += v.OpCount();
+      break;
+    }
+    case Kind::kUpdate: {
+      for (const auto& [idx, e] : update->assignments) {
+        (void)idx;
+        total += e.OpCount();
+      }
+      if (update->where.has_value()) total += update->where->OpCount();
+      total += 2;  // scan bookkeeping
+      break;
+    }
+    case Kind::kDelete: {
+      if (del->where.has_value()) total += del->where->OpCount();
+      total += 2;
+      break;
+    }
+  }
+  return total;
+}
+
+bool EffectSummary::ReadsField(std::string_view f) const {
+  return std::find(fields_read.begin(), fields_read.end(), f) !=
+         fields_read.end();
+}
+
+bool EffectSummary::WritesField(std::string_view f) const {
+  return std::find(fields_written.begin(), fields_written.end(), f) !=
+         fields_written.end();
+}
+
+std::string EffectSummary::DebugString() const {
+  auto join = [](const std::vector<std::string>& v) {
+    std::string out;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ",";
+      out += v[i];
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  std::string out = "reads{" + join(fields_read) + "} writes{" +
+                    join(fields_written) + "} state_r{" + join(tables_read) +
+                    "} state_w{" + join(tables_written) + "}";
+  if (may_drop) out += " drops";
+  if (nondeterministic) out += " nondet";
+  if (sets_destination) out += " routes";
+  return out;
+}
+
+int ElementIr::OpCount() const {
+  int total = 2;  // element dispatch + result handling
+  for (const StmtIr& s : statements) total += s.OpCount();
+  if (IsFilter()) total += 4;  // operator invocation scaffolding
+  return total;
+}
+
+const rpc::Schema* ElementIr::FindStateSchema(std::string_view table) const {
+  for (const auto& [name, schema] : state_tables) {
+    if (name == table) return &schema;
+  }
+  return nullptr;
+}
+
+}  // namespace adn::ir

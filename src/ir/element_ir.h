@@ -1,0 +1,143 @@
+// Statement- and element-level IR.
+//
+// An ElementIr is the compiler's view of one DSL element: resolved, typed
+// statements plus an EffectSummary. The summary is what makes the paper's
+// optimizations possible — "A SQL-like language provides a foundation for the
+// compiler to infer which fields are read or written by an element, when it
+// is safe to re-order elements, and what information needs to be communicated
+// between elements (headers)" (§5.1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "ir/expr.h"
+#include "rpc/schema.h"
+
+namespace adn::ir {
+
+// Special output field: when a SELECT writes `__destination` (INT), the
+// processor routes the message to that endpoint (how load balancers steer).
+inline constexpr std::string_view kDestinationField = "__destination";
+
+struct SelectIr {
+  // Drop disposition when the join misses or WHERE rejects. Carried per
+  // statement (not per element) so the fusion pass can merge elements while
+  // preserving each original element's abort semantics.
+  dsl::DropBehavior on_drop = dsl::DropBehavior::kAbort;
+  std::string abort_message;
+
+  // Pass all input fields through (a `*` item was present).
+  bool passthrough = false;
+  // Computed/overriding output fields, applied after passthrough. An entry
+  // whose name matches an existing field replaces it.
+  struct OutputField {
+    std::string name;
+    rpc::ValueType type;
+    ExprNode expr;
+    // True when this output is a plain copy of the same-named input field
+    // (projection without modification) — such writes don't count as
+    // modifications in the effect analysis.
+    bool identity = false;
+  };
+  std::vector<OutputField> outputs;
+
+  // Optional equijoin against a state table.
+  struct JoinIr {
+    std::string table;
+    ExprNode probe;          // evaluated against the input tuple
+    size_t table_key_col = 0;  // column of `table` compared against probe
+    // Whether table_key_col is the table's (single-column) primary key —
+    // enables O(1) lookup; otherwise a scan.
+    bool key_is_primary = false;
+  };
+  std::optional<JoinIr> join;
+
+  std::optional<ExprNode> where;  // references input and joined columns
+};
+
+struct InsertIr {
+  std::string table;
+  // One expression per table column, in schema order (lowering reorders and
+  // fills NULLs for unnamed columns).
+  std::vector<ExprNode> values;
+};
+
+struct UpdateIr {
+  std::string table;
+  std::vector<std::pair<size_t, ExprNode>> assignments;  // column idx -> expr
+  std::optional<ExprNode> where;  // references table columns + input fields
+};
+
+struct DeleteIr {
+  std::string table;
+  std::optional<ExprNode> where;
+};
+
+struct StmtIr {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+  Kind kind;
+  // Exactly one is populated, matching `kind`.
+  std::optional<SelectIr> select;
+  std::optional<InsertIr> insert;
+  std::optional<UpdateIr> update;
+  std::optional<DeleteIr> del;
+
+  int OpCount() const;
+};
+
+// What an element reads, writes and may do to the message stream. Field sets
+// are sorted & deduplicated name lists.
+struct EffectSummary {
+  std::vector<std::string> fields_read;
+  std::vector<std::string> fields_written;   // modified or created
+  std::vector<std::string> tables_read;
+  std::vector<std::string> tables_written;
+  bool may_drop = false;           // a SELECT can eliminate the message
+  bool nondeterministic = false;   // uses random()/now()/encrypt()
+  bool reads_metadata = false;
+  bool sets_destination = false;   // writes __destination
+
+  bool ReadsField(std::string_view f) const;
+  bool WritesField(std::string_view f) const;
+  std::string DebugString() const;
+};
+
+// A "filter" element (retry/timeout/rate-limit/...) carries its operator
+// name and arguments instead of SQL statements; the data-plane binds it to a
+// platform-specific FilterOp implementation (elements/filter_ops.h).
+struct FilterIr {
+  std::string op;
+  std::vector<std::pair<std::string, rpc::Value>> args;
+};
+
+struct ElementIr {
+  std::string name;
+  dsl::Direction direction = dsl::Direction::kRequest;
+  dsl::DropBehavior on_drop = dsl::DropBehavior::kAbort;
+  std::string abort_message;
+
+  // SQL elements have statements; filter elements have filter_op instead.
+  std::vector<StmtIr> statements;
+  std::optional<FilterIr> filter_op;
+  bool IsFilter() const { return filter_op.has_value(); }
+
+  // Schemas of every state table the statements reference (copied from the
+  // program so each compiled element is self-contained).
+  std::vector<std::pair<std::string, rpc::Schema>> state_tables;
+
+  // Input fields the element declared (arrival schema expectation).
+  rpc::Schema input;
+
+  EffectSummary effects;
+
+  // Static cost in interpreter ops (sum over statements + dispatch).
+  int OpCount() const;
+
+  const rpc::Schema* FindStateSchema(std::string_view table) const;
+};
+
+}  // namespace adn::ir

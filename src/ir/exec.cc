@@ -1,0 +1,343 @@
+#include "ir/exec.h"
+
+namespace adn::ir {
+
+using rpc::Message;
+using rpc::Row;
+using rpc::Table;
+using rpc::Value;
+
+ElementInstance::ElementInstance(std::shared_ptr<const ElementIr> code,
+                                 uint64_t seed)
+    : code_(std::move(code)), rng_(seed), nonce_counter_(seed) {
+  tables_.reserve(code_->state_tables.size());
+  for (const auto& [name, schema] : code_->state_tables) {
+    tables_.emplace_back(name, schema);
+  }
+}
+
+bool ElementInstance::AppliesTo(rpc::MessageKind kind) const {
+  switch (code_->direction) {
+    case dsl::Direction::kRequest:
+      return kind == rpc::MessageKind::kRequest;
+    case dsl::Direction::kResponse:
+      return kind == rpc::MessageKind::kResponse;
+    case dsl::Direction::kBoth:
+      return kind != rpc::MessageKind::kError;
+  }
+  return false;
+}
+
+Table* ElementInstance::FindTable(std::string_view name) {
+  for (Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+const Table* ElementInstance::FindTable(std::string_view name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
+  ++processed_;
+  EvalContext ctx;
+  ctx.message = &m;
+  ctx.fn_ctx.message = &m;
+  ctx.fn_ctx.rng = &rng_;
+  ctx.fn_ctx.now_ns = now_ns;
+  ctx.fn_ctx.nonce = ++nonce_counter_;
+  for (const StmtIr& stmt : code_->statements) {
+    ProcessResult r = RunStatement(stmt, m, ctx);
+    if (r.outcome != ProcessOutcome::kPass) {
+      ++dropped_;
+      return r;
+    }
+  }
+  return ProcessResult::Pass();
+}
+
+namespace {
+
+ProcessResult DropFor(const SelectIr& sel) {
+  ProcessResult r;
+  r.outcome = sel.on_drop == dsl::DropBehavior::kAbort
+                  ? ProcessOutcome::kDropAbort
+                  : ProcessOutcome::kDropSilent;
+  r.abort_message = sel.abort_message;
+  return r;
+}
+
+ProcessResult AbortWith(std::string message) {
+  ProcessResult r;
+  r.outcome = ProcessOutcome::kDropAbort;
+  r.abort_message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+ProcessResult ElementInstance::RunStatement(const StmtIr& stmt, Message& m,
+                                            EvalContext& ctx) {
+  switch (stmt.kind) {
+    case StmtIr::Kind::kSelect: {
+      const SelectIr& sel = *stmt.select;
+      ctx.joined_row = nullptr;
+      // 1. Join: find the matching state row (or drop).
+      if (sel.join.has_value()) {
+        Table* table = FindTable(sel.join->table);
+        if (table == nullptr) {
+          return AbortWith("internal: missing state table " +
+                           sel.join->table);
+        }
+        const Row* match = nullptr;
+        if (sel.join->key_is_primary &&
+            sel.join->probe.kind == ExprNode::Kind::kInputField) {
+          // Fast path: a bare-field probe against a single-column primary
+          // key needs no Value copies and no temporary rows.
+          match =
+              table->LookupSingleKey(m.GetFieldOrNull(sel.join->probe.field));
+        } else {
+          auto probe = EvaluateExpr(sel.join->probe, ctx);
+          if (!probe.ok()) return AbortWith(probe.error().ToString());
+          if (sel.join->key_is_primary) {
+            match = table->LookupSingleKey(probe.value());
+          } else {
+            size_t col = sel.join->table_key_col;
+            const Value& key = probe.value();
+            match = table->FindFirst([&](const Row& row) {
+              return row[col].EqualsValue(key);
+            });
+          }
+        }
+        if (match == nullptr) return DropFor(sel);
+        ctx.joined_row = match;
+      }
+      // 2. WHERE.
+      if (sel.where.has_value()) {
+        auto pass = EvaluatePredicate(*sel.where, ctx);
+        if (!pass.ok()) return AbortWith(pass.error().ToString());
+        if (!pass.value()) return DropFor(sel);
+      }
+      // 3. Projection. Evaluate outputs against the *input* tuple before
+      // mutating anything (SQL snapshot semantics).
+      std::vector<std::pair<std::string, Value>> computed;
+      computed.reserve(sel.outputs.size());
+      for (const auto& out : sel.outputs) {
+        if (out.identity) continue;  // plain pass-through of same-named field
+        auto v = EvaluateExpr(out.expr, ctx);
+        if (!v.ok()) return AbortWith(v.error().ToString());
+        computed.emplace_back(out.name, std::move(v).value());
+      }
+      if (!sel.passthrough) {
+        // Strict projection: keep only the listed output fields.
+        std::vector<std::string> keep;
+        for (const auto& out : sel.outputs) keep.push_back(out.name);
+        std::vector<std::string> to_remove;
+        for (const auto& f : m.fields()) {
+          bool kept = false;
+          for (const auto& k : keep) {
+            if (f.name == k) {
+              kept = true;
+              break;
+            }
+          }
+          if (!kept) to_remove.push_back(f.name);
+        }
+        for (const auto& f : to_remove) m.RemoveField(f);
+      }
+      for (auto& [name, value] : computed) {
+        m.SetField(name, std::move(value));
+      }
+      // Routing: honor __destination if the element set it.
+      if (const Value* dest = m.FindField(kDestinationField);
+          dest != nullptr && dest->type() == rpc::ValueType::kInt) {
+        m.set_destination(static_cast<rpc::EndpointId>(dest->AsInt()));
+      }
+      ctx.joined_row = nullptr;
+      return ProcessResult::Pass();
+    }
+
+    case StmtIr::Kind::kInsert: {
+      const InsertIr& ins = *stmt.insert;
+      Table* table = FindTable(ins.table);
+      if (table == nullptr) {
+        return AbortWith("internal: missing state table " + ins.table);
+      }
+      Row row;
+      row.reserve(ins.values.size());
+      for (const ExprNode& e : ins.values) {
+        auto v = EvaluateExpr(e, ctx);
+        if (!v.ok()) return AbortWith(v.error().ToString());
+        row.push_back(std::move(v).value());
+      }
+      if (Status s = table->Insert(std::move(row)); !s.ok()) {
+        return AbortWith(s.ToString());
+      }
+      return ProcessResult::Pass();
+    }
+
+    case StmtIr::Kind::kUpdate: {
+      const UpdateIr& upd = *stmt.update;
+      Table* table = FindTable(upd.table);
+      if (table == nullptr) {
+        return AbortWith("internal: missing state table " + upd.table);
+      }
+      // Two-phase: collect new rows, then re-insert (upsert keeps PK index
+      // coherent). Collect first to avoid iterator invalidation.
+      std::vector<Row> updated;
+      for (const Row& row : table->rows()) {
+        ctx.joined_row = &row;
+        bool hit = true;
+        if (upd.where.has_value()) {
+          auto pass = EvaluatePredicate(*upd.where, ctx);
+          if (!pass.ok()) {
+            ctx.joined_row = nullptr;
+            return AbortWith(pass.error().ToString());
+          }
+          hit = pass.value();
+        }
+        if (!hit) continue;
+        Row next = row;
+        for (const auto& [col, expr] : upd.assignments) {
+          auto v = EvaluateExpr(expr, ctx);
+          if (!v.ok()) {
+            ctx.joined_row = nullptr;
+            return AbortWith(v.error().ToString());
+          }
+          next[col] = std::move(v).value();
+        }
+        updated.push_back(std::move(next));
+      }
+      ctx.joined_row = nullptr;
+      for (Row& row : updated) {
+        if (Status s = table->Insert(std::move(row)); !s.ok()) {
+          return AbortWith(s.ToString());
+        }
+      }
+      return ProcessResult::Pass();
+    }
+
+    case StmtIr::Kind::kDelete: {
+      const DeleteIr& d = *stmt.del;
+      Table* table = FindTable(d.table);
+      if (table == nullptr) {
+        return AbortWith("internal: missing state table " + d.table);
+      }
+      if (!d.where.has_value()) {
+        table->Clear();
+        return ProcessResult::Pass();
+      }
+      // Evaluate predicates up front (EraseWhere's callback cannot
+      // propagate errors).
+      std::vector<char> doomed(table->RowCount(), 0);
+      size_t i = 0;
+      for (const Row& row : table->rows()) {
+        ctx.joined_row = &row;
+        auto pass = EvaluatePredicate(*d.where, ctx);
+        if (!pass.ok()) {
+          ctx.joined_row = nullptr;
+          return AbortWith(pass.error().ToString());
+        }
+        doomed[i++] = pass.value() ? 1 : 0;
+      }
+      ctx.joined_row = nullptr;
+      size_t idx = 0;
+      table->EraseWhere([&](const Row&) { return doomed[idx++] != 0; });
+      return ProcessResult::Pass();
+    }
+  }
+  return AbortWith("internal: unhandled statement kind");
+}
+
+Bytes ElementInstance::SnapshotState() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.WriteVarint(tables_.size());
+  for (const Table& t : tables_) {
+    Bytes snap = t.Snapshot();
+    w.WriteLengthPrefixed(snap);
+  }
+  return out;
+}
+
+Status ElementInstance::RestoreState(std::span<const uint8_t> snapshot) {
+  ByteReader r(snapshot);
+  auto count = r.ReadVarint();
+  if (!count.ok()) return count.status();
+  if (count.value() != tables_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "snapshot has " + std::to_string(count.value()) +
+                      " tables, element " + name() + " expects " +
+                      std::to_string(tables_.size()));
+  }
+  std::vector<Table> restored;
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    auto blob = r.ReadLengthPrefixed();
+    if (!blob.ok()) return blob.status();
+    auto table = Table::Restore(blob.value());
+    if (!table.ok()) return table.status();
+    if (!(table->schema() == tables_[i].schema())) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "snapshot table " + table->name() +
+                        " schema mismatch for element " + name());
+    }
+    restored.push_back(std::move(table).value());
+  }
+  tables_ = std::move(restored);
+  return Status::Ok();
+}
+
+Result<std::vector<Bytes>> ElementInstance::SplitState(size_t n) const {
+  // Shard each table, then assemble per-shard snapshots.
+  std::vector<std::vector<Table>> per_table_shards;
+  for (const Table& t : tables_) {
+    ADN_ASSIGN_OR_RETURN(std::vector<Table> shards, t.SplitByKeyHash(n));
+    per_table_shards.push_back(std::move(shards));
+  }
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (size_t shard = 0; shard < n; ++shard) {
+    Bytes snap;
+    ByteWriter w(snap);
+    w.WriteVarint(tables_.size());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      Bytes ts = per_table_shards[t][shard].Snapshot();
+      w.WriteLengthPrefixed(ts);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+Status ElementInstance::MergeState(std::span<const uint8_t> snapshot) {
+  ByteReader r(snapshot);
+  auto count = r.ReadVarint();
+  if (!count.ok()) return count.status();
+  if (count.value() != tables_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "cannot merge: table count mismatch for " + name());
+  }
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    auto blob = r.ReadLengthPrefixed();
+    if (!blob.ok()) return blob.status();
+    auto table = Table::Restore(blob.value());
+    if (!table.ok()) return table.status();
+    ADN_RETURN_IF_ERROR(tables_[i].MergeFrom(table.value()));
+  }
+  return Status::Ok();
+}
+
+uint64_t ElementInstance::StateContentHash() const {
+  // Plain XOR over table hashes: decomposable across shards, so that the
+  // XOR of the shard instances' hashes equals the source instance's hash
+  // when (and only when) the rows partition exactly.
+  uint64_t h = 0;
+  for (const Table& t : tables_) h ^= t.ContentHash();
+  return h;
+}
+
+}  // namespace adn::ir

@@ -1,0 +1,80 @@
+// ElementInstance: a deployed, stateful instance of a compiled element.
+//
+// This is the "generated implementation" the data-plane processors execute
+// per message. The code (ElementIr) is immutable and shared; the state
+// (tables, RNG, nonce counter) is instance-local and fully serializable,
+// which is what lets the controller migrate, split and merge instances
+// without disrupting the application (paper §5.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/element_ir.h"
+#include "rpc/message.h"
+#include "rpc/table.h"
+
+namespace adn::ir {
+
+enum class ProcessOutcome : uint8_t {
+  kPass,        // message continues down the chain (possibly modified)
+  kDropAbort,   // message dropped; network must answer the caller with error
+  kDropSilent,  // message dropped silently
+};
+
+struct ProcessResult {
+  ProcessOutcome outcome = ProcessOutcome::kPass;
+  std::string abort_message;  // set when kDropAbort
+
+  static ProcessResult Pass() { return {}; }
+};
+
+class ElementInstance {
+ public:
+  // `seed` drives random() and encryption nonces for this instance.
+  ElementInstance(std::shared_ptr<const ElementIr> code, uint64_t seed);
+
+  const ElementIr& code() const { return *code_; }
+  const std::string& name() const { return code_->name; }
+
+  // Execute the element's statements on `m` in place. `now_ns` is the
+  // processor's clock (simulated or wall), exposed to now().
+  ProcessResult Process(rpc::Message& m, int64_t now_ns);
+
+  // Does this element run for the given message kind?
+  bool AppliesTo(rpc::MessageKind kind) const;
+
+  // --- State access (controller populates rule tables etc.) ---------------
+  rpc::Table* FindTable(std::string_view name);
+  const rpc::Table* FindTable(std::string_view name) const;
+  const std::vector<rpc::Table>& tables() const { return tables_; }
+
+  // --- Migration support ----------------------------------------------------
+  // Snapshot/restore every table (format: varint count, then table snaps).
+  Bytes SnapshotState() const;
+  Status RestoreState(std::span<const uint8_t> snapshot);
+  // Shard every table by key hash into `n` snapshots for scale-out.
+  Result<std::vector<Bytes>> SplitState(size_t n) const;
+  // Merge a peer's snapshot into this instance (scale-in).
+  Status MergeState(std::span<const uint8_t> snapshot);
+  uint64_t StateContentHash() const;
+
+  // Statistics.
+  uint64_t processed() const { return processed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  ProcessResult RunStatement(const StmtIr& stmt, rpc::Message& m,
+                             EvalContext& ctx);
+
+  std::shared_ptr<const ElementIr> code_;
+  std::vector<rpc::Table> tables_;
+  Rng rng_;
+  uint64_t nonce_counter_;
+  uint64_t processed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace adn::ir

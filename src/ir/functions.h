@@ -1,0 +1,70 @@
+// Function registry for the DSL: built-ins plus user-defined functions.
+//
+// Paper §5.1: operations SQL cannot express (compression, encryption) are
+// "user-defined functions for which developers provide platform-specific
+// implementations". Each FunctionDef therefore carries, besides its type
+// signature and host evaluation callback, the platform capability bits the
+// backends consult: can the verifier-constrained eBPF target run it? can a
+// P4 match-action pipeline? The effect bits (deterministic, reads metadata)
+// feed the reordering analysis.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rpc/message.h"
+#include "rpc/value.h"
+
+namespace adn::ir {
+
+// Everything a function evaluation may touch besides its arguments.
+struct FunctionContext {
+  const rpc::Message* message = nullptr;  // metadata builtins (rpc_id(), ...)
+  Rng* rng = nullptr;                     // random()
+  int64_t now_ns = 0;                     // now()
+  uint64_t nonce = 0;                     // encrypt() nonce source
+};
+
+using EvalCallback =
+    std::function<Result<rpc::Value>(const FunctionContext&,
+                                     std::vector<rpc::Value>&)>;
+
+struct FunctionDef {
+  std::string name;
+  std::vector<rpc::ValueType> arg_types;
+  rpc::ValueType result_type = rpc::ValueType::kNull;
+  bool variadic_numeric = false;  // min/max/abs accept INT or FLOAT
+
+  // Effect bits (drive reorder/parallelize analysis):
+  bool deterministic = true;      // false: random(), now()
+  bool reads_metadata = false;    // rpc_id(), method(), source(), ...
+
+  // Platform capability bits (drive backend feasibility):
+  bool ebpf_ok = false;   // expressible under verifier limits
+  bool p4_ok = false;     // expressible as match-action + hash units
+  double per_byte_cost_ns = 0.0;  // payload-size-dependent simulated cost
+
+  EvalCallback eval;
+};
+
+class FunctionRegistry {
+ public:
+  // Registry with every built-in: hash, len, min, max, abs, to_text, to_int,
+  // random, now, rpc_id, method, source, destination, compress, decompress,
+  // encrypt, decrypt, crc32.
+  static std::shared_ptr<const FunctionRegistry> Builtins();
+
+  Status Register(FunctionDef def);
+  const FunctionDef* Find(std::string_view name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<FunctionDef> functions_;
+};
+
+}  // namespace adn::ir

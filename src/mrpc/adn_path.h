@@ -1,0 +1,94 @@
+// End-to-end simulated ADN data path (the paper's prototype architecture):
+//
+//   client app -(shm)-> client mRPC service -(TCP)-> kernel [eBPF] -> wire
+//     -> [P4 switch] -> [SmartNIC] -> kernel -> server mRPC service
+//     -(shm)-> server app
+//
+// Each bracketed site optionally hosts compiled ADN stages — that is how the
+// Figure 2 configurations are expressed: config 1 places stages in the app
+// processes, config 2 in kernel/SmartNIC, config 3 on the switch after
+// reordering, config 4 widens the engine stations. The wire format between
+// machines is the compiler-synthesized minimal header (rpc/wire.h), encoded
+// and decoded for real on every crossing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "mrpc/engine.h"
+#include "rpc/wire.h"
+#include "sim/cost_model.h"
+#include "sim/stats.h"
+
+namespace adn::mrpc {
+
+enum class Site : uint8_t {
+  kClientApp,
+  kClientEngine,
+  kClientKernel,   // eBPF hook point (tc egress / XDP)
+  kSwitch,         // programmable switch on the path
+  kServerNic,      // SmartNIC on the receiver
+  kServerKernel,
+  kServerEngine,
+  kServerApp,
+};
+
+std::string_view SiteName(Site site);
+
+using StageFactory = std::function<std::unique_ptr<EngineStage>()>;
+
+struct PlacedStage {
+  Site site;
+  StageFactory factory;
+  // Compiler-assigned parallel group (stages sharing an id on the same site
+  // may overlap); -1 = strictly sequential.
+  int parallel_group = -1;
+};
+
+struct AdnPathConfig {
+  std::string label = "ADN+mRPC";
+  int concurrency = 128;
+  uint64_t measured_requests = 20'000;
+  uint64_t warmup_requests = 2'000;
+  uint64_t seed = 1;
+  sim::CostModel model = sim::CostModel::Default();
+
+  std::function<rpc::Message(uint64_t id, Rng& rng)> make_request;
+
+  // Stages in chain order with their placement sites. Sites must be
+  // non-decreasing in path order for request-direction processing.
+  std::vector<PlacedStage> stages;
+
+  // Wire header between the two machines (from the compiler's header
+  // synthesis). Fields not listed are not carried.
+  rpc::HeaderSpec header;
+
+  // Station widths (config 4 scales these out).
+  int client_engine_width = 1;
+  int server_engine_width = 1;
+
+  // True when the mRPC service runtime is on the path (false = config 1
+  // "in-app" deployment where the RPC library does everything).
+  bool client_engine_present = true;
+  bool server_engine_present = true;
+};
+
+struct AdnPathResult {
+  sim::RunStats stats;
+  std::vector<std::pair<std::string, double>> stage_cpu_ns;
+  double wire_bytes_per_request = 0.0;
+  // CPU charged to host cores only (apps + engines + kernels), per RPC —
+  // offloaded work (switch, NIC) excluded. Shows Figure 2's offload wins.
+  double host_cpu_per_rpc_ns = 0.0;
+  // Engine-station utilization over the measurement window — the signal the
+  // controller's scaling feedback loop consumes.
+  double client_engine_utilization = 0.0;
+  double server_engine_utilization = 0.0;
+};
+
+AdnPathResult RunAdnPathExperiment(const AdnPathConfig& config);
+
+}  // namespace adn::mrpc

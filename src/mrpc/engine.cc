@@ -1,0 +1,84 @@
+#include "mrpc/engine.h"
+
+#include <algorithm>
+
+#include "compiler/backend.h"
+
+namespace adn::mrpc {
+
+double GeneratedStage::CostNs(const sim::CostModel& model,
+                              size_t payload_bytes) const {
+  return compiler::EstimateCostNs(instance_.code(),
+                                  compiler::TargetPlatform::kNative, model,
+                                  payload_bytes);
+}
+
+ir::ProcessResult EngineChain::Process(rpc::Message& message,
+                                       int64_t now_ns) {
+  ++processed_;
+  for (const auto& stage : stages_) {
+    if (!stage->AppliesTo(message.kind())) continue;
+    ir::ProcessResult r = stage->Process(message, now_ns);
+    if (r.outcome != ir::ProcessOutcome::kPass) {
+      ++dropped_;
+      return r;
+    }
+  }
+  return ir::ProcessResult::Pass();
+}
+
+EngineChain::Outcome EngineChain::ProcessWithCost(
+    rpc::Message& message, int64_t now_ns, const sim::CostModel& model) {
+  ++processed_;
+  Outcome out;
+  out.cost_ns = static_cast<double>(model.mrpc_engine_dispatch_ns);
+  out.critical_path_ns = out.cost_ns;
+  // Execution is sequential (the effect analysis guarantees the result is
+  // identical); cost accounting overlaps stages within a parallel group:
+  // CPU adds up, latency takes the group's maximum.
+  double group_max = 0;
+  int current_group = next_unique_group_ - 1;  // matches nothing
+  auto close_group = [&] {
+    out.critical_path_ns += group_max;
+    group_max = 0;
+  };
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const auto& stage = stages_[i];
+    if (!stage->AppliesTo(message.kind())) continue;
+    size_t payload_bytes = 0;
+    for (const auto& f : message.fields()) {
+      if (f.value.type() == rpc::ValueType::kBytes) {
+        payload_bytes = f.value.AsBytes().size();
+        break;
+      }
+    }
+    if (groups_[i] != current_group) {
+      close_group();
+      current_group = groups_[i];
+    }
+    double stage_cost = stage->CostNs(model, payload_bytes);
+    out.cost_ns += stage_cost;
+    group_max = std::max(group_max, stage_cost);
+    ir::ProcessResult r = stage->Process(message, now_ns);
+    if (r.outcome != ir::ProcessOutcome::kPass) {
+      ++dropped_;
+      out.result = r;
+      close_group();
+      return out;
+    }
+  }
+  close_group();
+  return out;
+}
+
+double EngineChain::CostNs(const sim::CostModel& model, rpc::MessageKind kind,
+                           size_t payload_bytes) const {
+  double total = static_cast<double>(model.mrpc_engine_dispatch_ns);
+  for (const auto& stage : stages_) {
+    if (!stage->AppliesTo(kind)) continue;
+    total += stage->CostNs(model, payload_bytes);
+  }
+  return total;
+}
+
+}  // namespace adn::mrpc

@@ -1,0 +1,106 @@
+// mRPC-style engines: the software ADN processors.
+//
+// An EngineChain is an ordered list of stages executing on one mRPC service
+// runtime (or an app-embedded RPC library, a kernel eBPF hook, a SmartNIC —
+// the stage interface is placement-agnostic; the site only changes the
+// simulated cost scale). Stages see *typed* messages — no protocol parsing —
+// which is the property that lets ADN skip the (de)marshalling the general
+// stack pays at every hop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/exec.h"
+#include "rpc/message.h"
+#include "sim/cost_model.h"
+
+namespace adn::mrpc {
+
+class EngineStage {
+ public:
+  virtual ~EngineStage() = default;
+  virtual std::string_view name() const = 0;
+  // Does this stage run for this message kind (request/response)?
+  virtual bool AppliesTo(rpc::MessageKind kind) const = 0;
+  // Process in place.
+  virtual ir::ProcessResult Process(rpc::Message& message, int64_t now_ns) = 0;
+  // Simulated CPU per message on a host core.
+  virtual double CostNs(const sim::CostModel& model,
+                        size_t payload_bytes) const = 0;
+};
+
+// A compiler-generated stage: wraps an ElementInstance (interpreted plan).
+class GeneratedStage : public EngineStage {
+ public:
+  explicit GeneratedStage(std::shared_ptr<const ir::ElementIr> code,
+                          uint64_t seed)
+      : instance_(std::move(code), seed) {}
+
+  std::string_view name() const override { return instance_.name(); }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return instance_.AppliesTo(kind);
+  }
+  ir::ProcessResult Process(rpc::Message& message, int64_t now_ns) override {
+    return instance_.Process(message, now_ns);
+  }
+  double CostNs(const sim::CostModel& model,
+                size_t payload_bytes) const override;
+
+  ir::ElementInstance& instance() { return instance_; }
+  const ir::ElementInstance& instance() const { return instance_; }
+
+ private:
+  ir::ElementInstance instance_;
+};
+
+// An engine chain bound to one processor site.
+class EngineChain {
+ public:
+  // `parallel_group`: stages sharing a group id were proven independent by
+  // the compiler's effect analysis (paper §5.2: "if two elements do not
+  // operate on the same RPC fields, they can be executed in parallel") and
+  // may execute concurrently on the processor's cores. Default: every stage
+  // its own group (strictly sequential).
+  void AddStage(std::unique_ptr<EngineStage> stage, int parallel_group = -1) {
+    if (parallel_group < 0) parallel_group = next_unique_group_--;
+    groups_.push_back(parallel_group);
+    stages_.push_back(std::move(stage));
+  }
+
+  size_t size() const { return stages_.size(); }
+  EngineStage& stage(size_t i) { return *stages_[i]; }
+  const EngineStage& stage(size_t i) const { return *stages_[i]; }
+
+  // Run all applicable stages; stops at the first drop.
+  ir::ProcessResult Process(rpc::Message& message, int64_t now_ns);
+
+  // Run the chain AND account the simulated CPU actually consumed: stages
+  // after a drop cost nothing (this is what makes drop-early reordering
+  // measurable). `payload_bytes` is sampled before each stage so payload
+  // transforms are charged for the size they actually see.
+  struct Outcome {
+    ir::ProcessResult result;
+    double cost_ns = 0;           // total CPU consumed
+    double critical_path_ns = 0;  // latency: parallel groups overlap
+  };
+  Outcome ProcessWithCost(rpc::Message& message, int64_t now_ns,
+                          const sim::CostModel& model);
+
+  // Upper bound: sum of applicable stages' cost + dispatch overhead.
+  double CostNs(const sim::CostModel& model, rpc::MessageKind kind,
+                size_t payload_bytes) const;
+
+  uint64_t processed() const { return processed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<std::unique_ptr<EngineStage>> stages_;
+  std::vector<int> groups_;
+  int next_unique_group_ = -2;  // descending ids never collide with real ones
+  uint64_t processed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace adn::mrpc

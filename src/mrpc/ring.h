@@ -1,0 +1,59 @@
+// Fixed-capacity SPSC ring buffer — the shared-memory queue pair between an
+// application and its local mRPC service (mRPC, NSDI '23 [25]).
+//
+// In the real system this lives in shared memory between two processes; here
+// both ends are in-process but the data structure is the real thing: no
+// locks, head/tail indexes, power-of-two capacity, move-only slots. The
+// simulator charges CostModel::shm_hop_ns per enqueue+dequeue pair.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace adn::mrpc {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity rounds up to a power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+
+  // False when full.
+  bool TryPush(T value) {
+    if (full()) return false;
+    slots_[tail_ & mask_] = std::move(value);
+    ++tail_;
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(slots_[head_ & mask_]);
+    ++head_;
+    return out;
+  }
+
+  // Total items ever enqueued (for stats).
+  uint64_t enqueued() const { return tail_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+};
+
+}  // namespace adn::mrpc

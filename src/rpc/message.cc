@@ -1,0 +1,97 @@
+#include "rpc/message.h"
+
+namespace adn::rpc {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+const Value* Message::Find(std::string_view name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return &f.value;
+  }
+  return nullptr;
+}
+
+const Value& Message::GetFieldOrNull(std::string_view name) const {
+  const Value* v = Find(name);
+  return v != nullptr ? *v : kNullValue;
+}
+
+void Message::SetField(std::string_view name, Value value) {
+  for (Field& f : fields_) {
+    if (f.name == name) {
+      f.value = std::move(value);
+      return;
+    }
+  }
+  fields_.push_back(Field{std::string(name), std::move(value)});
+}
+
+bool Message::RemoveField(std::string_view name) {
+  for (auto it = fields_.begin(); it != fields_.end(); ++it) {
+    if (it->name == name) {
+      fields_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Message::ApproximateSize() const {
+  size_t total = sizeof(Message) + method_.size();
+  for (const Field& f : fields_) {
+    total += f.name.size() + f.value.EncodedSizeHint();
+  }
+  return total;
+}
+
+std::string Message::DebugString() const {
+  std::string out;
+  out += kind_ == MessageKind::kRequest
+             ? "REQ"
+             : (kind_ == MessageKind::kResponse ? "RSP" : "ERR");
+  out += " #" + std::to_string(id_) + " " + method_ + " {";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name + "=" + fields_[i].value.ToDisplayString();
+  }
+  out += "}";
+  if (kind_ == MessageKind::kError) out += " detail=" + error_detail_;
+  return out;
+}
+
+Message Message::MakeRequest(uint64_t id, std::string method,
+                             std::vector<Field> fields) {
+  Message m;
+  m.id_ = id;
+  m.kind_ = MessageKind::kRequest;
+  m.method_ = std::move(method);
+  m.fields_ = std::move(fields);
+  return m;
+}
+
+Message Message::MakeResponse(const Message& request,
+                              std::vector<Field> fields) {
+  Message m;
+  m.id_ = request.id();
+  m.kind_ = MessageKind::kResponse;
+  m.method_ = request.method();
+  m.source_ = request.destination();
+  m.destination_ = request.source();
+  m.fields_ = std::move(fields);
+  return m;
+}
+
+Message Message::MakeNetworkError(const Message& request, std::string detail) {
+  Message m;
+  m.id_ = request.id();
+  m.kind_ = MessageKind::kError;
+  m.method_ = request.method();
+  m.source_ = request.destination();
+  m.destination_ = request.source();
+  m.error_detail_ = std::move(detail);
+  return m;
+}
+
+}  // namespace adn::rpc

@@ -1,0 +1,47 @@
+#include "rpc/schema.h"
+
+namespace adn::rpc {
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const Column* Schema::FindColumn(std::string_view name) const {
+  auto idx = IndexOf(name);
+  return idx.has_value() ? &columns_[*idx] : nullptr;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (IndexOf(column.name).has_value()) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "duplicate column '" + column.name + "'");
+  }
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+std::vector<size_t> Schema::PrimaryKeyIndexes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::DebugString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+    if (columns_[i].primary_key) out += " PRIMARY KEY";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace adn::rpc

@@ -1,0 +1,48 @@
+// Schemas describe the fields of an RPC tuple or a state table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/value.h"
+
+namespace adn::rpc {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool primary_key = false;
+
+  bool operator==(const Column&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+
+  // Index of the named column, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+  const Column* FindColumn(std::string_view name) const;
+
+  Status AddColumn(Column column);
+
+  // Indexes of primary-key columns (possibly empty).
+  std::vector<size_t> PrimaryKeyIndexes() const;
+
+  std::string DebugString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace adn::rpc

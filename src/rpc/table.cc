@@ -1,0 +1,247 @@
+#include "rpc/table.h"
+
+#include <algorithm>
+
+#include "rpc/wire.h"
+
+namespace adn::rpc {
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x243F6A8885A308D3ULL;
+  for (const Value& v : row) {
+    h ^= HashValue(v);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  pk_indexes_ = schema_.PrimaryKeyIndexes();
+}
+
+uint64_t Table::KeyHashOf(const Row& row) const {
+  if (pk_indexes_.empty()) return HashRow(row);
+  uint64_t h = 0x452821E638D01377ULL;
+  for (size_t idx : pk_indexes_) {
+    h ^= HashValue(row[idx]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool Table::KeysEqual(const Row& a, const Row& b) const {
+  if (pk_indexes_.empty()) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].CompareTo(b[i]) != 0) return false;
+    }
+    return true;
+  }
+  for (size_t idx : pk_indexes_) {
+    if (a[idx].CompareTo(b[idx]) != 0) return false;
+  }
+  return true;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "row arity " + std::to_string(row.size()) +
+                      " does not match schema arity " +
+                      std::to_string(schema_.size()) + " of table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.columns()[i].type) {
+      return Status(ErrorCode::kTypeError,
+                    "column '" + schema_.columns()[i].name + "' of table " +
+                        name_ + " expects " +
+                        std::string(ValueTypeName(schema_.columns()[i].type)) +
+                        ", got " + std::string(ValueTypeName(row[i].type())));
+    }
+  }
+  const uint64_t h = KeyHashOf(row);
+  if (!pk_indexes_.empty()) {
+    auto [begin, end] = key_index_.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (KeysEqual(rows_[it->second], row)) {
+        rows_[it->second] = std::move(row);  // upsert
+        return Status::Ok();
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  key_index_.emplace(h, rows_.size() - 1);
+  return Status::Ok();
+}
+
+std::vector<const Row*> Table::LookupByKey(const Row& key) const {
+  std::vector<const Row*> out;
+  if (pk_indexes_.empty()) return out;
+  // Build a probe row with key values in PK positions.
+  if (key.size() != pk_indexes_.size()) return out;
+  uint64_t h = 0x452821E638D01377ULL;
+  for (const Value& v : key) {
+    h ^= HashValue(v);
+    h *= 0x100000001B3ULL;
+  }
+  auto [begin, end] = key_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    const Row& row = rows_[it->second];
+    bool match = true;
+    for (size_t i = 0; i < pk_indexes_.size(); ++i) {
+      if (row[pk_indexes_[i]].CompareTo(key[i]) != 0) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(&row);
+  }
+  return out;
+}
+
+const Row* Table::LookupSingleKey(const Value& key) const {
+  if (pk_indexes_.size() != 1) return nullptr;
+  uint64_t h = 0x452821E638D01377ULL;
+  h ^= HashValue(key);
+  h *= 0x100000001B3ULL;
+  auto [begin, end] = key_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    const Row& row = rows_[it->second];
+    if (row[pk_indexes_[0]].EqualsValue(key)) return &row;
+  }
+  return nullptr;
+}
+
+const Row* Table::FindFirst(
+    const std::function<bool(const Row&)>& pred) const {
+  for (const Row& r : rows_) {
+    if (pred(r)) return &r;
+  }
+  return nullptr;
+}
+
+size_t Table::EraseWhere(const std::function<bool(const Row&)>& pred) {
+  size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+  if (rows_.size() != before) ReindexAll();
+  return before - rows_.size();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  key_index_.clear();
+}
+
+void Table::ReindexAll() {
+  key_index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    key_index_.emplace(KeyHashOf(rows_[i]), i);
+  }
+}
+
+Bytes Table::Snapshot() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.WriteString(name_);
+  w.WriteVarint(schema_.size());
+  for (const Column& c : schema_.columns()) {
+    w.WriteString(c.name);
+    w.WriteU8(static_cast<uint8_t>(c.type));
+    w.WriteU8(c.primary_key ? 1 : 0);
+  }
+  w.WriteVarint(rows_.size());
+  for (const Row& row : rows_) {
+    for (const Value& v : row) EncodeValue(v, w);
+  }
+  return out;
+}
+
+Result<Table> Table::Restore(std::span<const uint8_t> snapshot) {
+  ByteReader r(snapshot);
+  ADN_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+  ADN_ASSIGN_OR_RETURN(uint64_t ncols, r.ReadVarint());
+  Schema schema;
+  for (uint64_t i = 0; i < ncols; ++i) {
+    Column c;
+    ADN_ASSIGN_OR_RETURN(c.name, r.ReadString());
+    ADN_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    if (type > static_cast<uint8_t>(ValueType::kBytes)) {
+      return Error(ErrorCode::kParseError, "bad column type in snapshot");
+    }
+    c.type = static_cast<ValueType>(type);
+    ADN_ASSIGN_OR_RETURN(uint8_t pk, r.ReadU8());
+    c.primary_key = pk != 0;
+    ADN_RETURN_IF_ERROR(schema.AddColumn(std::move(c)));
+  }
+  Table table(std::move(name), std::move(schema));
+  ADN_ASSIGN_OR_RETURN(uint64_t nrows, r.ReadVarint());
+  for (uint64_t i = 0; i < nrows; ++i) {
+    Row row;
+    row.reserve(ncols);
+    for (uint64_t j = 0; j < ncols; ++j) {
+      ADN_ASSIGN_OR_RETURN(
+          Value v, DecodeValue(table.schema().columns()[j].type, r));
+      row.push_back(std::move(v));
+    }
+    ADN_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  }
+  return table;
+}
+
+Result<std::vector<Table>> Table::SplitByKeyHash(size_t shards) const {
+  if (shards == 0) {
+    return Error(ErrorCode::kInvalidArgument, "cannot split into 0 shards");
+  }
+  std::vector<Table> out;
+  out.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    out.emplace_back(name_, schema_);
+  }
+  for (const Row& row : rows_) {
+    size_t shard = KeyHashOf(row) % shards;
+    ADN_RETURN_IF_ERROR(out[shard].Insert(row));
+  }
+  return out;
+}
+
+Status Table::MergeFrom(const Table& other) {
+  if (!(other.schema_ == schema_)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "cannot merge table '" + other.name_ + "' " +
+                      other.schema_.DebugString() + " into '" + name_ + "' " +
+                      schema_.DebugString());
+  }
+  for (const Row& row : other.rows_) {
+    ADN_RETURN_IF_ERROR(Insert(row));
+  }
+  return Status::Ok();
+}
+
+uint64_t Table::ContentHash() const {
+  // XOR of per-row hashes: order-insensitive by construction.
+  uint64_t h = 0;
+  for (const Row& row : rows_) h ^= HashRow(row);
+  return h;
+}
+
+std::string Table::DebugString(size_t max_rows) const {
+  std::string out = name_ + schema_.DebugString() + " [" +
+                    std::to_string(rows_.size()) + " rows]";
+  size_t shown = 0;
+  for (const Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "\n  ...";
+      break;
+    }
+    out += "\n  (";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row[i].ToDisplayString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace adn::rpc

@@ -1,0 +1,91 @@
+// Table: the internal state of an ADN element (paper §5.1, Figure 4).
+//
+// Element state is deliberately modeled as relational tables rather than
+// arbitrary in-memory data structures. The paper's §5.2 observation — "the
+// decoupling of code and state, and the tabular nature of state, enables us
+// to reconfigure the network without disrupting applications" — is realized
+// here: tables can be snapshotted to bytes, restored, split by key hash for
+// scale-out, and merged for scale-in (see controller/migration.h).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "rpc/schema.h"
+#include "rpc/value.h"
+
+namespace adn::rpc {
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t RowCount() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Rows are append-ordered; erased slots are compacted immediately.
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Insert semantics:
+  //  - with a primary key: upsert (replace the row with the same key);
+  //  - without: plain append.
+  Status Insert(Row row);
+
+  // Point lookup on the primary key (single- or multi-column). Returns all
+  // matching rows (0 or 1 when a PK is declared).
+  std::vector<const Row*> LookupByKey(const Row& key) const;
+
+  // Allocation-free point lookup for single-column primary keys — the
+  // data-plane hot path (one call per message for every keyed join).
+  const Row* LookupSingleKey(const Value& key) const;
+
+  // Linear scan helpers.
+  const Row* FindFirst(const std::function<bool(const Row&)>& pred) const;
+  size_t EraseWhere(const std::function<bool(const Row&)>& pred);
+  void Clear();
+
+  // --- State migration support (paper §5.2) -------------------------------
+  // Snapshot the full table (schema + rows) to a portable byte string.
+  Bytes Snapshot() const;
+  static Result<Table> Restore(std::span<const uint8_t> snapshot);
+
+  // Partition rows into `shards` tables by hash of the primary key (or of
+  // the whole row when no PK is declared). Used when scaling OUT a stateful
+  // element: each new instance receives one shard.
+  Result<std::vector<Table>> SplitByKeyHash(size_t shards) const;
+
+  // Absorb all rows of `other` (same schema required). Used when scaling IN:
+  // surviving instances merge the states of retired ones.
+  Status MergeFrom(const Table& other);
+
+  // Deterministic content hash (order-insensitive) — used by tests to prove
+  // split+merge round-trips state exactly.
+  uint64_t ContentHash() const;
+
+  std::string DebugString(size_t max_rows = 10) const;
+
+ private:
+  uint64_t KeyHashOf(const Row& row) const;
+  bool KeysEqual(const Row& a, const Row& b) const;
+  void ReindexAll();
+
+  std::string name_;
+  Schema schema_;
+  std::vector<size_t> pk_indexes_;
+  std::vector<Row> rows_;
+  // key hash -> row indexes (collision chains resolved by KeysEqual).
+  std::unordered_multimap<uint64_t, size_t> key_index_;
+};
+
+uint64_t HashRow(const Row& row);
+
+}  // namespace adn::rpc

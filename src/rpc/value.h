@@ -1,0 +1,94 @@
+// Dynamically-typed field values for RPC-as-tuple messages (paper §5.1).
+//
+// ADN views each RPC as a tuple with one or more named fields; elements read
+// and write those fields. Value is the cell type of that tuple: a compact
+// tagged union over the types the DSL supports (BOOL, INT, FLOAT, TEXT,
+// BYTES, plus NULL for absent results of outer operations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace adn::rpc {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,    // 64-bit signed
+  kFloat = 3,  // IEEE double
+  kText = 4,   // UTF-8 string
+  kBytes = 5,  // opaque payload
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+// Parse a DSL type name ("INT", "TEXT", ...; case-insensitive).
+Result<ValueType> ParseValueType(std::string_view name);
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : repr_(b) {}                        // NOLINT: implicit by design
+  Value(int64_t i) : repr_(i) {}                     // NOLINT
+  Value(int i) : repr_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(double d) : repr_(d) {}                      // NOLINT
+  Value(std::string s) : repr_(std::move(s)) {}      // NOLINT
+  Value(std::string_view s) : repr_(std::string(s)) {}  // NOLINT
+  Value(const char* s) : repr_(std::string(s)) {}    // NOLINT
+  Value(Bytes b) : repr_(std::move(b)) {}            // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Unchecked accessors; callers verify type() first (the DSL type checker
+  // guarantees this on compiled paths).
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsFloat() const { return std::get<double>(repr_); }
+  const std::string& AsText() const { return std::get<std::string>(repr_); }
+  const Bytes& AsBytes() const { return std::get<Bytes>(repr_); }
+  Bytes& MutableBytes() { return std::get<Bytes>(repr_); }
+  std::string& MutableText() { return std::get<std::string>(repr_); }
+
+  // Numeric coercion used by comparison operators: INT compares with FLOAT.
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kFloat;
+  }
+  double NumericAsDouble() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                     : AsFloat();
+  }
+
+  // SQL-style three-valued comparisons are flattened to two-valued here:
+  // comparisons involving NULL are false; Equals(NULL, NULL) is false.
+  bool EqualsValue(const Value& other) const;
+  // Ordering for ORDER BY / MIN / MAX and b-tree state tables.
+  // NULL sorts before everything; cross-type numeric compares allowed.
+  int CompareTo(const Value& other) const;
+
+  // Wire/debug helpers.
+  std::string ToDisplayString() const;
+  size_t EncodedSizeHint() const;
+
+  bool operator==(const Value& other) const { return EqualsValue(other); }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Bytes>
+      repr_;
+};
+
+// Hash compatible with EqualsValue (numeric INT/FLOAT with equal value hash
+// alike only when exactly representable; our group-by keys are same-typed so
+// this is sufficient and documented in the IR type checker).
+uint64_t HashValue(const Value& v);
+
+}  // namespace adn::rpc

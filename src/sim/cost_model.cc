@@ -1,0 +1,10 @@
+#include "sim/cost_model.h"
+
+namespace adn::sim {
+
+const CostModel& CostModel::Default() {
+  static const CostModel model;
+  return model;
+}
+
+}  // namespace adn::sim

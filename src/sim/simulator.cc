@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace adn::sim {
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handler may schedule new events,
+  // so copy out before popping.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (RunOne()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace adn::sim

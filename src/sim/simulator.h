@@ -1,0 +1,69 @@
+// Single-threaded discrete-event simulator.
+//
+// All end-to-end experiments (Figure 5, Figure 2 configurations, scaling)
+// run on this substrate: hosts, kernels, proxies, NICs and switches are
+// modeled as CPU stations and links whose per-message costs come from the
+// calibrated table in cost_model.h. Determinism: ties are broken by a
+// monotonically increasing sequence number, so a given seed always produces
+// the same event order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace adn::sim {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosPerMicro = 1'000;
+inline constexpr SimTime kNanosPerMilli = 1'000'000;
+inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+inline constexpr double ToMicros(SimTime t) {
+  return static_cast<double>(t) / kNanosPerMicro;
+}
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedule fn at absolute simulated time t (>= now).
+  void At(SimTime t, std::function<void()> fn);
+  // Schedule fn after a delay.
+  void After(SimTime delay, std::function<void()> fn) {
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Execute the next event. Returns false if none remain.
+  bool RunOne();
+  // Run until the event queue is empty.
+  void Run();
+  // Run events with time <= t, then set now to t.
+  void RunUntil(SimTime t);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace adn::sim

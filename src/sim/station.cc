@@ -1,0 +1,64 @@
+#include "sim/station.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adn::sim {
+
+CpuStation::CpuStation(Simulator* sim, std::string name, int width)
+    : sim_(sim), name_(std::move(name)), width_(width) {
+  assert(width >= 1);
+  server_free_.assign(static_cast<size_t>(width), 0);
+}
+
+SimTime CpuStation::Submit(SimTime cost, std::function<void()> done) {
+  assert(cost >= 0);
+  // Pick the server that frees up earliest.
+  auto it = std::min_element(server_free_.begin(), server_free_.end());
+  SimTime start = std::max(sim_->now(), *it);
+  SimTime end = start + cost;
+  *it = end;
+  ++jobs_;
+  busy_ += cost;
+  max_queue_delay_ = std::max(max_queue_delay_, start - sim_->now());
+  if (done) {
+    sim_->At(end, std::move(done));
+  }
+  return end;
+}
+
+double CpuStation::Utilization(SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(busy_) /
+         (static_cast<double>(horizon) * width_);
+}
+
+void CpuStation::ResetStats() {
+  jobs_ = 0;
+  busy_ = 0;
+  max_queue_delay_ = 0;
+}
+
+Link::Link(Simulator* sim, std::string name, SimTime propagation_ns,
+           double bandwidth_gbps)
+    : sim_(sim),
+      name_(std::move(name)),
+      propagation_(propagation_ns),
+      ns_per_byte_(bandwidth_gbps > 0 ? 8.0 / bandwidth_gbps : 0.0) {}
+
+SimTime Link::Send(size_t bytes, std::function<void()> deliver) {
+  SimTime tx_cost =
+      static_cast<SimTime>(ns_per_byte_ * static_cast<double>(bytes));
+  SimTime start = std::max(sim_->now(), free_at_);
+  SimTime tx_done = start + tx_cost;
+  free_at_ = tx_done;
+  SimTime arrival = tx_done + propagation_;
+  ++messages_;
+  bytes_total_ += bytes;
+  if (deliver) {
+    sim_->At(arrival, std::move(deliver));
+  }
+  return arrival;
+}
+
+}  // namespace adn::sim

@@ -1,0 +1,76 @@
+// CpuStation and Link: the two queueing resources of the simulated testbed.
+//
+// A CpuStation models a compute context with `width` parallel servers — one
+// application thread (width 1), an Envoy worker pool (width = nproc), a
+// SmartNIC core group, or a switch pipeline (effectively infinite width with
+// a fixed pipeline delay). Work is FIFO, non-preemptive.
+//
+// A Link models a wire: serialization delay (bytes / bandwidth) occupies the
+// link FIFO; propagation delay is added after transmission completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace adn::sim {
+
+class CpuStation {
+ public:
+  CpuStation(Simulator* sim, std::string name, int width);
+
+  // Enqueue a job costing `cost` ns of one server's time; `done` runs at
+  // completion time. Returns the completion time.
+  SimTime Submit(SimTime cost, std::function<void()> done);
+
+  const std::string& name() const { return name_; }
+  int width() const { return width_; }
+
+  // --- Statistics -----------------------------------------------------------
+  uint64_t jobs_completed_submitted() const { return jobs_; }
+  SimTime busy_time() const { return busy_; }
+  // Utilization over [0, horizon] given `width` servers.
+  double Utilization(SimTime horizon) const;
+  // Largest backlog (jobs waiting beyond server availability) seen.
+  SimTime max_queue_delay() const { return max_queue_delay_; }
+
+  void ResetStats();
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  int width_;
+  std::vector<SimTime> server_free_;  // earliest idle time per server
+  uint64_t jobs_ = 0;
+  SimTime busy_ = 0;
+  SimTime max_queue_delay_ = 0;
+};
+
+class Link {
+ public:
+  // bandwidth_gbps <= 0 means infinite bandwidth (no serialization delay).
+  Link(Simulator* sim, std::string name, SimTime propagation_ns,
+       double bandwidth_gbps);
+
+  // Transmit `bytes`; `deliver` runs at the receiver when the last byte
+  // arrives. Returns delivery time.
+  SimTime Send(size_t bytes, std::function<void()> deliver);
+
+  const std::string& name() const { return name_; }
+  uint64_t messages_sent() const { return messages_; }
+  uint64_t bytes_sent() const { return bytes_total_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimTime propagation_;
+  double ns_per_byte_;  // 0 => infinite bandwidth
+  SimTime free_at_ = 0;
+  uint64_t messages_ = 0;
+  uint64_t bytes_total_ = 0;
+};
+
+}  // namespace adn::sim

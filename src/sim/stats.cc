@@ -1,0 +1,51 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace adn::sim {
+
+double LatencyRecorder::MeanMicros() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (SimTime s : samples_) total += static_cast<double>(s);
+  return total / static_cast<double>(samples_.size()) / kNanosPerMicro;
+}
+
+double LatencyRecorder::PercentileMicros(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<SimTime> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  double v = static_cast<double>(sorted[lo]) * (1.0 - frac) +
+             static_cast<double>(sorted[hi]) * frac;
+  return v / kNanosPerMicro;
+}
+
+double LatencyRecorder::MinMicros() const {
+  if (samples_.empty()) return 0.0;
+  return ToMicros(*std::min_element(samples_.begin(), samples_.end()));
+}
+
+double LatencyRecorder::MaxMicros() const {
+  if (samples_.empty()) return 0.0;
+  return ToMicros(*std::max_element(samples_.begin(), samples_.end()));
+}
+
+std::string RunStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-28s rate=%8.1f krps  mean=%9.1f us  p50=%9.1f us  "
+                "p99=%9.1f us  ok=%llu drop=%llu",
+                label.c_str(), throughput_krps, mean_latency_us,
+                p50_latency_us, p99_latency_us,
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(dropped));
+  return buf;
+}
+
+}  // namespace adn::sim

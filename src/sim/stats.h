@@ -1,0 +1,47 @@
+// Latency/throughput accounting shared by all end-to-end experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace adn::sim {
+
+class LatencyRecorder {
+ public:
+  void Record(SimTime latency_ns) { samples_.push_back(latency_ns); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double MeanMicros() const;
+  // q in [0,1]; nearest-rank on a sorted copy.
+  double PercentileMicros(double q) const;
+  double MinMicros() const;
+  double MaxMicros() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<SimTime> samples_;
+};
+
+struct RunStats {
+  std::string label;
+  uint64_t completed = 0;
+  uint64_t dropped = 0;        // e.g. ACL denies, fault injections
+  double duration_us = 0.0;
+  double throughput_krps = 0.0;
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  // Host CPU consumed per successful RPC (ns) — captures the offload wins of
+  // Figure 2 configurations 2/3 where processing leaves the host.
+  double host_cpu_per_rpc_ns = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace adn::sim

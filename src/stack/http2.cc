@@ -1,0 +1,313 @@
+#include "stack/http2.h"
+
+#include <array>
+
+namespace adn::stack {
+
+namespace {
+
+// A slice of the RFC 7541 static table — the entries gRPC traffic hits.
+const std::vector<std::pair<std::string, std::string>>& StaticTable() {
+  static const std::vector<std::pair<std::string, std::string>> kTable = {
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {"content-type", ""},
+      {"te", ""},
+      {"user-agent", ""},
+      {"grpc-status", ""},
+      {"grpc-encoding", ""},
+      {"grpc-accept-encoding", ""},
+      {"grpc-timeout", ""},
+  };
+  return kTable;
+}
+
+// HPACK integer encoding with an n-bit prefix.
+void EncodeHpackInt(uint64_t value, int prefix_bits, uint8_t prefix_byte,
+                    Bytes& out) {
+  const uint64_t max_prefix = (1u << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(prefix_byte | static_cast<uint8_t>(value));
+    return;
+  }
+  out.push_back(prefix_byte | static_cast<uint8_t>(max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<uint8_t>(value % 128 + 128));
+    value /= 128;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+Result<uint64_t> DecodeHpackInt(ByteReader& r, int prefix_bits,
+                                uint8_t first) {
+  const uint64_t max_prefix = (1u << prefix_bits) - 1;
+  uint64_t value = first & max_prefix;
+  if (value < max_prefix) return value;
+  uint64_t m = 0;
+  while (true) {
+    ADN_ASSIGN_OR_RETURN(uint8_t b, r.ReadU8());
+    value += static_cast<uint64_t>(b & 0x7F) << m;
+    if ((b & 0x80) == 0) return value;
+    m += 7;
+    if (m > 56) {
+      return Error(ErrorCode::kParseError, "HPACK integer overflow");
+    }
+  }
+}
+
+void EncodeHpackString(const std::string& s, Bytes& out) {
+  // No Huffman (H bit 0) — length then literal octets.
+  EncodeHpackInt(s.size(), 7, 0x00, out);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+Result<std::string> DecodeHpackString(ByteReader& r) {
+  ADN_ASSIGN_OR_RETURN(uint8_t first, r.ReadU8());
+  if ((first & 0x80) != 0) {
+    return Error(ErrorCode::kUnsupported,
+                 "Huffman-coded HPACK strings not supported");
+  }
+  ADN_ASSIGN_OR_RETURN(uint64_t len, DecodeHpackInt(r, 7, first));
+  ADN_ASSIGN_OR_RETURN(auto bytes, r.ReadBytes(len));
+  return std::string(AsStringView(bytes));
+}
+
+}  // namespace
+
+HpackCodec::HpackCodec() = default;
+
+size_t HpackCodec::FindIndexed(const std::string& name,
+                               const std::string& value) const {
+  const auto& st = StaticTable();
+  for (size_t i = 0; i < st.size(); ++i) {
+    if (st[i].first == name && st[i].second == value && !value.empty()) {
+      return i + 1;
+    }
+  }
+  for (size_t i = 0; i < dynamic_.size(); ++i) {
+    if (dynamic_[i].first == name && dynamic_[i].second == value) {
+      return st.size() + i + 1;
+    }
+  }
+  return 0;
+}
+
+size_t HpackCodec::FindName(const std::string& name) const {
+  const auto& st = StaticTable();
+  for (size_t i = 0; i < st.size(); ++i) {
+    if (st[i].first == name) return i + 1;
+  }
+  for (size_t i = 0; i < dynamic_.size(); ++i) {
+    if (dynamic_[i].first == name) return st.size() + i + 1;
+  }
+  return 0;
+}
+
+void HpackCodec::InsertDynamic(std::string name, std::string value) {
+  // Bounded table (64 entries) with FIFO eviction, like a small
+  // SETTINGS_HEADER_TABLE_SIZE.
+  dynamic_.insert(dynamic_.begin(), {std::move(name), std::move(value)});
+  if (dynamic_.size() > 64) dynamic_.pop_back();
+}
+
+void HpackCodec::EncodeHeaderBlock(const HeaderList& headers, Bytes& out) {
+  for (const auto& [name, value] : headers) {
+    if (size_t idx = FindIndexed(name, value); idx != 0) {
+      // Indexed header field: 1xxxxxxx.
+      EncodeHpackInt(idx, 7, 0x80, out);
+      continue;
+    }
+    if (size_t name_idx = FindName(name); name_idx != 0) {
+      // Literal with incremental indexing, indexed name: 01xxxxxx.
+      EncodeHpackInt(name_idx, 6, 0x40, out);
+      EncodeHpackString(value, out);
+    } else {
+      // Literal with incremental indexing, new name.
+      out.push_back(0x40);
+      EncodeHpackString(name, out);
+      EncodeHpackString(value, out);
+    }
+    InsertDynamic(name, value);
+  }
+}
+
+Result<HeaderList> HpackCodec::DecodeHeaderBlock(
+    std::span<const uint8_t> block) {
+  HeaderList out;
+  const auto& st = StaticTable();
+  ByteReader r(block);
+  while (!r.AtEnd()) {
+    ADN_ASSIGN_OR_RETURN(uint8_t first, r.ReadU8());
+    if ((first & 0x80) != 0) {
+      ADN_ASSIGN_OR_RETURN(uint64_t idx, DecodeHpackInt(r, 7, first));
+      if (idx == 0 || idx > st.size() + dynamic_.size()) {
+        return Error(ErrorCode::kParseError,
+                     "HPACK index " + std::to_string(idx) + " out of range");
+      }
+      const auto& entry =
+          idx <= st.size() ? st[idx - 1] : dynamic_[idx - st.size() - 1];
+      out.push_back(entry);
+      continue;
+    }
+    if ((first & 0x40) != 0) {
+      ADN_ASSIGN_OR_RETURN(uint64_t name_idx, DecodeHpackInt(r, 6, first));
+      std::string name;
+      if (name_idx == 0) {
+        ADN_ASSIGN_OR_RETURN(name, DecodeHpackString(r));
+      } else if (name_idx <= st.size() + dynamic_.size()) {
+        name = name_idx <= st.size() ? st[name_idx - 1].first
+                                     : dynamic_[name_idx - st.size() - 1].first;
+      } else {
+        return Error(ErrorCode::kParseError, "HPACK name index out of range");
+      }
+      ADN_ASSIGN_OR_RETURN(std::string value, DecodeHpackString(r));
+      out.emplace_back(name, value);
+      InsertDynamic(std::move(name), std::move(value));
+      continue;
+    }
+    return Error(ErrorCode::kUnsupported,
+                 "HPACK representation 0x" + std::to_string(first) +
+                     " not supported");
+  }
+  return out;
+}
+
+void EncodeFrame(const Frame& frame, Bytes& out) {
+  uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len));
+  out.push_back(static_cast<uint8_t>(frame.type));
+  out.push_back(frame.flags);
+  out.push_back(static_cast<uint8_t>(frame.stream_id >> 24) & 0x7F);
+  out.push_back(static_cast<uint8_t>(frame.stream_id >> 16));
+  out.push_back(static_cast<uint8_t>(frame.stream_id >> 8));
+  out.push_back(static_cast<uint8_t>(frame.stream_id));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+Result<std::vector<Frame>> ParseFrames(std::span<const uint8_t> wire) {
+  std::vector<Frame> out;
+  ByteReader r(wire);
+  while (!r.AtEnd()) {
+    if (r.remaining() < 9) {
+      return Error(ErrorCode::kParseError, "truncated HTTP/2 frame header");
+    }
+    ADN_ASSIGN_OR_RETURN(uint8_t l2, r.ReadU8());
+    ADN_ASSIGN_OR_RETURN(uint8_t l1, r.ReadU8());
+    ADN_ASSIGN_OR_RETURN(uint8_t l0, r.ReadU8());
+    uint32_t len = (static_cast<uint32_t>(l2) << 16) |
+                   (static_cast<uint32_t>(l1) << 8) | l0;
+    Frame frame;
+    ADN_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    frame.type = static_cast<FrameType>(type);
+    ADN_ASSIGN_OR_RETURN(frame.flags, r.ReadU8());
+    uint32_t sid = 0;
+    for (int i = 0; i < 4; ++i) {
+      ADN_ASSIGN_OR_RETURN(uint8_t b, r.ReadU8());
+      sid = (sid << 8) | b;
+    }
+    frame.stream_id = sid & 0x7FFFFFFF;
+    ADN_ASSIGN_OR_RETURN(auto payload, r.ReadBytes(len));
+    frame.payload.assign(payload.begin(), payload.end());
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+Bytes EncodeGrpcMessage(const GrpcHttp2Message& msg, HpackCodec& hpack) {
+  Bytes out;
+  Frame headers;
+  headers.type = FrameType::kHeaders;
+  headers.flags = kFlagEndHeaders;
+  headers.stream_id = msg.stream_id;
+  hpack.EncodeHeaderBlock(msg.headers, headers.payload);
+  EncodeFrame(headers, out);
+
+  Frame data;
+  data.type = FrameType::kData;
+  data.flags = msg.end_stream ? kFlagEndStream : 0;
+  data.stream_id = msg.stream_id;
+  // gRPC 5-byte message prefix: compressed flag + u32 length (big endian).
+  data.payload.push_back(0);
+  uint32_t plen = static_cast<uint32_t>(msg.grpc_payload.size());
+  data.payload.push_back(static_cast<uint8_t>(plen >> 24));
+  data.payload.push_back(static_cast<uint8_t>(plen >> 16));
+  data.payload.push_back(static_cast<uint8_t>(plen >> 8));
+  data.payload.push_back(static_cast<uint8_t>(plen));
+  data.payload.insert(data.payload.end(), msg.grpc_payload.begin(),
+                      msg.grpc_payload.end());
+  EncodeFrame(data, out);
+  return out;
+}
+
+Result<GrpcHttp2Message> ParseGrpcMessage(std::span<const uint8_t> wire,
+                                          HpackCodec& hpack) {
+  ADN_ASSIGN_OR_RETURN(std::vector<Frame> frames, ParseFrames(wire));
+  GrpcHttp2Message out;
+  bool saw_headers = false;
+  bool saw_data = false;
+  for (Frame& f : frames) {
+    if (f.type == FrameType::kHeaders) {
+      ADN_ASSIGN_OR_RETURN(out.headers, hpack.DecodeHeaderBlock(f.payload));
+      out.stream_id = f.stream_id;
+      saw_headers = true;
+    } else if (f.type == FrameType::kData) {
+      if (f.payload.size() < 5) {
+        return Error(ErrorCode::kParseError, "gRPC DATA frame too short");
+      }
+      uint32_t plen = (static_cast<uint32_t>(f.payload[1]) << 24) |
+                      (static_cast<uint32_t>(f.payload[2]) << 16) |
+                      (static_cast<uint32_t>(f.payload[3]) << 8) |
+                      f.payload[4];
+      if (plen + 5 != f.payload.size()) {
+        return Error(ErrorCode::kParseError,
+                     "gRPC length prefix mismatch");
+      }
+      out.grpc_payload.assign(f.payload.begin() + 5, f.payload.end());
+      out.end_stream = (f.flags & kFlagEndStream) != 0;
+      saw_data = true;
+    }
+  }
+  if (!saw_headers || !saw_data) {
+    return Error(ErrorCode::kParseError,
+                 "expected HEADERS + DATA in gRPC message");
+  }
+  return out;
+}
+
+HeaderList MakeGrpcRequestHeaders(std::string_view authority,
+                                  std::string_view path,
+                                  const HeaderList& custom) {
+  HeaderList h = {
+      {":method", "POST"},
+      {":scheme", "http"},
+      {":path", std::string(path)},
+      {":authority", std::string(authority)},
+      {"content-type", "application/grpc"},
+      {"te", "trailers"},
+      {"grpc-encoding", "identity"},
+      {"grpc-accept-encoding", "identity,deflate,gzip"},
+      {"user-agent", "adn-bench-grpc/1.0"},
+  };
+  h.insert(h.end(), custom.begin(), custom.end());
+  return h;
+}
+
+HeaderList MakeGrpcResponseHeaders(int grpc_status, const HeaderList& custom) {
+  HeaderList h = {
+      {":status", "200"},
+      {"content-type", "application/grpc"},
+      {"grpc-status", std::to_string(grpc_status)},
+  };
+  h.insert(h.end(), custom.begin(), custom.end());
+  return h;
+}
+
+}  // namespace adn::stack

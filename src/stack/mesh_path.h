@@ -1,0 +1,64 @@
+// End-to-end simulated gRPC + Envoy service-mesh path (Figure 1 of the
+// paper): client app -> kernel (iptables redirect) -> client sidecar ->
+// kernel -> wire -> kernel -> server sidecar -> kernel -> server app, and
+// the mirror path for responses.
+//
+// Every hop does the real byte work (protobuf encode/decode, HTTP/2 framing,
+// HPACK, filter evaluation); the discrete-event simulator charges each hop's
+// CPU station with calibrated costs so latency/throughput reflect the
+// two-Xeon testbed the paper used. The client issues a closed loop of
+// `concurrency` RPCs through a gRPC channel whose HTTP/2 flow-control window
+// caps the in-flight count (CostModel::grpc_channel_window).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "rpc/message.h"
+#include "rpc/schema.h"
+#include "sim/cost_model.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "sim/stats.h"
+#include "stack/envoy.h"
+#include "stack/proto_codec.h"
+
+namespace adn::stack {
+
+struct MeshConfig {
+  std::string label = "gRPC+Envoy";
+  int concurrency = 128;
+  uint64_t measured_requests = 20'000;
+  uint64_t warmup_requests = 2'000;
+  uint64_t seed = 1;
+  sim::CostModel model = sim::CostModel::Default();
+
+  // Application message factory (fields must fit request_schema).
+  rpc::Schema request_schema;
+  std::function<rpc::Message(uint64_t id, Rng& rng)> make_request;
+
+  // Headers the app copies out of the RPC so the proxy can see them
+  // (field name -> header name), e.g. {"username", "x-user"}.
+  std::vector<std::pair<std::string, std::string>> field_headers;
+
+  // Filter factories applied to the SERVER (destination) sidecar, in order —
+  // meshes enforce policy at the workload's own proxy. `client_filters`
+  // optionally adds egress processing at the caller's sidecar.
+  std::vector<std::function<std::unique_ptr<EnvoyFilter>()>> filters;
+  std::vector<std::function<std::unique_ptr<EnvoyFilter>()>> client_filters;
+};
+
+struct MeshResult {
+  sim::RunStats stats;
+  // Per-stage CPU time for one average RPC (ns) — the E9 breakdown.
+  std::vector<std::pair<std::string, double>> stage_cpu_ns;
+  // Mean bytes on the inter-machine wire per request.
+  double wire_bytes_per_request = 0.0;
+  std::vector<std::string> client_sidecar_log;
+};
+
+MeshResult RunMeshExperiment(const MeshConfig& config);
+
+}  // namespace adn::stack

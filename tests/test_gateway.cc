@@ -1,0 +1,213 @@
+// Tests for §7 external communication: ingress/egress translation between
+// real gRPC-over-HTTP/2 bytes and the ADN minimal wire format, and direct
+// ADN-to-ADN application peering.
+#include <gtest/gtest.h>
+
+#include "core/gateway.h"
+
+namespace adn::core {
+namespace {
+
+using rpc::Value;
+using rpc::ValueType;
+
+rpc::Schema ExternalSchema() {
+  rpc::Schema s;
+  (void)s.AddColumn({"user", ValueType::kText, false});
+  (void)s.AddColumn({"object", ValueType::kInt, false});
+  (void)s.AddColumn({"data", ValueType::kBytes, false});
+  return s;
+}
+
+rpc::HeaderSpec AdnSpec() {
+  rpc::HeaderSpec spec;
+  spec.fields = {{"username", ValueType::kText, false},
+                 {"object_id", ValueType::kInt, false},
+                 {"payload", ValueType::kBytes, false}};
+  return spec;
+}
+
+IngressMapping Mapping() {
+  IngressMapping mapping;
+  mapping.header_fields = {{"x-tenant", "tenant"}};
+  mapping.body_fields = {{"user", "username"},
+                         {"object", "object_id"},
+                         {"data", "payload"}};
+  return mapping;
+}
+
+Bytes MakeExternalRequest(stack::HpackCodec& enc) {
+  rpc::Message body;
+  body.SetField("user", Value("alice"));
+  body.SetField("object", Value(777));
+  body.SetField("data", Value(Bytes{1, 2, 3}));
+  stack::ProtoSchema proto(ExternalSchema());
+  auto payload = stack::ProtoEncode(body, proto);
+  EXPECT_TRUE(payload.ok());
+  stack::GrpcHttp2Message h2;
+  h2.headers = stack::MakeGrpcRequestHeaders(
+      "store", "/Store.Get", {{"x-tenant", "acme"}});
+  h2.grpc_payload = std::move(payload).value();
+  h2.stream_id = 1;
+  h2.end_stream = true;
+  return EncodeGrpcMessage(h2, enc);
+}
+
+TEST(Ingress, TranslatesGrpcIntoAdnWire) {
+  rpc::MethodRegistry methods;
+  rpc::HeaderSpec spec = AdnSpec();
+  spec.fields.push_back({"tenant", ValueType::kText, false});
+  IngressGateway ingress(ExternalSchema(), Mapping(), spec, &methods);
+
+  stack::HpackCodec client_enc, gateway_dec;
+  Bytes grpc_wire = MakeExternalRequest(client_enc);
+  auto adn_wire = ingress.TranslateIn(grpc_wire, gateway_dec, 42, 9);
+  ASSERT_TRUE(adn_wire.ok()) << adn_wire.error().ToString();
+  EXPECT_EQ(ingress.translated(), 1u);
+
+  // The ADN side decodes a fully mapped tuple.
+  rpc::AdnWireCodec codec(spec, &methods);
+  auto decoded = codec.Decode(adn_wire.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id(), 42u);
+  EXPECT_EQ(decoded->destination(), 9u);
+  EXPECT_EQ(decoded->method(), "Store.Get");
+  EXPECT_EQ(decoded->GetFieldOrNull("username").AsText(), "alice");
+  EXPECT_EQ(decoded->GetFieldOrNull("object_id").AsInt(), 777);
+  EXPECT_EQ(decoded->GetFieldOrNull("payload").AsBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(decoded->GetFieldOrNull("tenant").AsText(), "acme");
+
+  // The ADN wire is smaller than the external framing it replaced.
+  EXPECT_LT(adn_wire->size(), grpc_wire.size());
+}
+
+TEST(Ingress, RejectsGarbage) {
+  rpc::MethodRegistry methods;
+  IngressGateway ingress(ExternalSchema(), Mapping(), AdnSpec(), &methods);
+  stack::HpackCodec dec;
+  Bytes garbage = {1, 2, 3};
+  EXPECT_FALSE(ingress.TranslateIn(garbage, dec, 1, 1).ok());
+}
+
+TEST(Egress, TranslatesResponseBackToGrpc) {
+  rpc::MethodRegistry methods;
+  methods.Intern("Store.Get");
+  rpc::HeaderSpec spec = AdnSpec();
+  EgressGateway egress(ExternalSchema(), Mapping(), spec, &methods);
+
+  // An ADN response carrying the payload back.
+  rpc::Message resp;
+  resp.set_kind(rpc::MessageKind::kResponse);
+  resp.set_id(42);
+  resp.set_method("Store.Get");
+  resp.SetField("payload", Value(Bytes{9, 9}));
+  resp.SetField("username", Value("alice"));
+  rpc::AdnWireCodec codec(spec, &methods);
+  Bytes adn_wire;
+  ASSERT_TRUE(codec.Encode(resp, adn_wire).ok());
+
+  stack::HpackCodec gateway_enc, client_dec;
+  auto grpc_wire = egress.TranslateOut(adn_wire, gateway_enc, 1);
+  ASSERT_TRUE(grpc_wire.ok()) << grpc_wire.error().ToString();
+
+  auto parsed = stack::ParseGrpcMessage(grpc_wire.value(), client_dec);
+  ASSERT_TRUE(parsed.ok());
+  bool status_ok = false;
+  for (const auto& [k, v] : parsed->headers) {
+    if (k == "grpc-status") status_ok = v == "0";
+  }
+  EXPECT_TRUE(status_ok);
+  stack::ProtoSchema proto(ExternalSchema());
+  auto body = stack::ProtoDecode(parsed->grpc_payload, proto);
+  ASSERT_TRUE(body.ok());
+  // Renamed back to the external field names.
+  EXPECT_EQ(body->GetFieldOrNull("data").AsBytes(), (Bytes{9, 9}));
+  EXPECT_EQ(body->GetFieldOrNull("user").AsText(), "alice");
+}
+
+TEST(Egress, NetworkErrorsBecomeGrpcStatus) {
+  rpc::MethodRegistry methods;
+  methods.Intern("Store.Get");
+  rpc::HeaderSpec spec = AdnSpec();
+  EgressGateway egress(ExternalSchema(), Mapping(), spec, &methods);
+
+  rpc::Message req = rpc::Message::MakeRequest(7, "Store.Get", {});
+  rpc::Message err = rpc::Message::MakeNetworkError(req, "permission denied");
+  rpc::AdnWireCodec codec(spec, &methods);
+  Bytes adn_wire;
+  ASSERT_TRUE(codec.Encode(err, adn_wire).ok());
+
+  stack::HpackCodec enc, dec;
+  auto grpc_wire = egress.TranslateOut(adn_wire, enc, 1);
+  ASSERT_TRUE(grpc_wire.ok());
+  auto parsed = stack::ParseGrpcMessage(grpc_wire.value(), dec);
+  ASSERT_TRUE(parsed.ok());
+  std::string status, message;
+  for (const auto& [k, v] : parsed->headers) {
+    if (k == "grpc-status") status = v;
+    if (k == "grpc-message") message = v;
+  }
+  EXPECT_EQ(status, "13");
+  EXPECT_EQ(message, "permission denied");
+}
+
+TEST(Peering, DirectAdnToAdnTranslation) {
+  // ADN A: a store app; ADN B: an analytics app with different field and
+  // method names.
+  rpc::MethodRegistry methods_a, methods_b;
+  methods_a.Intern("Store.Get");
+  methods_b.Intern("Analytics.Ingest");
+  rpc::HeaderSpec spec_a = AdnSpec();
+  rpc::HeaderSpec spec_b;
+  spec_b.fields = {{"who", ValueType::kText, false},
+                   {"item", ValueType::kInt, false},
+                   {"blob", ValueType::kBytes, false}};
+
+  PeeringTranslator peering(
+      spec_a, &methods_a, spec_b, &methods_b,
+      {{"username", "who"}, {"object_id", "item"}, {"payload", "blob"}},
+      {{"Store.Get", "Analytics.Ingest"}});
+
+  rpc::Message m = rpc::Message::MakeRequest(
+      5, "Store.Get",
+      {{"username", Value("carol")},
+       {"object_id", Value(321)},
+       {"payload", Value(Bytes{4, 5})}});
+  m.set_source(1);
+  m.set_destination(2);
+  rpc::AdnWireCodec codec_a(spec_a, &methods_a);
+  Bytes wire_a;
+  ASSERT_TRUE(codec_a.Encode(m, wire_a).ok());
+
+  auto wire_b = peering.Translate(wire_a);
+  ASSERT_TRUE(wire_b.ok()) << wire_b.error().ToString();
+
+  rpc::AdnWireCodec codec_b(spec_b, &methods_b);
+  auto decoded = codec_b.Decode(wire_b.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->method(), "Analytics.Ingest");
+  EXPECT_EQ(decoded->id(), 5u);
+  EXPECT_EQ(decoded->GetFieldOrNull("who").AsText(), "carol");
+  EXPECT_EQ(decoded->GetFieldOrNull("item").AsInt(), 321);
+  EXPECT_EQ(decoded->GetFieldOrNull("blob").AsBytes(), (Bytes{4, 5}));
+  // Peering halves the translation steps of the standard-format detour.
+  EXPECT_LT(PeeringTranslator::kPeeringSteps,
+            PeeringTranslator::kViaStandardSteps);
+}
+
+TEST(Peering, UnknownTargetMethodRejected) {
+  rpc::MethodRegistry methods_a, methods_b;
+  methods_a.Intern("Store.Get");
+  // methods_b deliberately empty: no mapping interned.
+  rpc::HeaderSpec spec = AdnSpec();
+  PeeringTranslator peering(spec, &methods_a, spec, &methods_b, {}, {});
+  rpc::Message m = rpc::Message::MakeRequest(1, "Store.Get",
+                                             {{"username", Value("x")}});
+  rpc::AdnWireCodec codec_a(spec, &methods_a);
+  Bytes wire_a;
+  ASSERT_TRUE(codec_a.Encode(m, wire_a).ok());
+  EXPECT_FALSE(peering.Translate(wire_a).ok());
+}
+
+}  // namespace
+}  // namespace adn::core

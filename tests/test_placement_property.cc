@@ -1,0 +1,150 @@
+// Property sweep over the placement solver: for every combination of policy
+// and environment, any placement it produces must satisfy ALL invariants —
+// constraints, direction rules, platform feasibility, path monotonicity —
+// and infeasibility must be reported, never silently violated.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "controller/placement.h"
+#include "elements/library.h"
+
+namespace adn::controller {
+namespace {
+
+using compiler::CompiledChain;
+using compiler::TargetPlatform;
+using mrpc::Site;
+
+struct SweepCase {
+  PlacementPolicy policy;
+  unsigned env_bits;  // bit0 sender-ebpf, 1 receiver-ebpf, 2 nic, 3 switch,
+                      // 4 allow-in-app, 5 trust-app
+};
+
+PathEnvironment EnvFromBits(unsigned bits) {
+  PathEnvironment env;
+  env.sender_kernel_offload = bits & 1;
+  env.receiver_kernel_offload = bits & 2;
+  env.receiver_smartnic = bits & 4;
+  env.p4_switch_on_path = bits & 8;
+  env.allow_in_app = bits & 16;
+  env.trust_app_binaries = bits & 32;
+  return env;
+}
+
+class PlacementSweep : public ::testing::TestWithParam<SweepCase> {};
+
+bool SenderSide(Site s) {
+  return s == Site::kClientApp || s == Site::kClientEngine ||
+         s == Site::kClientKernel;
+}
+bool ReceiverSide(Site s) {
+  return s == Site::kServerNic || s == Site::kServerKernel ||
+         s == Site::kServerEngine || s == Site::kServerApp;
+}
+bool IsApp(Site s) {
+  return s == Site::kClientApp || s == Site::kServerApp;
+}
+
+TEST_P(PlacementSweep, InvariantsHoldOrInfeasibleReported) {
+  const SweepCase param = GetParam();
+  PathEnvironment env = EnvFromBits(param.env_bits);
+
+  compiler::Compiler c;
+  compiler::CompileOptions options;
+  if (param.policy == PlacementPolicy::kMinHostCpu ||
+      param.policy == PlacementPolicy::kMinLatency) {
+    options.passes.order_strategy = compiler::OrderStrategy::kOffloadSink;
+  }
+  auto program = c.CompileSource(elements::Fig2ProgramSource(), options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const CompiledChain& chain = program->chains[0];
+
+  auto placement = PlaceChain(chain, env, param.policy);
+  if (!placement.ok()) {
+    // Infeasibility must be a clean diagnostic, not a crash.
+    EXPECT_EQ(placement.error().code(), ErrorCode::kResourceExhausted);
+    return;
+  }
+
+  ASSERT_EQ(placement->sites.size(), chain.elements.size());
+  for (size_t i = 0; i < placement->sites.size(); ++i) {
+    Site site = placement->sites[i];
+    // 1. Location constraints.
+    switch (chain.constraints[i]) {
+      case dsl::LocationConstraint::kSender:
+        EXPECT_TRUE(SenderSide(site)) << SiteName(site);
+        break;
+      case dsl::LocationConstraint::kReceiver:
+        EXPECT_TRUE(ReceiverSide(site)) << SiteName(site);
+        break;
+      case dsl::LocationConstraint::kTrusted:
+        if (!env.trust_app_binaries) {
+          EXPECT_FALSE(IsApp(site)) << SiteName(site);
+        }
+        break;
+      case dsl::LocationConstraint::kAny:
+        break;
+    }
+    // 2. Environment availability.
+    switch (site) {
+      case Site::kClientKernel:
+        EXPECT_TRUE(env.sender_kernel_offload);
+        break;
+      case Site::kServerKernel:
+        EXPECT_TRUE(env.receiver_kernel_offload);
+        break;
+      case Site::kServerNic:
+        EXPECT_TRUE(env.receiver_smartnic);
+        break;
+      case Site::kSwitch:
+        EXPECT_TRUE(env.p4_switch_on_path);
+        break;
+      case Site::kClientApp:
+      case Site::kServerApp:
+        EXPECT_TRUE(env.allow_in_app);
+        break;
+      default:
+        break;
+    }
+    // 3. Platform feasibility.
+    const auto& element = chain.elements[i];
+    if (site == Site::kClientKernel || site == Site::kServerKernel) {
+      EXPECT_TRUE(element.ebpf.feasible) << element.ir->name;
+    }
+    if (site == Site::kSwitch) {
+      EXPECT_TRUE(element.p4.feasible) << element.ir->name;
+    }
+    // 4. Monotone along the path.
+    if (i > 0) {
+      EXPECT_LE(static_cast<int>(placement->sites[i - 1]),
+                static_cast<int>(site));
+    }
+  }
+}
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kNativeOnly, PlacementPolicy::kInApp,
+        PlacementPolicy::kMinHostCpu, PlacementPolicy::kMinLatency}) {
+    for (unsigned bits = 0; bits < 64; bits += 3) {  // 22 envs per policy
+      cases.push_back({policy, bits});
+    }
+    cases.push_back({policy, 62});  // everything on (63 = env_bits 63-3k hit)
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementSweep, ::testing::ValuesIn(AllCases()),
+    [](const auto& info) {
+      std::string name(PlacementPolicyName(info.param.policy));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_env" + std::to_string(info.param.env_bits);
+    });
+
+}  // namespace
+}  // namespace adn::controller

@@ -1,0 +1,167 @@
+// Unit tests for the discrete-event simulator: event ordering, station
+// queueing math, link serialization, latency statistics.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "sim/stats.h"
+
+namespace adn::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(5, [&] { order.push_back(1); });
+  sim.At(5, [&] { order.push_back(2); });
+  sim.At(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.After(10, chain);
+  };
+  sim.After(10, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastQuietPeriods) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(100, [&] { fired = true; });
+  sim.RunUntil(50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 50);
+  sim.RunUntil(150);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 150);
+}
+
+TEST(CpuStation, SingleServerSerializesJobs) {
+  Simulator sim;
+  CpuStation station(&sim, "cpu", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    station.Submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(station.busy_time(), 300);
+  EXPECT_EQ(station.max_queue_delay(), 200);
+}
+
+TEST(CpuStation, ParallelServersOverlap) {
+  Simulator sim;
+  CpuStation station(&sim, "cpu", 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    station.Submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 100, 200, 200}));
+}
+
+TEST(CpuStation, UtilizationMath) {
+  Simulator sim;
+  CpuStation station(&sim, "cpu", 2);
+  station.Submit(100, nullptr);
+  station.Submit(100, nullptr);
+  sim.RunUntil(200);
+  EXPECT_DOUBLE_EQ(station.Utilization(200), 0.5);  // 200 busy / (200 * 2)
+  station.ResetStats();
+  EXPECT_EQ(station.busy_time(), 0);
+}
+
+TEST(CpuStation, LaterSubmitStartsAtNow) {
+  Simulator sim;
+  CpuStation station(&sim, "cpu", 1);
+  SimTime done1 = station.Submit(50, nullptr);
+  EXPECT_EQ(done1, 50);
+  sim.RunUntil(200);  // idle gap
+  SimTime done2 = station.Submit(50, nullptr);
+  EXPECT_EQ(done2, 250);  // starts at now=200, not at 50
+}
+
+TEST(Link, PropagationOnly) {
+  Simulator sim;
+  Link link(&sim, "wire", 5000, /*bandwidth_gbps=*/0);
+  SimTime arrival = link.Send(1'000'000, nullptr);
+  EXPECT_EQ(arrival, 5000);  // infinite bandwidth: no serialization
+}
+
+TEST(Link, SerializationDelayAndFifo) {
+  Simulator sim;
+  // 1 Gbps = 8 ns per byte.
+  Link link(&sim, "wire", 1000, 1.0);
+  SimTime first = link.Send(1000, nullptr);   // tx 8000 + prop 1000
+  SimTime second = link.Send(1000, nullptr);  // queued behind first tx
+  EXPECT_EQ(first, 9000);
+  EXPECT_EQ(second, 17000);
+  EXPECT_EQ(link.messages_sent(), 2u);
+  EXPECT_EQ(link.bytes_sent(), 2000u);
+}
+
+TEST(LatencyRecorder, Percentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Record(i * 1000);  // 1..100 us
+  EXPECT_DOUBLE_EQ(rec.MeanMicros(), 50.5);
+  EXPECT_NEAR(rec.PercentileMicros(0.50), 50.5, 0.51);
+  EXPECT_NEAR(rec.PercentileMicros(0.99), 99.0, 1.01);
+  EXPECT_DOUBLE_EQ(rec.MinMicros(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.MaxMicros(), 100.0);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.MeanMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.PercentileMicros(0.99), 0.0);
+}
+
+// Little's law sanity for a closed loop on one station: N customers, service
+// time S, one server => throughput = 1/S and latency = N*S.
+class ClosedLoopLittlesLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedLoopLittlesLaw, HoldsOnSingleStation) {
+  const int n = GetParam();
+  constexpr SimTime kService = 1000;
+  constexpr int kTotal = 1000;
+  Simulator sim;
+  CpuStation station(&sim, "cpu", 1);
+  LatencyRecorder latencies;
+  int completed = 0;
+  std::function<void()> issue = [&] {
+    SimTime start = sim.now();
+    station.Submit(kService, [&, start] {
+      latencies.Record(sim.now() - start);
+      if (++completed + n <= kTotal) issue();
+    });
+  };
+  for (int i = 0; i < n; ++i) issue();
+  sim.Run();
+  double mean_us = latencies.MeanMicros();
+  EXPECT_NEAR(mean_us, static_cast<double>(n) * 1.0, 0.05 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrency, ClosedLoopLittlesLaw,
+                         ::testing::Values(1, 2, 8, 32));
+
+}  // namespace
+}  // namespace adn::sim

@@ -1,0 +1,51 @@
+// End-to-end smoke: compile the Fig. 5 program, deploy it through the
+// controller, run a workload, and sanity-check the statistics.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "elements/library.h"
+
+namespace adn {
+namespace {
+
+TEST(Smoke, Fig5EndToEnd) {
+  core::NetworkOptions options;
+  options.policy = controller::PlacementPolicy::kNativeOnly;
+  options.state_seeds = {
+      {"ac_tab",
+       {
+           {rpc::Value("alice"), rpc::Value("W")},
+           {rpc::Value("bob"), rpc::Value("W")},
+           {rpc::Value("carol"), rpc::Value("W")},
+           {rpc::Value("dave"), rpc::Value("R")},  // dave gets denied
+       }},
+  };
+  auto network =
+      core::Network::Create(elements::Fig5ProgramSource(), options);
+  ASSERT_TRUE(network.ok()) << network.status().ToString();
+
+  const auto* chain = (*network)->Chain("fig5");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->elements.size(), 3u);
+
+  const auto* placement = (*network)->PlacementFor("fig5");
+  ASSERT_NE(placement, nullptr);
+
+  core::WorkloadOptions workload;
+  workload.concurrency = 32;
+  workload.measured_requests = 2'000;
+  workload.warmup_requests = 200;
+  workload.make_request = core::MakeDefaultRequestFactory();
+  auto result = (*network)->RunWorkload("fig5", workload);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // ~25% of users are dave (denied) plus 5% fault injection.
+  EXPECT_GT(result->stats.completed, 1000u);
+  EXPECT_GT(result->stats.dropped, 100u);
+  EXPECT_GT(result->stats.throughput_krps, 1.0);
+  EXPECT_GT(result->stats.mean_latency_us, 10.0);
+  EXPECT_LT(result->stats.mean_latency_us, 100'000.0);
+}
+
+}  // namespace
+}  // namespace adn

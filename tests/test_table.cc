@@ -1,0 +1,205 @@
+// Unit + property tests for the relational element state (rpc::Table):
+// upsert semantics, key lookup, snapshot/restore, split/merge invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rpc/table.h"
+
+namespace adn::rpc {
+namespace {
+
+Schema AclSchema() {
+  Schema s;
+  (void)s.AddColumn({"username", ValueType::kText, true});
+  (void)s.AddColumn({"permission", ValueType::kText, false});
+  return s;
+}
+
+Schema LogSchema() {  // no primary key
+  Schema s;
+  (void)s.AddColumn({"rpc", ValueType::kInt, false});
+  (void)s.AddColumn({"bytes", ValueType::kInt, false});
+  return s;
+}
+
+TEST(Table, InsertAndLookup) {
+  Table t("ac", AclSchema());
+  ASSERT_TRUE(t.Insert({Value("alice"), Value("W")}).ok());
+  ASSERT_TRUE(t.Insert({Value("bob"), Value("R")}).ok());
+  EXPECT_EQ(t.RowCount(), 2u);
+  auto rows = t.LookupByKey({Value("alice")});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ((*rows[0])[1].AsText(), "W");
+  EXPECT_TRUE(t.LookupByKey({Value("nobody")}).empty());
+}
+
+TEST(Table, PrimaryKeyUpsertReplaces) {
+  Table t("ac", AclSchema());
+  ASSERT_TRUE(t.Insert({Value("alice"), Value("R")}).ok());
+  ASSERT_TRUE(t.Insert({Value("alice"), Value("W")}).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+  EXPECT_EQ((*t.LookupByKey({Value("alice")})[0])[1].AsText(), "W");
+}
+
+TEST(Table, NoPrimaryKeyAppends) {
+  Table t("log", LogSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value(10)}).ok());  // duplicate row fine
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(Table, ArityAndTypeChecked) {
+  Table t("ac", AclSchema());
+  EXPECT_FALSE(t.Insert({Value("alice")}).ok());                    // arity
+  EXPECT_FALSE(t.Insert({Value(1), Value("W")}).ok());              // type
+  EXPECT_TRUE(t.Insert({Value("x"), Value::Null()}).ok());          // NULL ok
+}
+
+TEST(Table, EraseWhereReindexes) {
+  Table t("ac", AclSchema());
+  for (const char* u : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(t.Insert({Value(std::string(u)), Value("W")}).ok());
+  }
+  size_t erased =
+      t.EraseWhere([](const Row& r) { return r[0].AsText() < "c"; });
+  EXPECT_EQ(erased, 2u);
+  EXPECT_EQ(t.RowCount(), 2u);
+  // Index still coherent after compaction.
+  EXPECT_EQ(t.LookupByKey({Value("c")}).size(), 1u);
+  EXPECT_TRUE(t.LookupByKey({Value("a")}).empty());
+}
+
+TEST(Table, FindFirst) {
+  Table t("log", LogSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value(20)}).ok());
+  const Row* row =
+      t.FindFirst([](const Row& r) { return r[1].AsInt() > 15; });
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[0].AsInt(), 2);
+  EXPECT_EQ(t.FindFirst([](const Row&) { return false; }), nullptr);
+}
+
+TEST(Table, SnapshotRestoreRoundTrip) {
+  Table t("ac", AclSchema());
+  ASSERT_TRUE(t.Insert({Value("alice"), Value("W")}).ok());
+  ASSERT_TRUE(t.Insert({Value("bob"), Value::Null()}).ok());
+  Bytes snap = t.Snapshot();
+  auto restored = Table::Restore(snap);
+  ASSERT_TRUE(restored.ok()) << restored.error().ToString();
+  EXPECT_EQ(restored->name(), "ac");
+  EXPECT_EQ(restored->RowCount(), 2u);
+  EXPECT_EQ(restored->ContentHash(), t.ContentHash());
+  // Restored tables keep working (index rebuilt).
+  EXPECT_EQ(restored->LookupByKey({Value("alice")}).size(), 1u);
+}
+
+TEST(Table, RestoreRejectsGarbage) {
+  Bytes garbage = {0xFF, 0x00, 0x13};
+  EXPECT_FALSE(Table::Restore(garbage).ok());
+}
+
+TEST(Table, MergeRequiresSameSchema) {
+  Table a("ac", AclSchema());
+  Table b("log", LogSchema());
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(Table, MergeUpsertsOnKey) {
+  Table a("ac", AclSchema());
+  Table b("ac", AclSchema());
+  ASSERT_TRUE(a.Insert({Value("alice"), Value("R")}).ok());
+  ASSERT_TRUE(b.Insert({Value("alice"), Value("W")}).ok());
+  ASSERT_TRUE(b.Insert({Value("bob"), Value("R")}).ok());
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.RowCount(), 2u);
+  EXPECT_EQ((*a.LookupByKey({Value("alice")})[0])[1].AsText(), "W");
+}
+
+// Property: splitting into k shards and merging back preserves the exact
+// content (hash-equal), for many table sizes and shard counts.
+class SplitMergeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitMergeProperty, RoundTripsContent) {
+  auto [rows, shards] = GetParam();
+  Table t("ac", AclSchema());
+  Rng rng(static_cast<uint64_t>(rows * 31 + shards));
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(t.Insert({Value("user" + std::to_string(i)),
+                          Value(rng.NextBool(0.5) ? "W" : "R")})
+                    .ok());
+  }
+  auto split = t.SplitByKeyHash(static_cast<size_t>(shards));
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split->size(), static_cast<size_t>(shards));
+
+  // Shards partition the rows.
+  size_t total = 0;
+  uint64_t xor_hash = 0;
+  for (const Table& shard : split.value()) {
+    total += shard.RowCount();
+    xor_hash ^= shard.ContentHash();
+  }
+  EXPECT_EQ(total, t.RowCount());
+  EXPECT_EQ(xor_hash, t.ContentHash());
+
+  // Merging back equals the original.
+  Table merged("ac", AclSchema());
+  for (const Table& shard : split.value()) {
+    ASSERT_TRUE(merged.MergeFrom(shard).ok());
+  }
+  EXPECT_EQ(merged.ContentHash(), t.ContentHash());
+  EXPECT_EQ(merged.RowCount(), t.RowCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SplitMergeProperty,
+    ::testing::Combine(::testing::Values(0, 1, 7, 64, 513),
+                       ::testing::Values(1, 2, 3, 8)));
+
+TEST(Table, SplitIntoZeroShardsRejected) {
+  Table t("ac", AclSchema());
+  EXPECT_FALSE(t.SplitByKeyHash(0).ok());
+}
+
+TEST(Table, SplitIsDisjointByKey) {
+  Table t("ac", AclSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value("u" + std::to_string(i)), Value("W")}).ok());
+  }
+  auto split = t.SplitByKeyHash(4);
+  ASSERT_TRUE(split.ok());
+  // Any given key appears in exactly one shard.
+  for (int i = 0; i < 100; ++i) {
+    int hits = 0;
+    for (const Table& shard : split.value()) {
+      hits += static_cast<int>(
+          shard.LookupByKey({Value("u" + std::to_string(i))}).size());
+    }
+    EXPECT_EQ(hits, 1) << "key u" << i;
+  }
+}
+
+TEST(Table, ContentHashIsOrderInsensitive) {
+  Table a("log", LogSchema());
+  Table b("log", LogSchema());
+  ASSERT_TRUE(a.Insert({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(a.Insert({Value(2), Value(20)}).ok());
+  ASSERT_TRUE(b.Insert({Value(2), Value(20)}).ok());
+  ASSERT_TRUE(b.Insert({Value(1), Value(10)}).ok());
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+}
+
+TEST(Table, ClearEmptiesAndKeepsWorking) {
+  Table t("ac", AclSchema());
+  ASSERT_TRUE(t.Insert({Value("a"), Value("W")}).ok());
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  ASSERT_TRUE(t.Insert({Value("b"), Value("R")}).ok());
+  EXPECT_EQ(t.LookupByKey({Value("b")}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace adn::rpc

@@ -1,0 +1,112 @@
+// Workload generator tests: distribution shape, determinism, and use as an
+// end-to-end request factory.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/network.h"
+#include "core/workload.h"
+#include "elements/library.h"
+
+namespace adn::core {
+namespace {
+
+TEST(Zipf, SkewConcentratesMass) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(1);
+  std::map<size_t, int> counts;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Sample(rng)]++;
+  // Rank 0 dominates; top-10 ranks carry most of the mass.
+  EXPECT_GT(counts[0], counts[9] * 3);
+  int top10 = 0;
+  for (size_t r = 0; r < 10; ++r) top10 += counts[r];
+  EXPECT_GT(top10, kSamples / 2);
+}
+
+TEST(Zipf, ZeroSkewIsRoughlyUniform) {
+  ZipfSampler uniform(10, 0.0);
+  Rng rng(2);
+  std::map<size_t, int> counts;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) counts[uniform.Sample(rng)]++;
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r], kSamples / 10, kSamples / 50) << "rank " << r;
+  }
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler zipf(7, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 7u);
+  }
+}
+
+TEST(PayloadSizes, MedianAndClamping) {
+  PayloadSizeSampler sizes(256, 1.0, 16, 4096);
+  Rng rng(4);
+  std::vector<size_t> samples;
+  for (int i = 0; i < 20'000; ++i) samples.push_back(sizes.Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  size_t median = samples[samples.size() / 2];
+  EXPECT_NEAR(static_cast<double>(median), 256.0, 40.0);
+  EXPECT_GE(samples.front(), 16u);
+  EXPECT_LE(samples.back(), 4096u);
+  // Heavy tail: some samples hit the clamp.
+  EXPECT_EQ(samples.back(), 4096u);
+}
+
+TEST(TraceWorkload, ProducesWellFormedRequests) {
+  TraceWorkloadOptions options;
+  options.method_mix = {{"Store.Get", 3}, {"Store.Put", 1}};
+  auto factory = MakeTraceWorkload(options);
+  Rng rng(5);
+  int gets = 0, puts = 0;
+  for (uint64_t id = 0; id < 4'000; ++id) {
+    rpc::Message m = factory(id, rng);
+    EXPECT_TRUE(m.HasField("username"));
+    EXPECT_TRUE(m.HasField("object_id"));
+    EXPECT_TRUE(m.HasField("payload"));
+    if (m.method() == "Store.Get") ++gets;
+    if (m.method() == "Store.Put") ++puts;
+  }
+  EXPECT_EQ(gets + puts, 4'000);
+  EXPECT_NEAR(static_cast<double>(gets) / 4'000, 0.75, 0.05);
+}
+
+TEST(TraceWorkload, DeterministicUnderSeed) {
+  auto factory = MakeTraceWorkload({});
+  Rng a(9), b(9);
+  for (uint64_t id = 0; id < 200; ++id) {
+    rpc::Message ma = factory(id, a);
+    rpc::Message mb = factory(id, b);
+    EXPECT_EQ(ma.DebugString(), mb.DebugString());
+  }
+}
+
+TEST(TraceWorkload, DrivesTheFig2ChainEndToEnd) {
+  core::NetworkOptions options;
+  std::vector<rpc::Row> acl;
+  for (int i = 0; i < 1000; ++i) {
+    acl.push_back({rpc::Value("user" + std::to_string(i)), rpc::Value("W")});
+  }
+  options.state_seeds = {{"ac_tab", std::move(acl)}};
+  auto network = core::Network::Create(elements::Fig2ProgramSource(), options);
+  ASSERT_TRUE(network.ok()) << network.status().ToString();
+
+  TraceWorkloadOptions trace;
+  trace.payload_max_bytes = 8192;  // keep the test fast
+  core::WorkloadOptions workload;
+  workload.concurrency = 16;
+  workload.measured_requests = 1'500;
+  workload.warmup_requests = 150;
+  workload.make_request = MakeTraceWorkload(trace);
+  auto result = (*network)->RunWorkload("fig2", workload);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.completed, 1'650u);  // all users have W
+  EXPECT_GT(result->stats.throughput_krps, 1.0);
+}
+
+}  // namespace
+}  // namespace adn::core

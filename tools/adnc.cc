@@ -1,0 +1,162 @@
+// adnc — the ADN compiler driver.
+//
+// Usage:
+//   adnc <program.adn> [--check] [--emit-ebpf] [--emit-p4] [--headers]
+//        [--placement <policy>] [--no-reorder] [--no-fuse]
+//
+// Reads a DSL program, compiles every chain, and prints what the control
+// plane would deploy: optimization reports, per-element effect summaries,
+// platform feasibility, synthesized per-link headers, and (on request) the
+// generated eBPF / P4 artifacts. `--check` exits non-zero on any error
+// without printing artifacts — usable as a CI lint for ADN programs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compiler.h"
+#include "controller/placement.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: adnc <program.adn> [--check] [--emit-ebpf] [--emit-p4]\n"
+      "            [--headers] [--placement native|inapp|mincpu|minlat]\n"
+      "            [--no-reorder] [--no-fuse]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adn;
+  if (argc < 2) return Usage();
+
+  std::string path;
+  bool check_only = false, emit_ebpf = false, emit_p4 = false,
+       show_headers = false;
+  bool want_placement = false;
+  controller::PlacementPolicy policy =
+      controller::PlacementPolicy::kNativeOnly;
+  compiler::CompileOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--emit-ebpf") {
+      emit_ebpf = true;
+    } else if (arg == "--emit-p4") {
+      emit_p4 = true;
+    } else if (arg == "--headers") {
+      show_headers = true;
+    } else if (arg == "--no-reorder") {
+      options.passes.reorder_drop_early = false;
+    } else if (arg == "--no-fuse") {
+      options.passes.fuse_adjacent = false;
+    } else if (arg == "--placement") {
+      if (++i >= argc) return Usage();
+      want_placement = true;
+      std::string_view p = argv[i];
+      if (p == "native") {
+        policy = controller::PlacementPolicy::kNativeOnly;
+      } else if (p == "inapp") {
+        policy = controller::PlacementPolicy::kInApp;
+      } else if (p == "mincpu") {
+        policy = controller::PlacementPolicy::kMinHostCpu;
+        options.passes.order_strategy = compiler::OrderStrategy::kOffloadSink;
+      } else if (p == "minlat") {
+        policy = controller::PlacementPolicy::kMinLatency;
+        options.passes.order_strategy = compiler::OrderStrategy::kOffloadSink;
+      } else {
+        return Usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "adnc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  compiler::Compiler compiler;
+  auto program = compiler.CompileSource(buffer.str(), options);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  if (check_only) {
+    std::printf("%s: OK (%zu chain%s)\n", path.c_str(),
+                program->chains.size(),
+                program->chains.size() == 1 ? "" : "s");
+    return 0;
+  }
+
+  for (const auto& chain : program->chains) {
+    std::printf("chain %s: %s -> %s\n", chain.name.c_str(),
+                chain.caller_service.c_str(), chain.callee_service.c_str());
+    for (const auto& report : chain.pass_reports) {
+      std::printf("  [%s] %s\n", report.pass.c_str(), report.detail.c_str());
+    }
+    for (size_t i = 0; i < chain.elements.size(); ++i) {
+      const auto& element = chain.elements[i];
+      std::printf("  %-16s group=%d  %s\n", element.ir->name.c_str(),
+                  chain.parallel_groups.empty() ? static_cast<int>(i)
+                                                : chain.parallel_groups[i],
+                  element.ir->effects.DebugString().c_str());
+      std::printf("    ebpf: %s\n",
+                  element.ebpf.feasible ? "ok" : element.ebpf.reason.c_str());
+      std::printf("    p4  : %s\n",
+                  element.p4.feasible ? "ok" : element.p4.reason.c_str());
+    }
+    if (show_headers) {
+      for (size_t i = 0; i < chain.headers.link_specs.size(); ++i) {
+        std::printf("  link %zu: %s\n", i,
+                    chain.headers.link_specs[i].DebugString().c_str());
+      }
+    }
+    if (want_placement) {
+      controller::PathEnvironment env;
+      env.sender_kernel_offload = true;
+      env.receiver_kernel_offload = true;
+      env.receiver_smartnic = true;
+      env.p4_switch_on_path = true;
+      env.trust_app_binaries =
+          policy == controller::PlacementPolicy::kInApp;
+      auto placement = controller::PlaceChain(chain, env, policy);
+      if (placement.ok()) {
+        std::printf("  placement(%s): %s\n",
+                    controller::PlacementPolicyName(policy).data(),
+                    placement->DebugString(chain).c_str());
+      } else {
+        std::printf("  placement(%s): %s\n",
+                    controller::PlacementPolicyName(policy).data(),
+                    placement.status().ToString().c_str());
+      }
+    }
+    for (const auto& element : chain.elements) {
+      if (emit_ebpf && element.ebpf.feasible) {
+        std::printf("\n--- eBPF: %s ---\n%s", element.ir->name.c_str(),
+                    element.ebpf_code.c_str());
+      }
+      if (emit_p4 && element.p4.feasible) {
+        std::printf("\n--- P4: %s ---\n%s", element.ir->name.c_str(),
+                    element.p4_code.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
