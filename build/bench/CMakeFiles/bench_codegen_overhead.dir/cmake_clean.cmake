@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codegen_overhead.dir/bench_codegen_overhead.cc.o"
+  "CMakeFiles/bench_codegen_overhead.dir/bench_codegen_overhead.cc.o.d"
+  "bench_codegen_overhead"
+  "bench_codegen_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codegen_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headers.dir/bench_headers.cc.o"
+  "CMakeFiles/bench_headers.dir/bench_headers.cc.o.d"
+  "bench_headers"
+  "bench_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

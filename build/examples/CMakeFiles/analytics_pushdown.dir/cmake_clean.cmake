@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_pushdown.dir/analytics_pushdown.cpp.o"
+  "CMakeFiles/analytics_pushdown.dir/analytics_pushdown.cpp.o.d"
+  "analytics_pushdown"
+  "analytics_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_reconfig.dir/live_reconfig.cpp.o"
+  "CMakeFiles/live_reconfig.dir/live_reconfig.cpp.o.d"
+  "live_reconfig"
+  "live_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

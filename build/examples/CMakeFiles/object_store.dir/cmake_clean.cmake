@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_store.dir/object_store.cpp.o"
+  "CMakeFiles/object_store.dir/object_store.cpp.o.d"
+  "object_store"
+  "object_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

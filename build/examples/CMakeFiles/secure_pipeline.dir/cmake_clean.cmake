@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_pipeline.dir/secure_pipeline.cpp.o"
+  "CMakeFiles/secure_pipeline.dir/secure_pipeline.cpp.o.d"
+  "secure_pipeline"
+  "secure_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

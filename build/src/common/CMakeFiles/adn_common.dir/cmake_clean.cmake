@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_common.dir/codec.cc.o"
+  "CMakeFiles/adn_common.dir/codec.cc.o.d"
+  "CMakeFiles/adn_common.dir/rng.cc.o"
+  "CMakeFiles/adn_common.dir/rng.cc.o.d"
+  "CMakeFiles/adn_common.dir/status.cc.o"
+  "CMakeFiles/adn_common.dir/status.cc.o.d"
+  "CMakeFiles/adn_common.dir/strings.cc.o"
+  "CMakeFiles/adn_common.dir/strings.cc.o.d"
+  "libadn_common.a"
+  "libadn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

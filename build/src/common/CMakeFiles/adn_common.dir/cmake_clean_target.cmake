@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadn_common.a"
+)

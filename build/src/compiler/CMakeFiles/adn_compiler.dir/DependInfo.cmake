@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/backend.cc" "src/compiler/CMakeFiles/adn_compiler.dir/backend.cc.o" "gcc" "src/compiler/CMakeFiles/adn_compiler.dir/backend.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/adn_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/adn_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/header_gen.cc" "src/compiler/CMakeFiles/adn_compiler.dir/header_gen.cc.o" "gcc" "src/compiler/CMakeFiles/adn_compiler.dir/header_gen.cc.o.d"
+  "/root/repo/src/compiler/lower.cc" "src/compiler/CMakeFiles/adn_compiler.dir/lower.cc.o" "gcc" "src/compiler/CMakeFiles/adn_compiler.dir/lower.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/compiler/CMakeFiles/adn_compiler.dir/passes.cc.o" "gcc" "src/compiler/CMakeFiles/adn_compiler.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/adn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/adn_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/adn_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

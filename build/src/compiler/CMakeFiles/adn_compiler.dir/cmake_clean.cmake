@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_compiler.dir/backend.cc.o"
+  "CMakeFiles/adn_compiler.dir/backend.cc.o.d"
+  "CMakeFiles/adn_compiler.dir/compiler.cc.o"
+  "CMakeFiles/adn_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/adn_compiler.dir/header_gen.cc.o"
+  "CMakeFiles/adn_compiler.dir/header_gen.cc.o.d"
+  "CMakeFiles/adn_compiler.dir/lower.cc.o"
+  "CMakeFiles/adn_compiler.dir/lower.cc.o.d"
+  "CMakeFiles/adn_compiler.dir/passes.cc.o"
+  "CMakeFiles/adn_compiler.dir/passes.cc.o.d"
+  "libadn_compiler.a"
+  "libadn_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_controller.dir/cluster.cc.o"
+  "CMakeFiles/adn_controller.dir/cluster.cc.o.d"
+  "CMakeFiles/adn_controller.dir/controller.cc.o"
+  "CMakeFiles/adn_controller.dir/controller.cc.o.d"
+  "CMakeFiles/adn_controller.dir/migration.cc.o"
+  "CMakeFiles/adn_controller.dir/migration.cc.o.d"
+  "CMakeFiles/adn_controller.dir/placement.cc.o"
+  "CMakeFiles/adn_controller.dir/placement.cc.o.d"
+  "CMakeFiles/adn_controller.dir/telemetry.cc.o"
+  "CMakeFiles/adn_controller.dir/telemetry.cc.o.d"
+  "libadn_controller.a"
+  "libadn_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

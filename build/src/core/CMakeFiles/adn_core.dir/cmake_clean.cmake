@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_core.dir/client_policy.cc.o"
+  "CMakeFiles/adn_core.dir/client_policy.cc.o.d"
+  "CMakeFiles/adn_core.dir/gateway.cc.o"
+  "CMakeFiles/adn_core.dir/gateway.cc.o.d"
+  "CMakeFiles/adn_core.dir/network.cc.o"
+  "CMakeFiles/adn_core.dir/network.cc.o.d"
+  "CMakeFiles/adn_core.dir/workload.cc.o"
+  "CMakeFiles/adn_core.dir/workload.cc.o.d"
+  "libadn_core.a"
+  "libadn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_dsl.dir/ast.cc.o"
+  "CMakeFiles/adn_dsl.dir/ast.cc.o.d"
+  "CMakeFiles/adn_dsl.dir/lexer.cc.o"
+  "CMakeFiles/adn_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/adn_dsl.dir/parser.cc.o"
+  "CMakeFiles/adn_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/adn_dsl.dir/token.cc.o"
+  "CMakeFiles/adn_dsl.dir/token.cc.o.d"
+  "libadn_dsl.a"
+  "libadn_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_elements.dir/filter_ops.cc.o"
+  "CMakeFiles/adn_elements.dir/filter_ops.cc.o.d"
+  "CMakeFiles/adn_elements.dir/handcoded.cc.o"
+  "CMakeFiles/adn_elements.dir/handcoded.cc.o.d"
+  "CMakeFiles/adn_elements.dir/library.cc.o"
+  "CMakeFiles/adn_elements.dir/library.cc.o.d"
+  "libadn_elements.a"
+  "libadn_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cc" "src/ir/CMakeFiles/adn_ir.dir/analysis.cc.o" "gcc" "src/ir/CMakeFiles/adn_ir.dir/analysis.cc.o.d"
+  "/root/repo/src/ir/element_ir.cc" "src/ir/CMakeFiles/adn_ir.dir/element_ir.cc.o" "gcc" "src/ir/CMakeFiles/adn_ir.dir/element_ir.cc.o.d"
+  "/root/repo/src/ir/exec.cc" "src/ir/CMakeFiles/adn_ir.dir/exec.cc.o" "gcc" "src/ir/CMakeFiles/adn_ir.dir/exec.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/adn_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/adn_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/functions.cc" "src/ir/CMakeFiles/adn_ir.dir/functions.cc.o" "gcc" "src/ir/CMakeFiles/adn_ir.dir/functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/adn_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/adn_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

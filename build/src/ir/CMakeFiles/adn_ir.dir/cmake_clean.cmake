@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_ir.dir/analysis.cc.o"
+  "CMakeFiles/adn_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/adn_ir.dir/element_ir.cc.o"
+  "CMakeFiles/adn_ir.dir/element_ir.cc.o.d"
+  "CMakeFiles/adn_ir.dir/exec.cc.o"
+  "CMakeFiles/adn_ir.dir/exec.cc.o.d"
+  "CMakeFiles/adn_ir.dir/expr.cc.o"
+  "CMakeFiles/adn_ir.dir/expr.cc.o.d"
+  "CMakeFiles/adn_ir.dir/functions.cc.o"
+  "CMakeFiles/adn_ir.dir/functions.cc.o.d"
+  "libadn_ir.a"
+  "libadn_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrpc/adn_path.cc" "src/mrpc/CMakeFiles/adn_mrpc.dir/adn_path.cc.o" "gcc" "src/mrpc/CMakeFiles/adn_mrpc.dir/adn_path.cc.o.d"
+  "/root/repo/src/mrpc/engine.cc" "src/mrpc/CMakeFiles/adn_mrpc.dir/engine.cc.o" "gcc" "src/mrpc/CMakeFiles/adn_mrpc.dir/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/adn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/adn_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/adn_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/adn_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

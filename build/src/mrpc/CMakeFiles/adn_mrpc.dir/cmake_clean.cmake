@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_mrpc.dir/adn_path.cc.o"
+  "CMakeFiles/adn_mrpc.dir/adn_path.cc.o.d"
+  "CMakeFiles/adn_mrpc.dir/engine.cc.o"
+  "CMakeFiles/adn_mrpc.dir/engine.cc.o.d"
+  "libadn_mrpc.a"
+  "libadn_mrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_mrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

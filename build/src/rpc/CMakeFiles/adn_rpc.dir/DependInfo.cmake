@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/message.cc" "src/rpc/CMakeFiles/adn_rpc.dir/message.cc.o" "gcc" "src/rpc/CMakeFiles/adn_rpc.dir/message.cc.o.d"
+  "/root/repo/src/rpc/schema.cc" "src/rpc/CMakeFiles/adn_rpc.dir/schema.cc.o" "gcc" "src/rpc/CMakeFiles/adn_rpc.dir/schema.cc.o.d"
+  "/root/repo/src/rpc/table.cc" "src/rpc/CMakeFiles/adn_rpc.dir/table.cc.o" "gcc" "src/rpc/CMakeFiles/adn_rpc.dir/table.cc.o.d"
+  "/root/repo/src/rpc/value.cc" "src/rpc/CMakeFiles/adn_rpc.dir/value.cc.o" "gcc" "src/rpc/CMakeFiles/adn_rpc.dir/value.cc.o.d"
+  "/root/repo/src/rpc/wire.cc" "src/rpc/CMakeFiles/adn_rpc.dir/wire.cc.o" "gcc" "src/rpc/CMakeFiles/adn_rpc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

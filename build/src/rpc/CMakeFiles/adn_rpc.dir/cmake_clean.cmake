@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_rpc.dir/message.cc.o"
+  "CMakeFiles/adn_rpc.dir/message.cc.o.d"
+  "CMakeFiles/adn_rpc.dir/schema.cc.o"
+  "CMakeFiles/adn_rpc.dir/schema.cc.o.d"
+  "CMakeFiles/adn_rpc.dir/table.cc.o"
+  "CMakeFiles/adn_rpc.dir/table.cc.o.d"
+  "CMakeFiles/adn_rpc.dir/value.cc.o"
+  "CMakeFiles/adn_rpc.dir/value.cc.o.d"
+  "CMakeFiles/adn_rpc.dir/wire.cc.o"
+  "CMakeFiles/adn_rpc.dir/wire.cc.o.d"
+  "libadn_rpc.a"
+  "libadn_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

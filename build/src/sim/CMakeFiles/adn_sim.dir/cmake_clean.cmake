@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_sim.dir/cost_model.cc.o"
+  "CMakeFiles/adn_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/adn_sim.dir/simulator.cc.o"
+  "CMakeFiles/adn_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/adn_sim.dir/station.cc.o"
+  "CMakeFiles/adn_sim.dir/station.cc.o.d"
+  "CMakeFiles/adn_sim.dir/stats.cc.o"
+  "CMakeFiles/adn_sim.dir/stats.cc.o.d"
+  "libadn_sim.a"
+  "libadn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

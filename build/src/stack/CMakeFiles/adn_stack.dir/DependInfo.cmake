@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/envoy.cc" "src/stack/CMakeFiles/adn_stack.dir/envoy.cc.o" "gcc" "src/stack/CMakeFiles/adn_stack.dir/envoy.cc.o.d"
+  "/root/repo/src/stack/http2.cc" "src/stack/CMakeFiles/adn_stack.dir/http2.cc.o" "gcc" "src/stack/CMakeFiles/adn_stack.dir/http2.cc.o.d"
+  "/root/repo/src/stack/mesh_path.cc" "src/stack/CMakeFiles/adn_stack.dir/mesh_path.cc.o" "gcc" "src/stack/CMakeFiles/adn_stack.dir/mesh_path.cc.o.d"
+  "/root/repo/src/stack/proto_codec.cc" "src/stack/CMakeFiles/adn_stack.dir/proto_codec.cc.o" "gcc" "src/stack/CMakeFiles/adn_stack.dir/proto_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/adn_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

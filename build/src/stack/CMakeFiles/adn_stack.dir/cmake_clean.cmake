@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adn_stack.dir/envoy.cc.o"
+  "CMakeFiles/adn_stack.dir/envoy.cc.o.d"
+  "CMakeFiles/adn_stack.dir/http2.cc.o"
+  "CMakeFiles/adn_stack.dir/http2.cc.o.d"
+  "CMakeFiles/adn_stack.dir/mesh_path.cc.o"
+  "CMakeFiles/adn_stack.dir/mesh_path.cc.o.d"
+  "CMakeFiles/adn_stack.dir/proto_codec.cc.o"
+  "CMakeFiles/adn_stack.dir/proto_codec.cc.o.d"
+  "libadn_stack.a"
+  "libadn_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adn_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

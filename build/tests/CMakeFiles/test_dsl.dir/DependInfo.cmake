@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsl.cc" "tests/CMakeFiles/test_dsl.dir/test_dsl.cc.o" "gcc" "tests/CMakeFiles/test_dsl.dir/test_dsl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/adn_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/elements/CMakeFiles/adn_elements.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrpc/CMakeFiles/adn_mrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/adn_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/adn_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/adn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/adn_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/adn_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

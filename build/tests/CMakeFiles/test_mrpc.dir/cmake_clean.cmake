@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrpc.dir/test_mrpc.cc.o"
+  "CMakeFiles/test_mrpc.dir/test_mrpc.cc.o.d"
+  "test_mrpc"
+  "test_mrpc.pdb"
+  "test_mrpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

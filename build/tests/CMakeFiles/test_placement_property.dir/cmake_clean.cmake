@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_property.dir/test_placement_property.cc.o"
+  "CMakeFiles/test_placement_property.dir/test_placement_property.cc.o.d"
+  "test_placement_property"
+  "test_placement_property.pdb"
+  "test_placement_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

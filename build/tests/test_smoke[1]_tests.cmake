@@ -1,0 +1,3 @@
+add_test([=[Smoke.Fig5EndToEnd]=]  /root/repo/build/tests/test_smoke [==[--gtest_filter=Smoke.Fig5EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.Fig5EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_smoke_TESTS Smoke.Fig5EndToEnd)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adnc.dir/adnc.cc.o"
+  "CMakeFiles/adnc.dir/adnc.cc.o.d"
+  "adnc"
+  "adnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
