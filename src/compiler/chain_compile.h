@@ -1,0 +1,51 @@
+// Chain -> ChainProgram lowering: the last stage of the compiler.
+//
+// After the optimization passes (reorder, fusion) and header synthesis have
+// fixed the element order and the minimal wire schemas, this pass flattens
+// the whole chain into one register-based instruction stream
+// (ir/program.h): expressions become straight-line register code, AND/OR
+// become jumps, join probes become indexed table lookups, and every field
+// name is interned to an ID once — the per-message string comparisons the
+// tree-walking interpreter pays disappear at compile time.
+//
+// Field-ID assignment is seeded from the chain's header schemas so that the
+// program's IDs enumerate the minimal header layout in wire order; IDs for
+// fields that exist only mid-chain (computed outputs) follow after.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/element_ir.h"
+#include "ir/program.h"
+
+namespace adn::compiler {
+
+struct ChainCompileOptions {
+  // Interning seed: field IDs 0..n-1 are assigned to these names in order
+  // (the chain's wire-header field order from header_gen). Names the chain
+  // touches beyond the seed get fresh IDs after it.
+  std::vector<std::string> field_order_hint;
+  // Emit a per-element message-kind guard so one program serves requests and
+  // responses (the mesh-path tier runs whole chains this way). Engine stages
+  // check AppliesTo() before dispatching, so single-element programs skip
+  // the guard to keep Process() semantics identical to the interpreter's.
+  bool kind_guards = true;
+};
+
+// Lower an ordered element list (an optimized chain) into one ChainProgram.
+// Elements must be SQL elements — filter elements (retry/timeout/...) carry
+// opaque operators and stay on their FilterOp implementations; passing one
+// is an error and callers fall back to the interpreter tier.
+Result<std::shared_ptr<const ir::ChainProgram>> CompileChainProgram(
+    const std::vector<std::shared_ptr<const ir::ElementIr>>& elements,
+    const ChainCompileOptions& options = {});
+
+// Single-element convenience used by the engine's GeneratedStage: no kind
+// guards, element index 0.
+Result<std::shared_ptr<const ir::ChainProgram>> CompileElementProgram(
+    const ir::ElementIr& element);
+
+}  // namespace adn::compiler

@@ -75,6 +75,25 @@ Result<CompiledChain> Compiler::CompileChain(
       ComputeChainHeaders(optimized.chain, out.request_schema,
                           options.app_reads, priority_fields));
 
+  // Lower the whole optimized chain to one flat ChainProgram, with field IDs
+  // following the wire-header field order just synthesized. Chains with
+  // filter elements keep per-stage execution (program stays null).
+  bool all_sql = !optimized.chain.elements.empty();
+  for (const auto& element : optimized.chain.elements) {
+    if (element->IsFilter()) all_sql = false;
+  }
+  if (all_sql) {
+    ChainCompileOptions cc_options;
+    if (!out.headers.schemas.empty()) {
+      for (const rpc::Column& c : out.headers.schemas[0].columns()) {
+        cc_options.field_order_hint.push_back(c.name);
+      }
+    }
+    ADN_ASSIGN_OR_RETURN(
+        out.program,
+        CompileChainProgram(optimized.chain.elements, cc_options));
+  }
+
   for (size_t i = 0; i < optimized.chain.elements.size(); ++i) {
     const auto& element = optimized.chain.elements[i];
     CompiledElement ce;

@@ -11,9 +11,11 @@
 #include <string>
 
 #include "compiler/backend.h"
+#include "compiler/chain_compile.h"
 #include "compiler/header_gen.h"
 #include "compiler/lower.h"
 #include "compiler/passes.h"
+#include "ir/program.h"
 
 namespace adn::compiler {
 
@@ -49,6 +51,11 @@ struct CompiledChain {
 
   // Schema the caller must emit (request_schema or the derived union).
   rpc::Schema request_schema;
+
+  // Whole-chain compiled program (ir/program.h), field IDs seeded from the
+  // wire-header field order. Null when any element is a filter (those run on
+  // FilterOp stages, so the chain stays on per-stage execution).
+  std::shared_ptr<const ir::ChainProgram> program;
 };
 
 struct CompiledProgram {

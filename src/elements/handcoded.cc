@@ -45,8 +45,8 @@ ProcessResult HandLogging::Process(Message& m, int64_t) {
 }
 
 double HandLogging::CostNs(const sim::CostModel& model, size_t) const {
-  // Twin of Logging (INSERT of 3 exprs): 7 interpreter ops generated.
-  return Discounted(7.0 * model.adn_op_ns, model);
+  // Twin of Logging (INSERT of 3 exprs): 6 compiled instructions generated.
+  return Discounted(6.0 * model.adn_compiled_instr_ns, model);
 }
 
 ProcessResult HandAcl::Process(Message& m, int64_t) {
@@ -62,8 +62,8 @@ ProcessResult HandAcl::Process(Message& m, int64_t) {
 }
 
 double HandAcl::CostNs(const sim::CostModel& model, size_t) const {
-  // Twin of Acl (join + where): 9 ops generated.
-  return Discounted(9.0 * model.adn_op_ns, model);
+  // Twin of Acl (join + where): 11 compiled instructions generated.
+  return Discounted(11.0 * model.adn_compiled_instr_ns, model);
 }
 
 ProcessResult HandFault::Process(Message&, int64_t) {
@@ -74,8 +74,8 @@ ProcessResult HandFault::Process(Message&, int64_t) {
 }
 
 double HandFault::CostNs(const sim::CostModel& model, size_t) const {
-  // Twin of Fault (where random() >= p): 6 ops generated.
-  return Discounted(6.0 * model.adn_op_ns, model);
+  // Twin of Fault (where random() >= p): 9 compiled instructions generated.
+  return Discounted(9.0 * model.adn_compiled_instr_ns, model);
 }
 
 ProcessResult HandHashLb::Process(Message& m, int64_t) {
@@ -95,7 +95,8 @@ ProcessResult HandHashLb::Process(Message& m, int64_t) {
 }
 
 double HandHashLb::CostNs(const sim::CostModel& model, size_t) const {
-  return Discounted(10.0 * model.adn_op_ns, model);
+  // Twin of HashLb (join on hash-derived shard + route): 12 instructions.
+  return Discounted(12.0 * model.adn_compiled_instr_ns, model);
 }
 
 ProcessResult HandCompress::Process(Message& m, int64_t) {
@@ -115,9 +116,10 @@ ProcessResult HandCompress::Process(Message& m, int64_t) {
 
 double HandCompress::CostNs(const sim::CostModel& model,
                             size_t payload_bytes) const {
+  // Twin of Compress/Decompress: 6 instructions + the codec's per-byte work.
   double per_byte = compress_ ? model.udf_compress_per_byte_ns
                               : model.udf_decompress_per_byte_ns;
-  return Discounted(5.0 * model.adn_op_ns +
+  return Discounted(6.0 * model.adn_compiled_instr_ns +
                         per_byte * static_cast<double>(payload_bytes),
                     model);
 }

@@ -51,6 +51,18 @@ class ElementInstance {
   const rpc::Table* FindTable(std::string_view name) const;
   const std::vector<rpc::Table>& tables() const { return tables_; }
 
+  // --- Compiled-executor API ----------------------------------------------
+  // The ChainProgram executor (ir/program.h) runs against this instance's
+  // state through index-based handles — resolved per call, so RestoreState
+  // swapping the table vector never leaves a dangling handle — and drives
+  // the same counters/streams Process would, keeping the two tiers
+  // observably identical.
+  rpc::Table& TableAt(size_t idx) { return tables_[idx]; }
+  Rng& rng() { return rng_; }
+  uint64_t BumpNonce() { return ++nonce_counter_; }
+  void NoteProcessed() { ++processed_; }
+  void NoteDropped() { ++dropped_; }
+
   // --- Migration support ----------------------------------------------------
   // Snapshot/restore every table (format: varint count, then table snaps).
   Bytes SnapshotState() const;

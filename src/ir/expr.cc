@@ -150,10 +150,6 @@ Result<Value> EvalComparison(BinaryOp op, const Value& a, const Value& b) {
   return Error(ErrorCode::kInternal, "unhandled comparison operator");
 }
 
-bool Truthy(const Value& v) {
-  return v.type() == ValueType::kBool && v.AsBool();
-}
-
 // Borrow the expression's value without copying when it is a literal or a
 // direct field/column reference — the operands of virtually every WHERE
 // clause and join predicate. Returns nullptr when the expression computes.
@@ -175,6 +171,42 @@ const Value* TryBorrow(const ExprNode& expr, const EvalContext& ctx) {
 }
 
 }  // namespace
+
+bool ValueTruthy(const Value& v) {
+  return v.type() == ValueType::kBool && v.AsBool();
+}
+
+Result<Value> EvalBinaryValue(BinaryOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return EvalComparison(op, a, b);
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return Error(ErrorCode::kInternal,
+                   "AND/OR must be lowered to control flow");
+    default:
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return EvalArithmetic(op, a, b);
+  }
+}
+
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (op == UnaryOp::kNegate) {
+    if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+    if (v.type() == ValueType::kFloat) return Value(-v.AsFloat());
+    return Error(ErrorCode::kTypeError, "unary '-' wants numeric");
+  }
+  if (v.type() != ValueType::kBool) {
+    return Error(ErrorCode::kTypeError, "NOT wants BOOL");
+  }
+  return Value(!v.AsBool());
+}
 
 Result<Value> EvaluateExpr(const ExprNode& expr, EvalContext& ctx) {
   switch (expr.kind) {
@@ -221,27 +253,18 @@ Result<Value> EvaluateExpr(const ExprNode& expr, EvalContext& ctx) {
     }
     case ExprNode::Kind::kUnary: {
       ADN_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr.children[0], ctx));
-      if (v.is_null()) return Value::Null();
-      if (expr.unary_op == UnaryOp::kNegate) {
-        if (v.type() == ValueType::kInt) return Value(-v.AsInt());
-        if (v.type() == ValueType::kFloat) return Value(-v.AsFloat());
-        return Error(ErrorCode::kTypeError, "unary '-' wants numeric");
-      }
-      if (v.type() != ValueType::kBool) {
-        return Error(ErrorCode::kTypeError, "NOT wants BOOL");
-      }
-      return Value(!v.AsBool());
+      return EvalUnaryValue(expr.unary_op, v);
     }
     case ExprNode::Kind::kBinary: {
       const BinaryOp op = expr.binary_op;
       if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
         // Short-circuit; NULL treated as false at this boundary.
         ADN_ASSIGN_OR_RETURN(Value lhs, EvaluateExpr(expr.children[0], ctx));
-        bool l = Truthy(lhs);
+        bool l = ValueTruthy(lhs);
         if (op == BinaryOp::kAnd && !l) return Value(false);
         if (op == BinaryOp::kOr && l) return Value(true);
         ADN_ASSIGN_OR_RETURN(Value rhs, EvaluateExpr(expr.children[1], ctx));
-        return Value(Truthy(rhs));
+        return Value(ValueTruthy(rhs));
       }
       // Comparisons over borrowable operands (field vs literal, field vs
       // joined column) evaluate copy-free — the WHERE-clause hot path.
@@ -265,7 +288,7 @@ Result<Value> EvaluateExpr(const ExprNode& expr, EvalContext& ctx) {
 
 Result<bool> EvaluatePredicate(const ExprNode& expr, EvalContext& ctx) {
   ADN_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, ctx));
-  return Truthy(v);
+  return ValueTruthy(v);
 }
 
 }  // namespace adn::ir

@@ -72,4 +72,21 @@ Result<rpc::Value> EvaluateExpr(const ExprNode& expr, EvalContext& ctx);
 // Evaluate as a predicate: NULL and non-BOOL are false.
 Result<bool> EvaluatePredicate(const ExprNode& expr, EvalContext& ctx);
 
+// --- Operator semantics shared with the compiled tier ----------------------
+// The ChainProgram executor (ir/program.h) must agree with the interpreter
+// bit-for-bit, including NULL propagation and error messages, so both tiers
+// evaluate operators through these helpers.
+
+// Predicate truthiness: only a BOOL true is true (NULL and non-BOOL false).
+bool ValueTruthy(const rpc::Value& v);
+
+// Any binary operator except AND/OR (those short-circuit and are lowered to
+// jumps by the compiler). Comparisons yield NULL on a NULL operand;
+// arithmetic/concat propagate NULL before type checks.
+Result<rpc::Value> EvalBinaryValue(dsl::BinaryOp op, const rpc::Value& a,
+                                   const rpc::Value& b);
+
+// NOT / unary minus, NULL-propagating.
+Result<rpc::Value> EvalUnaryValue(dsl::UnaryOp op, const rpc::Value& v);
+
 }  // namespace adn::ir

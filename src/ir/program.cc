@@ -1,0 +1,611 @@
+#include "ir/program.h"
+
+#include <string>
+
+#include "ir/expr.h"
+
+namespace adn::ir {
+
+using rpc::Message;
+using rpc::Row;
+using rpc::Table;
+using rpc::Value;
+using rpc::ValueType;
+
+std::string_view OpName(Instr::Op op) {
+  switch (op) {
+    case Instr::Op::kLoadConst: return "load_const";
+    case Instr::Op::kLoadField: return "load_field";
+    case Instr::Op::kLoadJoin: return "load_join";
+    case Instr::Op::kMaterialize: return "materialize";
+    case Instr::Op::kCoerceBool: return "coerce_bool";
+    case Instr::Op::kUnary: return "unary";
+    case Instr::Op::kBinary: return "binary";
+    case Instr::Op::kCall: return "call";
+    case Instr::Op::kJump: return "jump";
+    case Instr::Op::kJumpIfFalse: return "jump_if_false";
+    case Instr::Op::kJumpIfTrue: return "jump_if_true";
+    case Instr::Op::kLookupPk: return "lookup_pk";
+    case Instr::Op::kLookupScan: return "lookup_scan";
+    case Instr::Op::kClearJoin: return "clear_join";
+    case Instr::Op::kStoreField: return "store_field";
+    case Instr::Op::kProject: return "project";
+    case Instr::Op::kRouteDest: return "route_dest";
+    case Instr::Op::kInsertRow: return "insert_row";
+    case Instr::Op::kUpdateRows: return "update_rows";
+    case Instr::Op::kDeleteRows: return "delete_rows";
+    case Instr::Op::kDrop: return "drop";
+    case Instr::Op::kBeginElement: return "begin_element";
+    case Instr::Op::kSkipUnlessKind: return "skip_unless_kind";
+    case Instr::Op::kReturnPass: return "return_pass";
+    case Instr::Op::kReturnValue: return "return_value";
+  }
+  return "?";
+}
+
+uint32_t ChainProgram::TotalInstrCount() const {
+  return static_cast<uint32_t>(code.size());
+}
+
+double ChainProgram::TotalPerByteCostNs() const {
+  double total = 0.0;
+  for (const ElementSeg& e : elements) total += e.per_byte_cost_ns;
+  return total;
+}
+
+std::string ChainProgram::DebugString() const {
+  std::string out;
+  out += "ChainProgram: " + std::to_string(code.size()) + " instrs, " +
+         std::to_string(num_registers) + " regs, " +
+         std::to_string(elements.size()) + " elements\n";
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const ElementSeg& e : elements) {
+      if (e.entry_ip == i) out += "-- element " + e.name + ":\n";
+    }
+    const Instr& in = code[i];
+    out += "  " + std::to_string(i) + ": " + std::string(OpName(in.op));
+    switch (in.op) {
+      case Instr::Op::kLoadConst:
+        out += " r" + std::to_string(in.a) + " <- " +
+               consts[in.b].ToDisplayString();
+        break;
+      case Instr::Op::kLoadField:
+      case Instr::Op::kStoreField:
+        out += " r" + std::to_string(in.a) + " '" + field_names[in.b] + "'";
+        break;
+      case Instr::Op::kLoadJoin:
+        out += " r" + std::to_string(in.a) + " col" + std::to_string(in.b);
+        break;
+      case Instr::Op::kUnary:
+        out += " r" + std::to_string(in.a) + " r" + std::to_string(in.b);
+        break;
+      case Instr::Op::kBinary:
+        out += " r" + std::to_string(in.a) + " <- r" + std::to_string(in.b) +
+               " " + std::string(dsl::BinaryOpName(
+                         static_cast<dsl::BinaryOp>(in.aux))) +
+               " r" + std::to_string(in.c);
+        break;
+      case Instr::Op::kCall:
+        out += " r" + std::to_string(in.a) + " <- " + functions[in.b]->name +
+               "(r" + std::to_string(in.c) + "..+" + std::to_string(in.d) +
+               ")";
+        break;
+      case Instr::Op::kJump:
+        out += " -> " + std::to_string(in.d);
+        break;
+      case Instr::Op::kJumpIfFalse:
+      case Instr::Op::kJumpIfTrue:
+        out += " r" + std::to_string(in.a) + " -> " + std::to_string(in.d);
+        break;
+      case Instr::Op::kLookupPk:
+      case Instr::Op::kLookupScan:
+        out += " key=r" + std::to_string(in.a) + " " + tables[in.b].name +
+               " miss-> " + std::to_string(in.d);
+        break;
+      case Instr::Op::kInsertRow:
+        out += " " + tables[in.b].name + " r" + std::to_string(in.a) + "..+" +
+               std::to_string(in.d);
+        break;
+      case Instr::Op::kUpdateRows:
+      case Instr::Op::kDeleteRows:
+        out += " spec" + std::to_string(in.b);
+        break;
+      case Instr::Op::kDrop:
+        out += in.aux != 0 ? " silent" : " abort";
+        out += " '" + strings[in.b] + "'";
+        break;
+      case Instr::Op::kBeginElement:
+        out += " " + elements[in.b].name;
+        break;
+      case Instr::Op::kSkipUnlessKind:
+        out += " mask=" + std::to_string(in.aux) + " -> " +
+               std::to_string(in.d);
+        break;
+      case Instr::Op::kMaterialize:
+      case Instr::Op::kReturnValue:
+        out += " r" + std::to_string(in.a);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// Same-concrete-type comparison fast path, mirroring EvalComparison exactly:
+// kEq/kNe follow EqualsValue (IEEE == for floats, so NaN != NaN), the
+// relational ops derive from CompareTo's three-way result (NaN yields 0, so
+// <= and >= both hold against NaN). Nulls, mixed types, and every other
+// value type fall back to EvalBinaryValue.
+inline bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b,
+                        bool* out) {
+  const ValueType t = a.type();
+  if (t != b.type()) return false;
+  int c = 0;
+  switch (t) {
+    case ValueType::kInt: {
+      const int64_t x = a.AsInt(), y = b.AsInt();
+      if (op == dsl::BinaryOp::kEq) { *out = x == y; return true; }
+      if (op == dsl::BinaryOp::kNe) { *out = x != y; return true; }
+      c = x < y ? -1 : (x > y ? 1 : 0);
+      break;
+    }
+    case ValueType::kFloat: {
+      const double x = a.AsFloat(), y = b.AsFloat();
+      if (op == dsl::BinaryOp::kEq) { *out = x == y; return true; }
+      if (op == dsl::BinaryOp::kNe) { *out = x != y; return true; }
+      c = x < y ? -1 : (x > y ? 1 : 0);
+      break;
+    }
+    case ValueType::kText: {
+      const std::string& x = a.AsText();
+      const std::string& y = b.AsText();
+      if (op == dsl::BinaryOp::kEq) { *out = x == y; return true; }
+      if (op == dsl::BinaryOp::kNe) { *out = x != y; return true; }
+      const int r = x.compare(y);
+      c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+      break;
+    }
+    default:
+      return false;
+  }
+  switch (op) {
+    case dsl::BinaryOp::kLt: *out = c < 0; return true;
+    case dsl::BinaryOp::kLe: *out = c <= 0; return true;
+    case dsl::BinaryOp::kGt: *out = c > 0; return true;
+    case dsl::BinaryOp::kGe: *out = c >= 0; return true;
+    default: return false;  // arithmetic/logical op: generic path
+  }
+}
+
+struct ChainExecutor::RunState {
+  rpc::Message* msg = nullptr;
+  const Row* joined_row = nullptr;
+  FunctionContext fn_ctx;
+  int cur = -1;  // current element segment (index into instances_)
+};
+
+ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
+                             std::vector<ElementInstance*> instances)
+    : program_(std::move(program)), instances_(std::move(instances)) {
+  regs_.resize(program_->num_registers);
+  slot_.resize(program_->num_registers);
+  for (size_t i = 0; i < regs_.size(); ++i) slot_[i] = &regs_[i];
+  field_cache_.assign(program_->field_names.size(), 0);
+}
+
+Value ChainExecutor::TakeReg(uint16_t r) {
+  if (slot_[r] == &regs_[r]) return std::move(regs_[r]);
+  return *slot_[r];
+}
+
+Table* ChainExecutor::TableAt(uint16_t handle) {
+  const ChainProgram::TableRef& ref = program_->tables[handle];
+  return &instances_[ref.element]->TableAt(ref.table_idx);
+}
+
+const Value& ChainExecutor::FieldOrNull(const Message& m, uint16_t fid) {
+  static const Value kNullValue = Value::Null();
+  const auto& fields = m.fields();
+  const std::string& name = program_->field_names[fid];
+  uint32_t cached = field_cache_[fid];
+  if (cached < fields.size() && fields[cached].name == name) {
+    return fields[cached].value;
+  }
+  for (uint32_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) {
+      field_cache_[fid] = i;
+      return fields[i].value;
+    }
+  }
+  return kNullValue;
+}
+
+// Evaluate a subprogram (an UPDATE/DELETE WHERE clause or assignment value)
+// starting at `entry` until kReturnValue. Subprograms contain only
+// expression-level opcodes — the compiler never emits table/message mutation
+// inside them.
+Result<Value> ChainExecutor::RunSub(uint32_t entry, RunState& rs) {
+  const ChainProgram& p = *program_;
+  const Instr* code = p.code.data();
+  uint32_t ip = entry;
+  for (;;) {
+    const Instr& in = code[ip++];
+    switch (in.op) {
+      case Instr::Op::kLoadConst:
+        slot_[in.a] = &p.consts[in.b];
+        break;
+      case Instr::Op::kLoadField:
+        slot_[in.a] = &FieldOrNull(*rs.msg, in.b);
+        break;
+      case Instr::Op::kLoadJoin: {
+        if (rs.joined_row == nullptr) {
+          return Error(ErrorCode::kFailedPrecondition,
+                       "join field read outside a JOIN context");
+        }
+        if (in.b >= rs.joined_row->size()) {
+          return Error(ErrorCode::kInternal, "join column out of range");
+        }
+        slot_[in.a] = &(*rs.joined_row)[in.b];
+        break;
+      }
+      case Instr::Op::kMaterialize:
+        if (slot_[in.a] != &regs_[in.a]) {
+          regs_[in.a] = *slot_[in.a];
+          slot_[in.a] = &regs_[in.a];
+        }
+        break;
+      case Instr::Op::kCoerceBool: {
+        const bool t = ValueTruthy(*slot_[in.a]);
+        regs_[in.a] = Value(t);
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kUnary: {
+        ADN_ASSIGN_OR_RETURN(
+            Value v, EvalUnaryValue(static_cast<dsl::UnaryOp>(in.aux),
+                                    *slot_[in.b]));
+        regs_[in.a] = std::move(v);
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kBinary: {
+        bool fast = false;
+        if (FastCompare(static_cast<dsl::BinaryOp>(in.aux), *slot_[in.b],
+                        *slot_[in.c], &fast)) {
+          regs_[in.a] = Value(fast);
+          slot_[in.a] = &regs_[in.a];
+          break;
+        }
+        ADN_ASSIGN_OR_RETURN(
+            Value v, EvalBinaryValue(static_cast<dsl::BinaryOp>(in.aux),
+                                     *slot_[in.b], *slot_[in.c]));
+        regs_[in.a] = std::move(v);
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kCall: {
+        // len() on a borrowed register reads the size in place (same fast
+        // path as the interpreter); the generic path moves owned arguments
+        // and copies borrowed ones.
+        if (in.aux != 0) {
+          const Value& v0 = *slot_[in.c];
+          if (v0.type() == ValueType::kText) {
+            regs_[in.a] = Value(static_cast<int64_t>(v0.AsText().size()));
+            slot_[in.a] = &regs_[in.a];
+            break;
+          }
+          if (v0.type() == ValueType::kBytes) {
+            regs_[in.a] = Value(static_cast<int64_t>(v0.AsBytes().size()));
+            slot_[in.a] = &regs_[in.a];
+            break;
+          }
+        }
+        call_args_.clear();
+        for (uint32_t i = 0; i < in.d; ++i) {
+          call_args_.push_back(TakeReg(static_cast<uint16_t>(in.c + i)));
+        }
+        ADN_ASSIGN_OR_RETURN(Value v,
+                             p.functions[in.b]->eval(rs.fn_ctx, call_args_));
+        regs_[in.a] = std::move(v);
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kJump:
+        ip = in.d;
+        break;
+      case Instr::Op::kJumpIfFalse:
+        if (!ValueTruthy(*slot_[in.a])) ip = in.d;
+        break;
+      case Instr::Op::kJumpIfTrue:
+        if (ValueTruthy(*slot_[in.a])) ip = in.d;
+        break;
+      case Instr::Op::kReturnValue:
+        return *slot_[in.a];
+      default:
+        return Error(ErrorCode::kInternal,
+                     "opcode not allowed in subprogram: " +
+                         std::string(OpName(in.op)));
+    }
+  }
+}
+
+// Mirrors ElementInstance::RunStatement's kUpdate: two-phase row collection
+// with the row bound as the join context, then upsert re-insertion.
+Status ChainExecutor::ExecUpdate(const ChainProgram::UpdateSpec& spec,
+                                 RunState& rs) {
+  Table* table = TableAt(spec.table);
+  std::vector<Row> updated;
+  for (const Row& row : table->rows()) {
+    rs.joined_row = &row;
+    bool hit = true;
+    if (spec.where_entry != ChainProgram::kNoSub) {
+      auto pass = RunSub(spec.where_entry, rs);
+      if (!pass.ok()) {
+        rs.joined_row = nullptr;
+        return pass.status();
+      }
+      hit = ValueTruthy(pass.value());
+    }
+    if (!hit) continue;
+    Row next = row;
+    for (const auto& [col, entry] : spec.assignments) {
+      auto v = RunSub(entry, rs);
+      if (!v.ok()) {
+        rs.joined_row = nullptr;
+        return v.status();
+      }
+      next[col] = std::move(v).value();
+    }
+    updated.push_back(std::move(next));
+  }
+  rs.joined_row = nullptr;
+  for (Row& row : updated) {
+    ADN_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Status ChainExecutor::ExecDelete(const ChainProgram::DeleteSpec& spec,
+                                 RunState& rs) {
+  Table* table = TableAt(spec.table);
+  if (spec.where_entry == ChainProgram::kNoSub) {
+    table->Clear();
+    return Status::Ok();
+  }
+  std::vector<char> doomed(table->RowCount(), 0);
+  size_t i = 0;
+  for (const Row& row : table->rows()) {
+    rs.joined_row = &row;
+    auto pass = RunSub(spec.where_entry, rs);
+    if (!pass.ok()) {
+      rs.joined_row = nullptr;
+      return pass.status();
+    }
+    doomed[i++] = ValueTruthy(pass.value()) ? 1 : 0;
+  }
+  rs.joined_row = nullptr;
+  size_t idx = 0;
+  table->EraseWhere([&](const Row&) { return doomed[idx++] != 0; });
+  return Status::Ok();
+}
+
+ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
+  const ChainProgram& p = *program_;
+  RunState rs;
+  rs.msg = &m;
+  rs.fn_ctx.message = &m;
+  rs.fn_ctx.now_ns = now_ns;
+
+  // Matches the interpreter's contract: any non-pass outcome (drops and
+  // runtime errors alike) counts as a drop on the element that produced it.
+  auto abort_with = [&](std::string message) {
+    if (rs.cur >= 0) instances_[rs.cur]->NoteDropped();
+    ProcessResult r;
+    r.outcome = ProcessOutcome::kDropAbort;
+    r.abort_message = std::move(message);
+    return r;
+  };
+
+  const Instr* code = p.code.data();
+  uint32_t ip = 0;
+  for (;;) {
+    const Instr& in = code[ip++];
+    switch (in.op) {
+      case Instr::Op::kLoadConst:
+        slot_[in.a] = &p.consts[in.b];
+        break;
+      case Instr::Op::kLoadField:
+        slot_[in.a] = &FieldOrNull(m, in.b);
+        break;
+      case Instr::Op::kLoadJoin: {
+        if (rs.joined_row == nullptr) {
+          return abort_with(
+              Status(ErrorCode::kFailedPrecondition,
+                     "join field read outside a JOIN context")
+                  .ToString());
+        }
+        if (in.b >= rs.joined_row->size()) {
+          return abort_with(
+              Status(ErrorCode::kInternal, "join column out of range")
+                  .ToString());
+        }
+        slot_[in.a] = &(*rs.joined_row)[in.b];
+        break;
+      }
+      case Instr::Op::kMaterialize:
+        if (slot_[in.a] != &regs_[in.a]) {
+          regs_[in.a] = *slot_[in.a];
+          slot_[in.a] = &regs_[in.a];
+        }
+        break;
+      case Instr::Op::kCoerceBool: {
+        const bool t = ValueTruthy(*slot_[in.a]);
+        regs_[in.a] = Value(t);
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kUnary: {
+        auto v = EvalUnaryValue(static_cast<dsl::UnaryOp>(in.aux),
+                                *slot_[in.b]);
+        if (!v.ok()) return abort_with(v.error().ToString());
+        regs_[in.a] = std::move(v).value();
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kBinary: {
+        bool fast = false;
+        if (FastCompare(static_cast<dsl::BinaryOp>(in.aux), *slot_[in.b],
+                        *slot_[in.c], &fast)) {
+          regs_[in.a] = Value(fast);
+          slot_[in.a] = &regs_[in.a];
+          break;
+        }
+        auto v = EvalBinaryValue(static_cast<dsl::BinaryOp>(in.aux),
+                                 *slot_[in.b], *slot_[in.c]);
+        if (!v.ok()) return abort_with(v.error().ToString());
+        regs_[in.a] = std::move(v).value();
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kCall: {
+        if (in.aux != 0) {
+          const Value& v0 = *slot_[in.c];
+          if (v0.type() == ValueType::kText) {
+            regs_[in.a] = Value(static_cast<int64_t>(v0.AsText().size()));
+            slot_[in.a] = &regs_[in.a];
+            break;
+          }
+          if (v0.type() == ValueType::kBytes) {
+            regs_[in.a] = Value(static_cast<int64_t>(v0.AsBytes().size()));
+            slot_[in.a] = &regs_[in.a];
+            break;
+          }
+        }
+        call_args_.clear();
+        for (uint32_t i = 0; i < in.d; ++i) {
+          call_args_.push_back(TakeReg(static_cast<uint16_t>(in.c + i)));
+        }
+        auto v = p.functions[in.b]->eval(rs.fn_ctx, call_args_);
+        if (!v.ok()) return abort_with(v.error().ToString());
+        regs_[in.a] = std::move(v).value();
+        slot_[in.a] = &regs_[in.a];
+        break;
+      }
+      case Instr::Op::kJump:
+        ip = in.d;
+        break;
+      case Instr::Op::kJumpIfFalse:
+        if (!ValueTruthy(*slot_[in.a])) ip = in.d;
+        break;
+      case Instr::Op::kJumpIfTrue:
+        if (ValueTruthy(*slot_[in.a])) ip = in.d;
+        break;
+      case Instr::Op::kLookupPk: {
+        const Row* match = TableAt(in.b)->LookupSingleKey(*slot_[in.a]);
+        if (match == nullptr) {
+          ip = in.d;
+        } else {
+          rs.joined_row = match;
+        }
+        break;
+      }
+      case Instr::Op::kLookupScan: {
+        const Value& key = *slot_[in.a];
+        const size_t col = in.c;
+        const Row* match = TableAt(in.b)->FindFirst(
+            [&](const Row& row) { return row[col].EqualsValue(key); });
+        if (match == nullptr) {
+          ip = in.d;
+        } else {
+          rs.joined_row = match;
+        }
+        break;
+      }
+      case Instr::Op::kClearJoin:
+        rs.joined_row = nullptr;
+        break;
+      case Instr::Op::kStoreField:
+        m.SetField(p.field_names[in.b], TakeReg(in.a));
+        break;
+      case Instr::Op::kProject: {
+        const std::vector<uint16_t>& keep = p.keep_lists[in.b];
+        std::vector<std::string> to_remove;
+        for (const auto& f : m.fields()) {
+          bool kept = false;
+          for (uint16_t fid : keep) {
+            if (f.name == p.field_names[fid]) {
+              kept = true;
+              break;
+            }
+          }
+          if (!kept) to_remove.push_back(f.name);
+        }
+        for (const auto& f : to_remove) m.RemoveField(f);
+        break;
+      }
+      case Instr::Op::kRouteDest: {
+        if (const Value* dest = m.FindField(kDestinationField);
+            dest != nullptr && dest->type() == ValueType::kInt) {
+          m.set_destination(static_cast<rpc::EndpointId>(dest->AsInt()));
+        }
+        break;
+      }
+      case Instr::Op::kInsertRow: {
+        Row row;
+        row.reserve(in.d);
+        for (uint32_t i = 0; i < in.d; ++i) {
+          row.push_back(TakeReg(static_cast<uint16_t>(in.a + i)));
+        }
+        if (Status s = TableAt(in.b)->Insert(std::move(row)); !s.ok()) {
+          return abort_with(s.ToString());
+        }
+        break;
+      }
+      case Instr::Op::kUpdateRows: {
+        if (Status s = ExecUpdate(p.update_specs[in.b], rs); !s.ok()) {
+          return abort_with(s.ToString());
+        }
+        break;
+      }
+      case Instr::Op::kDeleteRows: {
+        if (Status s = ExecDelete(p.delete_specs[in.b], rs); !s.ok()) {
+          return abort_with(s.ToString());
+        }
+        break;
+      }
+      case Instr::Op::kDrop: {
+        if (rs.cur >= 0) instances_[rs.cur]->NoteDropped();
+        ProcessResult r;
+        r.outcome = in.aux != 0 ? ProcessOutcome::kDropSilent
+                                : ProcessOutcome::kDropAbort;
+        r.abort_message = p.strings[in.b];
+        return r;
+      }
+      case Instr::Op::kBeginElement: {
+        ElementInstance* inst = instances_[in.b];
+        inst->NoteProcessed();
+        rs.fn_ctx.rng = &inst->rng();
+        rs.fn_ctx.nonce = inst->BumpNonce();
+        rs.cur = in.b;
+        rs.joined_row = nullptr;
+        break;
+      }
+      case Instr::Op::kSkipUnlessKind:
+        if ((in.aux & (1u << static_cast<uint8_t>(m.kind()))) == 0) {
+          ip = in.d;
+        }
+        break;
+      case Instr::Op::kReturnPass:
+        return ProcessResult::Pass();
+      case Instr::Op::kReturnValue:
+        return abort_with(
+            Status(ErrorCode::kInternal,
+                   "return_value reached outside a subprogram")
+                .ToString());
+    }
+  }
+}
+
+}  // namespace adn::ir

@@ -1,0 +1,181 @@
+// ChainProgram: the compiled execution tier (paper §4 Q2).
+//
+// The reference semantics of an element live in the StmtIr tree that
+// ElementInstance::Process interprets per message — with a recursive
+// expression walk, string-compared field lookups and by-name table lookups
+// on every access. The paper's performance claim (Figure 5) rests on the
+// compiler lowering the whole chain to platform-native code, so this file
+// defines what the native software tier executes: one flat, register-based
+// instruction stream for an entire optimized chain, with
+//
+//   - a constant pool (literals materialized once at compile time),
+//   - interned field IDs (field-name resolution done once by the compiler;
+//     the executor keeps a per-field index cache into the message tuple),
+//   - table handles (element index, table index) bound to the deployed
+//     ElementInstances at deploy time — by index, so a state restore that
+//     swaps the table vector never invalidates the program.
+//
+// Deliberately NOT in the program: element state. Tables, RNG streams and
+// nonce counters stay inside ElementInstance, which is what keeps
+// SnapshotState/SplitState/MergeState and controller migration working
+// unchanged whichever tier executes (the program is immutable shared code;
+// instances are the movable state).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/element_ir.h"
+#include "ir/exec.h"
+#include "rpc/message.h"
+
+namespace adn::ir {
+
+// One fixed-width instruction. `a`, `b`, `c` are register/pool operands,
+// `d` doubles as a jump target or an argument count, `aux` carries small
+// immediates (binary operator, drop kind, message-kind mask).
+struct Instr {
+  enum class Op : uint8_t {
+    kLoadConst,      // r[a] = consts[b]
+    kLoadField,      // r[a] = message[field b] (NULL when absent)
+    kLoadJoin,       // r[a] = joined_row[b]; error when no row is bound
+    kMaterialize,    // pin r[a]: copy a borrowed value into the register
+    kCoerceBool,     // r[a] = BOOL(truthy(r[a]))
+    kUnary,          // r[a] = aux(UnaryOp) r[b]
+    kBinary,         // r[a] = r[b] aux(BinaryOp) r[c]   (not AND/OR)
+    kCall,           // r[a] = functions[b](r[c] .. r[c+d-1])
+    kJump,           // ip = d
+    kJumpIfFalse,    // if !truthy(r[a]) ip = d
+    kJumpIfTrue,     // if truthy(r[a]) ip = d
+    kLookupPk,       // bind join row: tables[b] PK lookup of r[a]; miss: ip=d
+    kLookupScan,     // bind join row: scan tables[b] column c == r[a]; miss: d
+    kClearJoin,      // unbind the join row
+    kStoreField,     // message[field b] = move(r[a])
+    kProject,        // drop every message field not in keep_lists[b]
+    kRouteDest,      // steer on __destination (after every SELECT)
+    kInsertRow,      // tables[b].Insert({r[a] .. r[a+d-1]})
+    kUpdateRows,     // run update_specs[b] (row loop with subprograms)
+    kDeleteRows,     // run delete_specs[b]
+    kDrop,           // stop: aux!=0 silent else abort, message strings[b]
+    kBeginElement,   // enter elements[b]: bump processed/nonce, bind state
+    kSkipUnlessKind, // if !(aux & (1 << message kind)) ip = d  (chain mode)
+    kReturnPass,     // end of chain: ProcessResult::Pass()
+    kReturnValue,    // end of subprogram: value is r[a]
+  };
+
+  Op op;
+  uint8_t aux = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint16_t c = 0;
+  uint32_t d = 0;
+};
+
+std::string_view OpName(Instr::Op op);
+
+// Compiled form of one whole chain (or one element when the engine compiles
+// stages individually). Immutable and shareable across deployments.
+struct ChainProgram {
+  // Subprogram entry point meaning "no subprogram" (absent WHERE).
+  static constexpr uint32_t kNoSub = 0xFFFFFFFF;
+
+  struct TableRef {
+    uint16_t element = 0;    // index into the bound instance vector
+    uint16_t table_idx = 0;  // index into that instance's table vector
+    std::string name;        // diagnostics only
+  };
+
+  struct UpdateSpec {
+    uint16_t table = 0;
+    uint32_t where_entry = kNoSub;
+    // column index -> subprogram entry evaluating the new value.
+    std::vector<std::pair<uint16_t, uint32_t>> assignments;
+  };
+
+  struct DeleteSpec {
+    uint16_t table = 0;
+    uint32_t where_entry = kNoSub;
+  };
+
+  // Per-element segment metadata: the simulator's cost model keys compiled
+  // execution cost off `instr_count` (instructions in the segment, including
+  // its subprograms) instead of the interpreter's IR op count.
+  struct ElementSeg {
+    std::string name;
+    dsl::Direction direction = dsl::Direction::kRequest;
+    uint32_t entry_ip = 0;
+    uint32_t instr_count = 0;
+    double per_byte_cost_ns = 0.0;  // summed UDF per-byte costs (compress...)
+  };
+
+  std::vector<Instr> code;
+  std::vector<rpc::Value> consts;
+  std::vector<std::string> strings;      // drop/abort messages
+  std::vector<std::string> field_names;  // interned field-ID table
+  std::vector<const FunctionDef*> functions;
+  std::vector<TableRef> tables;
+  std::vector<std::vector<uint16_t>> keep_lists;  // projection keep sets
+  std::vector<UpdateSpec> update_specs;
+  std::vector<DeleteSpec> delete_specs;
+  std::vector<ElementSeg> elements;
+  uint16_t num_registers = 0;
+
+  uint32_t TotalInstrCount() const;
+  double TotalPerByteCostNs() const;
+  // Disassembly for tests/tools (one instruction per line).
+  std::string DebugString() const;
+};
+
+// Executes a ChainProgram against the tabular state of the deployed
+// ElementInstances. The executor owns only transient run state (register
+// file, field-index cache); everything durable stays in the instances, so
+// snapshot/restore/split/merge and stage migration behave identically under
+// either tier.
+class ChainExecutor {
+ public:
+  // `instances[i]` backs the program's element segment i. Pointers are
+  // borrowed; the caller keeps them alive across Process calls.
+  ChainExecutor(std::shared_ptr<const ChainProgram> program,
+                std::vector<ElementInstance*> instances);
+
+  // Run the whole program on `m` in place. Mirrors the interpreter contract:
+  // per-element processed/dropped counters and the nonce/RNG streams advance
+  // exactly as ElementInstance::Process would.
+  ProcessResult Process(rpc::Message& m, int64_t now_ns);
+
+  const ChainProgram& program() const { return *program_; }
+
+ private:
+  struct RunState;
+  Result<rpc::Value> RunSub(uint32_t entry, RunState& rs);
+  Status ExecUpdate(const ChainProgram::UpdateSpec& spec, RunState& rs);
+  Status ExecDelete(const ChainProgram::DeleteSpec& spec, RunState& rs);
+  rpc::Table* TableAt(uint16_t handle);
+  const rpc::Value& FieldOrNull(const rpc::Message& m, uint16_t fid);
+  // Take ownership of register r: move when the register owns its value,
+  // copy when it borrows (const pool / message field / join column).
+  rpc::Value TakeReg(uint16_t r);
+
+  std::shared_ptr<const ChainProgram> program_;
+  std::vector<ElementInstance*> instances_;
+  // Borrow-aware register file. Reads always go through slot_[r]; loads set
+  // the slot to point at the source in place (no copy), computed results
+  // land in regs_[r] with slot_[r] == &regs_[r]. Borrowed pointers never
+  // outlive their source: const-pool and join-row borrows are stable for the
+  // statement that created them, and the compiler emits kMaterialize to pin
+  // message-field borrows before any store/projection can move the field
+  // vector. regs_ never resizes after construction, so &regs_[r] is stable.
+  std::vector<rpc::Value> regs_;
+  std::vector<const rpc::Value*> slot_;
+  // Per-field-ID cached index into the message field vector, validated by a
+  // single name compare per access (messages stream through one executor, so
+  // the layout repeats and the cache almost always hits).
+  std::vector<uint32_t> field_cache_;
+  // Reused across calls/messages so the hot loop never reallocates. Safe to
+  // share between the main loop and subprograms: each kCall fills and
+  // consumes it within one instruction.
+  std::vector<rpc::Value> call_args_;
+};
+
+}  // namespace adn::ir

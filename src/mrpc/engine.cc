@@ -3,11 +3,29 @@
 #include <algorithm>
 
 #include "compiler/backend.h"
+#include "compiler/chain_compile.h"
 
 namespace adn::mrpc {
 
+GeneratedStage::GeneratedStage(std::shared_ptr<const ir::ElementIr> code,
+                               uint64_t seed)
+    : instance_(std::move(code), seed) {
+  // Lower to the compiled tier; fall back to the tree-walking interpreter
+  // when the element has no SQL body (filter ops).
+  auto program = compiler::CompileElementProgram(instance_.code());
+  if (program.ok()) {
+    program_ = std::move(program).value();
+    executor_.emplace(program_, std::vector<ir::ElementInstance*>{&instance_});
+  }
+}
+
 double GeneratedStage::CostNs(const sim::CostModel& model,
                               size_t payload_bytes) const {
+  if (program_ != nullptr) {
+    const ir::ChainProgram::ElementSeg& seg = program_->elements[0];
+    return model.CompiledElementCostNs(seg.instr_count, seg.per_byte_cost_ns,
+                                       payload_bytes);
+  }
   return compiler::EstimateCostNs(instance_.code(),
                                   compiler::TargetPlatform::kNative, model,
                                   payload_bytes);

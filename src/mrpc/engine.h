@@ -9,10 +9,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ir/exec.h"
+#include "ir/program.h"
 #include "rpc/message.h"
 #include "sim/cost_model.h"
 
@@ -31,28 +33,39 @@ class EngineStage {
                         size_t payload_bytes) const = 0;
 };
 
-// A compiler-generated stage: wraps an ElementInstance (interpreted plan).
+// A compiler-generated stage. The element is lowered to a flat ChainProgram
+// at construction and executed by the register-based ChainExecutor; the
+// StmtIr tree stays on the ElementInstance as reference semantics (and as
+// the fallback for anything the lowering declines, e.g. filter elements).
+// State lives in the ElementInstance either way, so controller-side
+// seeding, snapshot and migration code is tier-agnostic.
 class GeneratedStage : public EngineStage {
  public:
   explicit GeneratedStage(std::shared_ptr<const ir::ElementIr> code,
-                          uint64_t seed)
-      : instance_(std::move(code), seed) {}
+                          uint64_t seed);
 
   std::string_view name() const override { return instance_.name(); }
   bool AppliesTo(rpc::MessageKind kind) const override {
     return instance_.AppliesTo(kind);
   }
   ir::ProcessResult Process(rpc::Message& message, int64_t now_ns) override {
+    if (executor_.has_value()) return executor_->Process(message, now_ns);
     return instance_.Process(message, now_ns);
   }
   double CostNs(const sim::CostModel& model,
                 size_t payload_bytes) const override;
+
+  // True when this stage runs the compiled tier (vs the interpreter).
+  bool compiled() const { return executor_.has_value(); }
+  const ir::ChainProgram* program() const { return program_.get(); }
 
   ir::ElementInstance& instance() { return instance_; }
   const ir::ElementInstance& instance() const { return instance_; }
 
  private:
   ir::ElementInstance instance_;
+  std::shared_ptr<const ir::ChainProgram> program_;
+  std::optional<ir::ChainExecutor> executor_;  // bound to &instance_
 };
 
 // An engine chain bound to one processor site.

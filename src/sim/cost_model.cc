@@ -2,6 +2,14 @@
 
 namespace adn::sim {
 
+double CostModel::CompiledElementCostNs(uint32_t instr_count,
+                                        double per_byte_ns,
+                                        size_t payload_bytes) const {
+  return static_cast<double>(instr_count) *
+             static_cast<double>(adn_compiled_instr_ns) +
+         per_byte_ns * static_cast<double>(payload_bytes);
+}
+
 const CostModel& CostModel::Default() {
   static const CostModel model;
   return model;

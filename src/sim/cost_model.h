@@ -91,9 +91,13 @@ struct CostModel {
   SimTime adn_codec_ns = 800;
 
   // --- Compiled ADN element execution (on a software processor) ------------
-  // Per-IR-op interpreter step for generated plans. Hand-coded modules skip
-  // plan dispatch; the measured 3-12% gap comes out of these two knobs.
+  // Per-IR-op cost when a generated plan is tree-walked by the reference
+  // interpreter (string-compared field lookups, recursive expression walk).
   SimTime adn_op_ns = 400;
+  // Per-instruction cost of the flat ChainProgram bytecode tier (interned
+  // field IDs, indexed table handles, no per-node dispatch): cheaper than an
+  // interpreter op, which is the compiled tier's whole point.
+  SimTime adn_compiled_instr_ns = 300;
   SimTime adn_handcoded_discount_num = 89;  // hand-coded = op cost * 0.89
   // Per-byte UDF costs (compression modeled after LZ4-class codecs).
   double udf_compress_per_byte_ns = 1.9;
@@ -115,6 +119,13 @@ struct CostModel {
   // --- Wire ------------------------------------------------------------------
   SimTime wire_propagation_ns = 3'000;  // same-rack RTT/2 ~ 3us
   double wire_bandwidth_gbps = 25.0;
+
+  // Cost of one message through a compiled element segment: instruction
+  // count times the bytecode step cost, plus the segment's payload-size-
+  // dependent UDF work. All three execution layers (mRPC engine stages, the
+  // mesh-path ADN filter, simulator stations) key compiled cost off this.
+  double CompiledElementCostNs(uint32_t instr_count, double per_byte_ns,
+                               size_t payload_bytes) const;
 
   static const CostModel& Default();
 };

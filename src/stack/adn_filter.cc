@@ -1,0 +1,65 @@
+#include "stack/adn_filter.h"
+
+namespace adn::stack {
+
+AdnChainFilter::AdnChainFilter(
+    std::shared_ptr<const ir::ChainProgram> program,
+    std::vector<std::shared_ptr<const ir::ElementIr>> elements,
+    const rpc::Schema& request_schema, uint64_t seed)
+    : program_(std::move(program)), proto_schema_(request_schema) {
+  instances_.reserve(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    instances_.push_back(
+        std::make_unique<ir::ElementInstance>(elements[i], seed + i));
+  }
+  std::vector<ir::ElementInstance*> raw;
+  raw.reserve(instances_.size());
+  for (auto& inst : instances_) raw.push_back(inst.get());
+  executor_ = std::make_unique<ir::ChainExecutor>(program_, std::move(raw));
+}
+
+FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
+  // The proxy boundary forces a decode: elements operate on typed tuples,
+  // the mesh delivers proto bytes.
+  auto decoded = ProtoDecode(*ctx.body, proto_schema_);
+  if (!decoded.ok()) {
+    return {FilterAction::kAbort, 400, decoded.error().ToString()};
+  }
+  rpc::Message m = std::move(decoded).value();
+  m.set_kind(ctx.is_request ? rpc::MessageKind::kRequest
+                            : rpc::MessageKind::kResponse);
+  // gRPC stream ids are 2*rpc_id+1 on this path; recover the id so rpc_id()
+  // agrees with the engine tiers.
+  m.set_id(ctx.stream_id / 2);
+
+  ir::ProcessResult r = executor_->Process(m, /*now_ns=*/0);
+  if (r.outcome == ir::ProcessOutcome::kDropAbort) {
+    return {FilterAction::kAbort, 403, std::move(r.abort_message)};
+  }
+  if (r.outcome == ir::ProcessOutcome::kDropSilent) {
+    // A proxy cannot truly vanish an in-stream request; closest mesh
+    // behavior is a 503 with no detail.
+    return {FilterAction::kAbort, 503, std::move(r.abort_message)};
+  }
+
+  auto encoded = ProtoEncode(m, proto_schema_);
+  if (!encoded.ok()) {
+    return {FilterAction::kAbort, 500, encoded.error().ToString()};
+  }
+  *ctx.body = std::move(encoded).value();
+  return {};
+}
+
+sim::SimTime AdnChainFilter::CostNs(const sim::CostModel& model) const {
+  // Compiled-tier execution cost (instruction counts) plus the typed
+  // decode/encode the proxy boundary forces on the chain.
+  double total = 2.0 * static_cast<double>(model.adn_codec_ns);
+  for (const auto& seg : program_->elements) {
+    total += model.CompiledElementCostNs(seg.instr_count,
+                                         /*per_byte_ns=*/0.0,
+                                         /*payload_bytes=*/0);
+  }
+  return static_cast<sim::SimTime>(total);
+}
+
+}  // namespace adn::stack

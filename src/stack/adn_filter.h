@@ -1,0 +1,47 @@
+// AdnChainFilter: a compiled ADN chain hosted inside the sidecar proxy.
+//
+// This is the mesh-path deployment of the ChainProgram tier: instead of a
+// list of generic Envoy filters each re-matching header maps, the whole ADN
+// chain runs as one flat program over the *typed* message decoded from the
+// gRPC payload. It pays the proxy's parse/re-encode boundary once (the
+// layering the mesh imposes) but the element logic itself executes exactly
+// as it does on an mRPC engine — same ChainExecutor, same ElementInstance
+// state, so the differential harness can compare tiers end to end.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/exec.h"
+#include "ir/program.h"
+#include "stack/envoy.h"
+#include "stack/proto_codec.h"
+
+namespace adn::stack {
+
+class AdnChainFilter : public EnvoyFilter {
+ public:
+  // `program` must have been compiled from `elements` (one segment each,
+  // kind guards on, since one sidecar filter sees both directions).
+  // `request_schema` defines the proto layout of the gRPC payload.
+  AdnChainFilter(std::shared_ptr<const ir::ChainProgram> program,
+                 std::vector<std::shared_ptr<const ir::ElementIr>> elements,
+                 const rpc::Schema& request_schema, uint64_t seed);
+
+  std::string_view name() const override { return "adn.chain"; }
+  FilterResult OnMessage(FilterContext& ctx) override;
+  sim::SimTime CostNs(const sim::CostModel& model) const override;
+
+  // State access for controller-style seeding (rule tables etc.).
+  ir::ElementInstance& instance(size_t i) { return *instances_[i]; }
+  size_t instance_count() const { return instances_.size(); }
+  const ir::ChainProgram& program() const { return *program_; }
+
+ private:
+  std::shared_ptr<const ir::ChainProgram> program_;
+  ProtoSchema proto_schema_;
+  std::vector<std::unique_ptr<ir::ElementInstance>> instances_;
+  std::unique_ptr<ir::ChainExecutor> executor_;
+};
+
+}  // namespace adn::stack

@@ -185,6 +185,7 @@ Result<EnvoySidecar::Output> EnvoySidecar::ProcessMessage(
   ctx.headers = &msg.headers;
   ctx.body = &msg.grpc_payload;
   ctx.is_request = is_request;
+  ctx.stream_id = msg.stream_id;
   ctx.rng = &rng_;
   ctx.access_log = &access_log_;
   for (const auto& filter : filters_) {

@@ -42,6 +42,7 @@ struct FilterContext {
   HeaderList* headers = nullptr;
   Bytes* body = nullptr;  // gRPC payload (proto bytes)
   bool is_request = true;
+  uint32_t stream_id = 0;  // HTTP/2 stream carrying this message
   Rng* rng = nullptr;
   std::vector<std::string>* access_log = nullptr;
 };

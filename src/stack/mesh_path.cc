@@ -40,6 +40,13 @@ struct Experiment {
     for (const auto& factory : cfg.filters) {
       server_sidecar.AddFilter(factory());
     }
+    if (cfg.adn_chain.has_value()) {
+      auto filter = std::make_unique<AdnChainFilter>(
+          cfg.adn_chain->program, cfg.adn_chain->elements,
+          cfg.request_schema, cfg.adn_chain->seed);
+      if (cfg.adn_chain->seed_state) cfg.adn_chain->seed_state(*filter);
+      server_sidecar.AddFilter(std::move(filter));
+    }
   }
 
   const MeshConfig& cfg;

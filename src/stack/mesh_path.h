@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "common/rng.h"
 #include "rpc/message.h"
@@ -22,10 +23,22 @@
 #include "sim/simulator.h"
 #include "sim/station.h"
 #include "sim/stats.h"
+#include "stack/adn_filter.h"
 #include "stack/envoy.h"
 #include "stack/proto_codec.h"
 
 namespace adn::stack {
+
+// Deploy a compiled ADN chain at the server sidecar (the "ADN inside the
+// mesh" configuration): the whole chain executes as one ChainProgram over
+// the typed message instead of a list of generic Envoy filters.
+struct AdnChainConfig {
+  std::shared_ptr<const ir::ChainProgram> program;
+  std::vector<std::shared_ptr<const ir::ElementIr>> elements;
+  uint64_t seed = 1;
+  // Called once after the filter is built, to populate rule tables.
+  std::function<void(AdnChainFilter&)> seed_state;
+};
 
 struct MeshConfig {
   std::string label = "gRPC+Envoy";
@@ -48,6 +61,10 @@ struct MeshConfig {
   // optionally adds egress processing at the caller's sidecar.
   std::vector<std::function<std::unique_ptr<EnvoyFilter>()>> filters;
   std::vector<std::function<std::unique_ptr<EnvoyFilter>()>> client_filters;
+
+  // When set, the compiled chain is installed at the server sidecar after
+  // any `filters` above (ADN-over-mesh hybrid deployment).
+  std::optional<AdnChainConfig> adn_chain;
 };
 
 struct MeshResult {

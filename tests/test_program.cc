@@ -1,0 +1,366 @@
+// ChainProgram executor tests: program structure, whole-chain execution
+// with kind guards, the mesh-path deployment, and migration invariance of
+// the compiled tier (state stays in ElementInstance, so snapshot/restore,
+// split/merge behave identically under either executor).
+#include <gtest/gtest.h>
+
+#include "compiler/chain_compile.h"
+#include "compiler/compiler.h"
+#include "compiler/lower.h"
+#include "core/network.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+#include "ir/program.h"
+#include "stack/mesh_path.h"
+
+namespace adn {
+namespace {
+
+using ir::ProcessOutcome;
+using rpc::Message;
+using rpc::Value;
+
+compiler::ProgramIr Lower(const std::string& source) {
+  auto parsed = dsl::ParseProgram(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto program = compiler::LowerProgram(*parsed);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+std::shared_ptr<const ir::ElementIr> LowerNamed(const std::string& source,
+                                                const std::string& name) {
+  auto program = Lower(source);
+  auto element = program.FindElement(name);
+  EXPECT_NE(element, nullptr) << name;
+  return element;
+}
+
+// --- Program structure ---------------------------------------------------------
+
+TEST(ChainProgram, CompilesAclToExpectedShape) {
+  auto code = LowerNamed(std::string(elements::AclTableSql()) +
+                             std::string(elements::AclSql()),
+                         "Acl");
+  auto program = compiler::CompileElementProgram(*code);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const ir::ChainProgram& p = *program.value();
+  ASSERT_EQ(p.elements.size(), 1u);
+  EXPECT_EQ(p.elements[0].name, "Acl");
+  // The hand-coded twins in elements/handcoded.cc are calibrated against
+  // these instruction counts; a codegen change that shifts them must
+  // recalibrate the twins to keep the 3-12% band.
+  EXPECT_EQ(p.elements[0].instr_count, 11u);
+  EXPECT_GT(p.num_registers, 0);
+  std::string listing = p.DebugString();
+  EXPECT_NE(listing.find("lookup"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("drop"), std::string::npos) << listing;
+}
+
+TEST(ChainProgram, TwinCalibrationInstructionCounts) {
+  struct Case {
+    std::string source;
+    const char* name;
+    uint32_t instr_count;
+  };
+  std::vector<Case> cases = {
+      {std::string(elements::LogTableSql()) +
+           std::string(elements::LoggingSql()),
+       "Logging", 6},
+      {std::string(elements::FaultSql()), "Fault", 9},
+      {std::string(elements::EndpointsTableSql()) +
+           std::string(elements::HashLbSql()),
+       "HashLb", 12},
+      {std::string(elements::CompressSql()), "Compress", 6},
+  };
+  for (const auto& c : cases) {
+    auto code = LowerNamed(c.source, c.name);
+    auto program = compiler::CompileElementProgram(*code);
+    ASSERT_TRUE(program.ok()) << c.name << ": "
+                              << program.status().ToString();
+    EXPECT_EQ(program.value()->elements[0].instr_count, c.instr_count)
+        << c.name;
+  }
+}
+
+TEST(ChainProgram, FilterElementsAreRejected) {
+  auto program = Lower(std::string(elements::RateLimitFilterSql()));
+  auto filter = program.FindElement("Limiter");
+  ASSERT_NE(filter, nullptr);
+  auto compiled = compiler::CompileElementProgram(*filter);
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ChainProgram, CompileSourceAttachesProgramToChain) {
+  compiler::Compiler c;
+  auto compiled = c.CompileSource(elements::Fig5ProgramSource(), {});
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const compiler::CompiledChain* chain = compiled->FindChain("fig5");
+  ASSERT_NE(chain, nullptr);
+  ASSERT_NE(chain->program, nullptr);
+  EXPECT_EQ(chain->program->elements.size(), 3u);
+  EXPECT_GT(chain->program->TotalInstrCount(), 0u);
+}
+
+// --- Whole-chain execution with kind guards -----------------------------------
+
+TEST(ChainExecutor, KindGuardSkipsNonMatchingElements) {
+  auto code = LowerNamed(std::string(elements::FaultSql()), "Fault");
+  auto program =
+      compiler::CompileChainProgram({code}, compiler::ChainCompileOptions{});
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ir::ElementInstance inst(code, 5);
+  ir::ChainExecutor exec(program.value(), {&inst});
+  Message m = Message::MakeRequest(1, "M", {{"payload", Value(Bytes{1})}});
+  Message resp = Message::MakeResponse(m, {{"payload", Value(Bytes{2})}});
+  EXPECT_EQ(exec.Process(resp, 0).outcome, ProcessOutcome::kPass);
+  // Fault is ON REQUEST: the response never entered the element.
+  EXPECT_EQ(inst.processed(), 0u);
+}
+
+TEST(ChainExecutor, Fig5ChainMatchesInterpreterOnMixedKinds) {
+  auto lowered = Lower(elements::Fig5ProgramSource());
+  std::vector<std::shared_ptr<const ir::ElementIr>> elements = {
+      lowered.FindElement("Logging"), lowered.FindElement("Acl"),
+      lowered.FindElement("Fault")};
+  for (const auto& e : elements) ASSERT_NE(e, nullptr);
+
+  auto program = compiler::CompileChainProgram(elements, {});
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  std::vector<std::unique_ptr<ir::ElementInstance>> interp;
+  std::vector<std::unique_ptr<ir::ElementInstance>> compiled;
+  std::vector<ir::ElementInstance*> raw;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    interp.push_back(std::make_unique<ir::ElementInstance>(elements[i], i + 1));
+    compiled.push_back(
+        std::make_unique<ir::ElementInstance>(elements[i], i + 1));
+    raw.push_back(compiled.back().get());
+  }
+  for (auto* set : {&interp, &compiled}) {
+    rpc::Table* acl = (*set)[1]->FindTable("ac_tab");
+    ASSERT_NE(acl, nullptr);
+    ASSERT_TRUE(acl->Insert({Value("alice"), Value("W")}).ok());
+    ASSERT_TRUE(acl->Insert({Value("bob"), Value("R")}).ok());
+  }
+  ir::ChainExecutor exec(program.value(), std::move(raw));
+
+  // Reference semantics: walk the instances, honoring AppliesTo and
+  // stopping at the first drop — exactly what EngineChain does.
+  auto run_interp = [&](Message& m) {
+    for (auto& inst : interp) {
+      if (!inst->AppliesTo(m.kind())) continue;
+      ir::ProcessResult r = inst->Process(m, 0);
+      if (r.outcome != ProcessOutcome::kPass) return r;
+    }
+    return ir::ProcessResult::Pass();
+  };
+
+  Rng msgs(77);
+  const char* users[] = {"alice", "bob", "mallory"};
+  for (int i = 0; i < 400; ++i) {
+    Message m1 = Message::MakeRequest(
+        static_cast<uint64_t>(i), "M",
+        {{"username", Value(std::string(users[msgs.NextBelow(3)]))},
+         {"payload", Value(Bytes(1 + msgs.NextBelow(32), 0x11))}});
+    if (msgs.NextBelow(4) == 0) {
+      m1 = Message::MakeResponse(m1, {{"username", m1.GetFieldOrNull(
+                                                       "username")},
+                                      {"payload", Value(Bytes{9})}});
+    }
+    Message m2 = m1;
+    ir::ProcessResult r1 = run_interp(m1);
+    ir::ProcessResult r2 = exec.Process(m2, 0);
+    ASSERT_EQ(r1.outcome, r2.outcome) << "message " << i;
+    ASSERT_EQ(r1.abort_message, r2.abort_message) << "message " << i;
+    ASSERT_EQ(m1.DebugString(), m2.DebugString()) << "message " << i;
+  }
+  for (size_t i = 0; i < interp.size(); ++i) {
+    EXPECT_EQ(interp[i]->StateContentHash(), compiled[i]->StateContentHash());
+    EXPECT_EQ(interp[i]->processed(), compiled[i]->processed());
+    EXPECT_EQ(interp[i]->dropped(), compiled[i]->dropped());
+  }
+}
+
+// --- Mesh-path deployment -------------------------------------------------------
+
+TEST(ChainExecutor, RunsInsideMeshSidecar) {
+  auto code = LowerNamed(std::string(elements::AclTableSql()) +
+                             std::string(elements::AclSql()),
+                         "Acl");
+  auto program = compiler::CompileChainProgram({code}, {});
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  rpc::Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"username", rpc::ValueType::kText, false}).ok());
+  ASSERT_TRUE(schema.AddColumn({"object_id", rpc::ValueType::kInt, false}).ok());
+  ASSERT_TRUE(schema.AddColumn({"payload", rpc::ValueType::kBytes, false}).ok());
+
+  stack::MeshConfig config;
+  config.concurrency = 16;
+  config.measured_requests = 2'000;
+  config.warmup_requests = 200;
+  config.request_schema = schema;
+  config.make_request = core::MakeDefaultRequestFactory();
+  stack::AdnChainConfig chain;
+  chain.program = program.value();
+  chain.elements = {code};
+  chain.seed_state = [](stack::AdnChainFilter& filter) {
+    rpc::Table* acl = filter.instance(0).FindTable("ac_tab");
+    ASSERT_NE(acl, nullptr);
+    // Half the default workload's users get write permission.
+    ASSERT_TRUE(acl->Insert({Value("alice"), Value("W")}).ok());
+    ASSERT_TRUE(acl->Insert({Value("carol"), Value("W")}).ok());
+    ASSERT_TRUE(acl->Insert({Value("bob"), Value("R")}).ok());
+  };
+  config.adn_chain = std::move(chain);
+
+  stack::MeshResult result = stack::RunMeshExperiment(config);
+  EXPECT_EQ(result.stats.completed + result.stats.dropped, 2'200u);
+  double drop_rate =
+      static_cast<double>(result.stats.dropped) /
+      static_cast<double>(result.stats.completed + result.stats.dropped);
+  // alice + carol pass, bob + dave are denied by the compiled chain.
+  EXPECT_NEAR(drop_rate, 0.5, 0.05);
+}
+
+// --- Migration invariance -------------------------------------------------------
+
+std::shared_ptr<const ir::ElementIr> QuotaElement() {
+  return LowerNamed(std::string(elements::QuotaTableSql()) +
+                        std::string(elements::QuotaSql()),
+                    "Quota");
+}
+
+void SeedQuota(ir::ElementInstance& inst) {
+  rpc::Table* quota = inst.FindTable("quota");
+  ASSERT_NE(quota, nullptr);
+  for (int64_t u = 0; u < 4; ++u) {
+    ASSERT_TRUE(
+        quota->Insert({Value("u" + std::to_string(u)), Value(u + 3)}).ok());
+  }
+}
+
+Message QuotaRequest(uint64_t id, Rng& rng) {
+  return Message::MakeRequest(
+      id, "M",
+      {{"username", Value("u" + std::to_string(rng.NextBelow(5)))}});
+}
+
+TEST(Migration, SnapshotUnderCompiledExecutorReplaysIdentically) {
+  auto code = QuotaElement();
+  auto program = compiler::CompileElementProgram(*code);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  ir::ElementInstance original(code, 1);
+  SeedQuota(original);
+  ir::ChainExecutor exec(program.value(), {&original});
+
+  Rng stream(12);
+  std::vector<Message> first_half, second_half;
+  for (uint64_t i = 0; i < 15; ++i) first_half.push_back(QuotaRequest(i, stream));
+  for (uint64_t i = 15; i < 30; ++i)
+    second_half.push_back(QuotaRequest(i, stream));
+
+  for (Message& m : first_half) {
+    Message copy = m;
+    (void)exec.Process(copy, 0);
+  }
+
+  // Mid-stream migration: snapshot, restore into a fresh instance driven by
+  // its own compiled executor, then replay the remaining stream on both.
+  Bytes snapshot = original.SnapshotState();
+  ir::ElementInstance restored(code, 99);
+  ASSERT_TRUE(restored.RestoreState(snapshot).ok());
+  EXPECT_EQ(restored.StateContentHash(), original.StateContentHash());
+  ir::ChainExecutor restored_exec(program.value(), {&restored});
+
+  for (Message& m : second_half) {
+    Message m1 = m;
+    Message m2 = m;
+    ir::ProcessResult r1 = exec.Process(m1, 0);
+    ir::ProcessResult r2 = restored_exec.Process(m2, 0);
+    EXPECT_EQ(r1.outcome, r2.outcome);
+    EXPECT_EQ(r1.abort_message, r2.abort_message);
+    EXPECT_EQ(m1.DebugString(), m2.DebugString());
+  }
+  EXPECT_EQ(restored.StateContentHash(), original.StateContentHash());
+}
+
+TEST(Migration, SplitMergeRoundTripsUnderCompiledExecutor) {
+  auto code = QuotaElement();
+  auto program = compiler::CompileElementProgram(*code);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  ir::ElementInstance source(code, 1);
+  SeedQuota(source);
+  ir::ChainExecutor exec(program.value(), {&source});
+  Rng stream(13);
+  for (uint64_t i = 0; i < 20; ++i) {
+    Message m = QuotaRequest(i, stream);
+    (void)exec.Process(m, 0);
+  }
+
+  // Scale-out then scale-in: shards of the source merge back into an empty
+  // instance and reproduce the exact state content.
+  auto shards = source.SplitState(3);
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ir::ElementInstance rejoined(code, 2);
+  for (const Bytes& shard : *shards) {
+    ASSERT_TRUE(rejoined.MergeState(shard).ok());
+  }
+  EXPECT_EQ(rejoined.StateContentHash(), source.StateContentHash());
+
+  // Merging into a NON-empty instance (scale-in onto a live peer): both
+  // orders of arriving at the same union must hash identically, and the
+  // merged instance keeps working under the compiled executor.
+  auto seed_extra = [](ir::ElementInstance& inst) {
+    rpc::Table* quota = inst.FindTable("quota");
+    ASSERT_NE(quota, nullptr);
+    ASSERT_TRUE(quota->Insert({Value("w0"), Value(7)}).ok());
+    ASSERT_TRUE(quota->Insert({Value("w1"), Value(1)}).ok());
+  };
+  ir::ElementInstance busy(code, 3);
+  seed_extra(busy);
+  for (const Bytes& shard : *shards) {
+    ASSERT_TRUE(busy.MergeState(shard).ok());
+  }
+  ir::ElementInstance busy_twin(code, 4);
+  seed_extra(busy_twin);
+  ASSERT_TRUE(busy_twin.MergeState(source.SnapshotState()).ok());
+  EXPECT_EQ(busy.StateContentHash(), busy_twin.StateContentHash());
+  EXPECT_EQ(busy.FindTable("quota")->RowCount(),
+            source.FindTable("quota")->RowCount() + 2);
+
+  ir::ChainExecutor merged_exec(program.value(), {&busy});
+  Message m = Message::MakeRequest(100, "M", {{"username", Value("w0")}});
+  EXPECT_EQ(merged_exec.Process(m, 0).outcome, ProcessOutcome::kPass);
+}
+
+TEST(Migration, RestoreSwapsTablesWithoutDanglingExecutorHandles) {
+  // The executor resolves table handles per call through the instance, so a
+  // RestoreState that replaces the whole table vector mid-lifetime must be
+  // transparent to an already-constructed executor.
+  auto code = QuotaElement();
+  auto program = compiler::CompileElementProgram(*code);
+  ASSERT_TRUE(program.ok());
+  ir::ElementInstance inst(code, 1);
+  SeedQuota(inst);
+  ir::ChainExecutor exec(program.value(), {&inst});
+  Message warm = Message::MakeRequest(0, "M", {{"username", Value("u3")}});
+  ASSERT_EQ(exec.Process(warm, 0).outcome, ProcessOutcome::kPass);
+
+  ir::ElementInstance donor(code, 2);
+  rpc::Table* quota = donor.FindTable("quota");
+  ASSERT_NE(quota, nullptr);
+  ASSERT_TRUE(quota->Insert({Value("only"), Value(1)}).ok());
+  ASSERT_TRUE(inst.RestoreState(donor.SnapshotState()).ok());
+
+  Message hit = Message::MakeRequest(1, "M", {{"username", Value("only")}});
+  Message miss = Message::MakeRequest(2, "M", {{"username", Value("u3")}});
+  EXPECT_EQ(exec.Process(hit, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(exec.Process(miss, 0).outcome, ProcessOutcome::kDropAbort);
+}
+
+}  // namespace
+}  // namespace adn
