@@ -10,7 +10,13 @@
 #include "dsl/parser.h"
 #include "elements/library.h"
 #include "ir/program.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "stack/mesh_path.h"
+
+#ifndef ADN_GIT_SHA
+#define ADN_GIT_SHA "unknown"
+#endif
 
 namespace adn {
 namespace {
@@ -48,6 +54,10 @@ struct ExecTierResult {
   double interpreter_ns_per_msg = 0;
   double compiled_ns_per_msg = 0;
   uint64_t messages = 0;
+  // Per-element medians from the obs plane (adn_element_latency_ns), taken
+  // in a separate instrumented pass so the timed reps above stay clean.
+  std::vector<std::pair<std::string, double>> element_p50_ns;
+  std::string obs_metrics_json;  // obs::ExportMetricsJson of that pass
 };
 
 ExecTierResult RunExecTierBench() {
@@ -127,23 +137,60 @@ ExecTierResult RunExecTierBench() {
     out.compiled_ns_per_msg =
         std::min(out.compiled_ns_per_msg, timed(run_compiled));
   }
+
+  // --- obs-driven per-element breakdown ------------------------------------
+  // A separate instrumented pass over a fresh executor: Reset() drops every
+  // instrument (stale cached pointers), so the executor must be built after
+  // it to re-resolve its histograms.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.Reset();
+  obs::SetEnabled(true);
+  auto obs_set = make_instances();
+  std::vector<ir::ElementInstance*> obs_raw;
+  for (auto& inst : obs_set) obs_raw.push_back(inst.get());
+  ir::ChainExecutor obs_exec(*program, std::move(obs_raw));
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    (void)obs_exec.Process(stream[i % stream.size()], 0);
+  }
+  obs::SetEnabled(false);
+  for (const auto& element : elements) {
+    const std::string label = "element=\"" + element->name + "\"";
+    out.element_p50_ns.emplace_back(
+        element->name,
+        reg.GetHistogram("adn_element_latency_ns", label).Quantile(0.50));
+  }
+  out.obs_metrics_json = obs::ExportMetricsJson(reg.Snapshot());
   return out;
 }
 
+// Format documented in docs/OBSERVABILITY.md ("BENCH_exec.json"). Bump
+// schema_version on any shape change.
 void WriteBenchExecJson(const ExecTierResult& r) {
   std::FILE* f = std::fopen("BENCH_exec.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
                "{\n"
+               "  \"schema_version\": 2,\n"
+               "  \"git_sha\": \"%s\",\n"
                "  \"chain\": \"fig5 (Logging -> ACL -> Fault)\",\n"
                "  \"messages\": %llu,\n"
                "  \"interpreter_ns_per_msg\": %.1f,\n"
                "  \"compiled_ns_per_msg\": %.1f,\n"
-               "  \"speedup\": %.2f\n"
-               "}\n",
-               static_cast<unsigned long long>(r.messages),
+               "  \"speedup\": %.2f,\n"
+               "  \"element_p50_ns\": {",
+               ADN_GIT_SHA, static_cast<unsigned long long>(r.messages),
                r.interpreter_ns_per_msg, r.compiled_ns_per_msg,
                r.interpreter_ns_per_msg / r.compiled_ns_per_msg);
+  for (size_t i = 0; i < r.element_p50_ns.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.1f", i == 0 ? "" : ", ",
+                 r.element_p50_ns[i].first.c_str(),
+                 r.element_p50_ns[i].second);
+  }
+  std::fprintf(f,
+               "},\n"
+               "  \"obs\": %s\n"
+               "}\n",
+               r.obs_metrics_json.c_str());
   std::fclose(f);
 }
 
@@ -235,6 +282,10 @@ int main() {
       static_cast<unsigned long long>(exec.messages),
       exec.interpreter_ns_per_msg, exec.compiled_ns_per_msg,
       exec.interpreter_ns_per_msg / exec.compiled_ns_per_msg);
+  std::printf("  per-element p50 (obs plane, instrumented pass):\n");
+  for (const auto& [name, p50] : exec.element_p50_ns) {
+    std::printf("    %-24s %8.1f ns\n", name.c_str(), p50);
+  }
   WriteBenchExecJson(exec);
   std::printf("Wrote BENCH_exec.json\n");
   return 0;

@@ -1,6 +1,23 @@
 #include "controller/telemetry.h"
 
+#include <algorithm>
+
 namespace adn::controller {
+
+namespace {
+
+// Pull the value of `key` out of a canonical 'key="value",...' label string.
+std::string LabelValue(const std::string& labels, std::string_view key) {
+  const std::string needle = std::string(key) + "=\"";
+  const size_t at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  const size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return "";
+  return labels.substr(begin, end - begin);
+}
+
+}  // namespace
 
 std::string_view ScalingAdviceName(ScalingAdvice advice) {
   switch (advice) {
@@ -32,6 +49,48 @@ Status TelemetryHub::Ingest(ProcessorReport report) {
     state.window.pop_front();
   }
   ++ingested_;
+  return Status::Ok();
+}
+
+Status TelemetryHub::IngestSnapshot(const obs::MetricsSnapshot& snapshot,
+                                    sim::SimTime window_start,
+                                    sim::SimTime window_end) {
+  std::map<std::string, ProcessorReport> reports;
+  auto report_for = [&](const std::string& proc) -> ProcessorReport& {
+    auto [it, fresh] = reports.try_emplace(proc);
+    if (fresh) {
+      it->second.processor = proc;
+      it->second.window_start = window_start;
+      it->second.window_end = window_end;
+    }
+    return it->second;
+  };
+  // Cumulative counter -> this window's delta (unsigned subtraction stays
+  // correct across one 2^64 wrap, matching the Counter contract).
+  auto delta = [&](const obs::MetricSample& s) -> uint64_t {
+    uint64_t cur = static_cast<uint64_t>(s.value);
+    uint64_t& last = last_counter_[s.name + "|" + s.labels];
+    uint64_t d = cur - last;
+    last = cur;
+    return d;
+  };
+  for (const obs::MetricSample& s : snapshot.samples) {
+    const std::string proc = LabelValue(s.labels, "processor");
+    if (proc.empty()) continue;
+    if (s.name == "adn_chain_rpcs_total") {
+      report_for(proc).processed += delta(s);
+    } else if (s.name == "adn_chain_drops_total") {
+      report_for(proc).dropped += delta(s);
+    } else if (s.name == "adn_engine_utilization") {
+      report_for(proc).utilization = std::clamp(s.value, 0.0, 1.0);
+    }
+  }
+  for (auto& [proc, report] : reports) {
+    // adn_chain_rpcs_total counts every message entering the chain, drops
+    // included; the hub's `processed` means successes.
+    report.processed -= std::min(report.processed, report.dropped);
+    if (Status s = Ingest(std::move(report)); !s.ok()) return s;
+  }
   return Status::Ok();
 }
 

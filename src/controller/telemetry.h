@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace adn::controller {
@@ -46,6 +47,14 @@ class TelemetryHub {
 
   Status Ingest(ProcessorReport report);
 
+  // Figure-3 feedback from the obs plane: derive one ProcessorReport per
+  // processor label found in the snapshot's adn_chain_rpcs_total /
+  // adn_chain_drops_total / adn_engine_utilization series and Ingest it.
+  // Counters are cumulative, so the hub diffs against the previous snapshot
+  // it saw; call once per report window with the window bounds.
+  Status IngestSnapshot(const obs::MetricsSnapshot& snapshot,
+                        sim::SimTime window_start, sim::SimTime window_end);
+
   // Smoothed utilization over the sliding window (0 if unknown processor).
   double SmoothedUtilization(std::string_view processor) const;
 
@@ -71,6 +80,9 @@ class TelemetryHub {
 
   TelemetryOptions options_;
   std::map<std::string, PerProcessor, std::less<>> processors_;
+  // Last cumulative counter values seen by IngestSnapshot, keyed by
+  // "name|labels", for window deltas.
+  std::map<std::string, uint64_t> last_counter_;
   uint64_t ingested_ = 0;
 };
 

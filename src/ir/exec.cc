@@ -1,5 +1,8 @@
 #include "ir/exec.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace adn::ir {
 
 using rpc::Message;
@@ -44,6 +47,23 @@ const Table* ElementInstance::FindTable(std::string_view name) const {
 
 ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
   ++processed_;
+  // Same instrumentation boundary as a compiled element segment
+  // (ChainExecutor), so either tier yields the same span tree and feeds the
+  // same adn_element_latency_ns series.
+  const bool timing = obs::Enabled();
+  obs::TraceContext* trace = timing ? obs::CurrentTrace() : nullptr;
+  const int64_t seg_start = timing ? obs::NowNs() : 0;
+  size_t span = 0;
+  if (trace != nullptr) span = trace->OpenSpan(name());
+  auto finish = [&] {
+    if (timing) {
+      obs::MetricsRegistry::Default()
+          .GetHistogram("adn_element_latency_ns",
+                        "element=\"" + name() + "\"")
+          .Observe(static_cast<double>(obs::NowNs() - seg_start));
+    }
+    if (trace != nullptr) trace->CloseSpan(span);
+  };
   EvalContext ctx;
   ctx.message = &m;
   ctx.fn_ctx.message = &m;
@@ -54,9 +74,11 @@ ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
     ProcessResult r = RunStatement(stmt, m, ctx);
     if (r.outcome != ProcessOutcome::kPass) {
       ++dropped_;
+      finish();
       return r;
     }
   }
+  finish();
   return ProcessResult::Pass();
 }
 

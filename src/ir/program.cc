@@ -3,6 +3,7 @@
 #include <string>
 
 #include "ir/expr.h"
+#include "obs/trace.h"
 
 namespace adn::ir {
 
@@ -193,6 +194,11 @@ ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
   slot_.resize(program_->num_registers);
   for (size_t i = 0; i < regs_.size(); ++i) slot_[i] = &regs_[i];
   field_cache_.assign(program_->field_names.size(), 0);
+  elem_hist_.reserve(instances_.size());
+  for (const ElementInstance* inst : instances_) {
+    elem_hist_.push_back(&obs::MetricsRegistry::Default().GetHistogram(
+        "adn_element_latency_ns", "element=\"" + inst->name() + "\""));
+  }
 }
 
 Value ChainExecutor::TakeReg(uint16_t r) {
@@ -398,9 +404,30 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
   rs.fn_ctx.message = &m;
   rs.fn_ctx.now_ns = now_ns;
 
+  // Per-element-segment observability. `timing` is the master-switch load
+  // (once per message, not per instruction); `trace` is non-null only when
+  // this RPC is inside a sampled RpcTraceScope. Both off = dead branches.
+  const bool timing = obs::Enabled();
+  obs::TraceContext* trace = timing ? obs::CurrentTrace() : nullptr;
+  constexpr size_t kNoSpan = static_cast<size_t>(-1);
+  size_t open_span = kNoSpan;
+  int64_t seg_start = 0;
+  auto end_segment = [&] {
+    if (!timing) return;
+    if (rs.cur >= 0) {
+      elem_hist_[static_cast<size_t>(rs.cur)]->Observe(
+          static_cast<double>(obs::NowNs() - seg_start));
+    }
+    if (trace != nullptr && open_span != kNoSpan) {
+      trace->CloseSpan(open_span);
+      open_span = kNoSpan;
+    }
+  };
+
   // Matches the interpreter's contract: any non-pass outcome (drops and
   // runtime errors alike) counts as a drop on the element that produced it.
   auto abort_with = [&](std::string message) {
+    end_segment();
     if (rs.cur >= 0) instances_[rs.cur]->NoteDropped();
     ProcessResult r;
     r.outcome = ProcessOutcome::kDropAbort;
@@ -576,6 +603,7 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
         break;
       }
       case Instr::Op::kDrop: {
+        end_segment();
         if (rs.cur >= 0) instances_[rs.cur]->NoteDropped();
         ProcessResult r;
         r.outcome = in.aux != 0 ? ProcessOutcome::kDropSilent
@@ -584,12 +612,17 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
         return r;
       }
       case Instr::Op::kBeginElement: {
+        end_segment();
         ElementInstance* inst = instances_[in.b];
         inst->NoteProcessed();
         rs.fn_ctx.rng = &inst->rng();
         rs.fn_ctx.nonce = inst->BumpNonce();
         rs.cur = in.b;
         rs.joined_row = nullptr;
+        if (timing) {
+          seg_start = obs::NowNs();
+          if (trace != nullptr) open_span = trace->OpenSpan(inst->name());
+        }
         break;
       }
       case Instr::Op::kSkipUnlessKind:
@@ -598,6 +631,7 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
         }
         break;
       case Instr::Op::kReturnPass:
+        end_segment();
         return ProcessResult::Pass();
       case Instr::Op::kReturnValue:
         return abort_with(

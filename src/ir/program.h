@@ -28,6 +28,7 @@
 
 #include "ir/element_ir.h"
 #include "ir/exec.h"
+#include "obs/metrics.h"
 #include "rpc/message.h"
 
 namespace adn::ir {
@@ -176,6 +177,10 @@ class ChainExecutor {
   // share between the main loop and subprograms: each kCall fills and
   // consumes it within one instruction.
   std::vector<rpc::Value> call_args_;
+  // Per-segment adn_element_latency_ns{element=...} instruments, resolved at
+  // construction so the hot path never builds a label string. Only touched
+  // when obs::Enabled().
+  std::vector<obs::Histogram*> elem_hist_;
 };
 
 }  // namespace adn::ir

@@ -91,6 +91,12 @@ struct Experiment {
         }
       }
     }
+    // Spans/metrics from a site's chain carry the simulated tier and the
+    // site name, so one RPC crossing several sites still assembles into one
+    // trace (shared trace_id = message id).
+    for (auto& site : sites) {
+      site.chain.set_trace_identity(obs::Tier::kSim, SiteName(site.site));
+    }
   }
 
   SiteRuntime& SiteAt(size_t idx) { return sites[idx]; }
@@ -432,6 +438,17 @@ struct Experiment {
           SiteAt(1).station->Utilization(span);
       result.server_engine_utilization =
           SiteAt(6).station->Utilization(span);
+    }
+    if (obs::Enabled()) {
+      // Figure-3 feedback input: per-processor utilization gauges the
+      // controller's TelemetryHub reads via IngestSnapshot.
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      for (auto& site : sites) {
+        if (!site.active || span <= 0) continue;
+        reg.GetGauge("adn_engine_utilization",
+                     "processor=\"" + std::string(SiteName(site.site)) + "\"")
+            .Set(site.station->Utilization(span));
+      }
     }
     return result;
   }

@@ -31,14 +31,30 @@ double GeneratedStage::CostNs(const sim::CostModel& model,
                                   payload_bytes);
 }
 
+void EngineChain::EnsureCounters() {
+  if (rpcs_counter_ != nullptr) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::string label = "processor=\"" + trace_processor_ + "\"";
+  rpcs_counter_ = &reg.GetCounter("adn_chain_rpcs_total", label);
+  drops_counter_ = &reg.GetCounter("adn_chain_drops_total", label);
+}
+
 ir::ProcessResult EngineChain::Process(rpc::Message& message,
                                        int64_t now_ns) {
   ++processed_;
+  const bool timing = obs::Enabled();
+  std::optional<obs::RpcTraceScope> scope;
+  if (timing) {
+    EnsureCounters();
+    rpcs_counter_->Inc();
+    scope.emplace(message.id(), trace_tier_, trace_processor_, "rpc");
+  }
   for (const auto& stage : stages_) {
     if (!stage->AppliesTo(message.kind())) continue;
     ir::ProcessResult r = stage->Process(message, now_ns);
     if (r.outcome != ir::ProcessOutcome::kPass) {
       ++dropped_;
+      if (timing) drops_counter_->Inc();
       return r;
     }
   }
@@ -48,6 +64,13 @@ ir::ProcessResult EngineChain::Process(rpc::Message& message,
 EngineChain::Outcome EngineChain::ProcessWithCost(
     rpc::Message& message, int64_t now_ns, const sim::CostModel& model) {
   ++processed_;
+  const bool timing = obs::Enabled();
+  std::optional<obs::RpcTraceScope> scope;
+  if (timing) {
+    EnsureCounters();
+    rpcs_counter_->Inc();
+    scope.emplace(message.id(), trace_tier_, trace_processor_, "rpc");
+  }
   Outcome out;
   out.cost_ns = static_cast<double>(model.mrpc_engine_dispatch_ns);
   out.critical_path_ns = out.cost_ns;
@@ -80,6 +103,7 @@ EngineChain::Outcome EngineChain::ProcessWithCost(
     ir::ProcessResult r = stage->Process(message, now_ns);
     if (r.outcome != ir::ProcessOutcome::kPass) {
       ++dropped_;
+      if (timing) drops_counter_->Inc();
       out.result = r;
       close_group();
       return out;

@@ -15,6 +15,8 @@
 
 #include "ir/exec.h"
 #include "ir/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/message.h"
 #include "sim/cost_model.h"
 
@@ -108,12 +110,31 @@ class EngineChain {
   uint64_t processed() const { return processed_; }
   uint64_t dropped() const { return dropped_; }
 
+  // Observability identity for this chain: the tier and processor name
+  // stamped on every span/metric it emits. Defaults to the engine tier; the
+  // simulated path re-labels each site's chain (tier=sim, processor=site).
+  void set_trace_identity(obs::Tier tier, std::string_view processor) {
+    trace_tier_ = tier;
+    trace_processor_ = std::string(processor);
+    rpcs_counter_ = nullptr;  // re-resolve under the new label
+    drops_counter_ = nullptr;
+  }
+  obs::Tier trace_tier() const { return trace_tier_; }
+  const std::string& trace_processor() const { return trace_processor_; }
+
  private:
+  // Resolve (once per identity) the chain's adn_chain_*_total counters.
+  void EnsureCounters();
+
   std::vector<std::unique_ptr<EngineStage>> stages_;
   std::vector<int> groups_;
   int next_unique_group_ = -2;  // descending ids never collide with real ones
   uint64_t processed_ = 0;
   uint64_t dropped_ = 0;
+  obs::Tier trace_tier_ = obs::Tier::kEngine;
+  std::string trace_processor_ = "engine";
+  obs::Counter* rpcs_counter_ = nullptr;
+  obs::Counter* drops_counter_ = nullptr;
 };
 
 }  // namespace adn::mrpc

@@ -1,0 +1,138 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace adn::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  // %g keeps integers integral ("42") and trims trailing zeros.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void AppendSpanNode(std::string& out, const std::vector<Span>& spans,
+                    size_t idx) {
+  const Span& s = spans[idx];
+  out += "{\"span_id\":" + std::to_string(s.span_id);
+  out += ",\"name\":\"";
+  AppendEscaped(out, s.name);
+  out += "\",\"tier\":\"";
+  out += TierName(s.tier);
+  out += "\",\"processor\":\"";
+  AppendEscaped(out, s.processor);
+  out += "\",\"start_ns\":" + std::to_string(s.start_ns);
+  out += ",\"end_ns\":" + std::to_string(s.end_ns);
+  out += ",\"children\":[";
+  bool first = true;
+  // Causal order is recording order, so children enumerate in order.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id != s.span_id) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendSpanNode(out, spans, i);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, s.name);
+    out += "\",\"labels\":\"";
+    AppendEscaped(out, s.labels);
+    out += "\",\"kind\":\"";
+    out += MetricKindName(s.kind);
+    out += "\",\"value\":";
+    AppendDouble(out, s.value);
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.count);
+      out += ",\"upper_bounds\":[";
+      for (size_t i = 0; i < s.upper_bounds.size(); ++i) {
+        if (i > 0) out += ",";
+        AppendDouble(out, s.upper_bounds[i]);
+      }
+      out += "],\"bucket_counts\":[";
+      for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(s.bucket_counts[i]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportTraceJson(uint64_t trace_id,
+                            const std::vector<Span>& spans) {
+  std::string out = "{\"trace_id\":" + std::to_string(trace_id);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // Roots: spans whose parent is not resident in this trace (each
+    // processor scope contributes one).
+    bool has_parent = false;
+    for (const Span& other : spans) {
+      if (other.span_id == spans[i].parent_id) {
+        has_parent = true;
+        break;
+      }
+    }
+    if (has_parent) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendSpanNode(out, spans, i);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportJson() {
+  std::string metrics = ExportMetricsJson(MetricsRegistry::Default().Snapshot());
+  std::string out = "{\"metrics\":";
+  // Strip the wrapper object of ExportMetricsJson to embed the array.
+  // ExportMetricsJson returns {"metrics":[...]}; reuse its array part.
+  const size_t open = metrics.find('[');
+  out += metrics.substr(open, metrics.size() - open - 1);
+  out += ",\"traces\":[";
+  Tracer& tracer = Tracer::Default();
+  bool first = true;
+  for (uint64_t id : tracer.TraceIds()) {
+    if (!first) out += ",";
+    first = false;
+    out += ExportTraceJson(id, tracer.SpansForTrace(id));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace adn::obs

@@ -1,0 +1,28 @@
+// JSON export of the observability plane — the machine-readable form of
+// everything the registry and tracer hold. Consumed by tools/adntop's dump
+// mode, by bench_breakdown, and by tests; the schema is the documented
+// telemetry contract (docs/OBSERVABILITY.md, "JSON export format").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adn::obs {
+
+// {"metrics": [{name, labels, kind, value, count?, buckets?}, ...]}
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+
+// One trace's spans (causal order, as returned by Tracer::SpansForTrace)
+// rendered as a nested tree:
+// {"trace_id": N, "spans": [{span_id, name, tier, processor, start_ns,
+//  end_ns, children: [...]}]}
+std::string ExportTraceJson(uint64_t trace_id, const std::vector<Span>& spans);
+
+// The whole plane: {"metrics": [...], "traces": [...]} from the default
+// registry and tracer.
+std::string ExportJson();
+
+}  // namespace adn::obs

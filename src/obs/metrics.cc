@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace adn::obs {
+
+// --- Histogram ----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  // Bounds must be strictly increasing for the "le" semantics to be
+  // well-defined; sort + dedup defensively rather than trusting callers.
+  std::sort(upper_bounds_.begin(), upper_bounds_.end());
+  upper_bounds_.erase(
+      std::unique(upper_bounds_.begin(), upper_bounds_.end()),
+      upper_bounds_.end());
+  buckets_.resize(upper_bounds_.size() + 1);  // +Inf bucket at the end
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  const size_t n = upper_bounds_.size();
+  while (i < n && v > upper_bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum;
+    __builtin_memcpy(&sum, &cur, sizeof(sum));
+    sum += v;
+    uint64_t next;
+    __builtin_memcpy(&next, &sum, sizeof(next));
+    if (sum_bits_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::Sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double sum;
+  __builtin_memcpy(&sum, &bits, sizeof(sum));
+  return sum;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBucketsNs() {
+  static const std::vector<double> kBuckets = {
+      100,     250,     500,       1'000,     2'500,     5'000,
+      10'000,  25'000,  50'000,    100'000,   250'000,   500'000,
+      1'000'000, 2'500'000, 5'000'000, 10'000'000};
+  return kBuckets;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  double lower = 0.0;
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    const uint64_t in_bucket = BucketCount(i);
+    if (static_cast<double>(seen + in_bucket) >= rank && in_bucket > 0) {
+      const double fraction =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + fraction * (upper_bounds_[i] - lower);
+    }
+    seen += in_bucket;
+    lower = upper_bounds_[i];
+  }
+  // Quantile lands in the +Inf bucket: clamp to the last finite bound.
+  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+}
+
+// --- Registry -----------------------------------------------------------------
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          std::string_view labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(std::string_view name,
+                                                    std::string_view labels,
+                                                    MetricKind kind) {
+  for (Entry& e : entries_) {
+    if (e.name == name && e.labels == labels) {
+      // A name/label collision across kinds is a programming error; return
+      // the existing entry so the caller at least gets a stable object.
+      (void)kind;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels, MetricKind::kCounter)) {
+    return e->counter;
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.labels = std::string(labels);
+  e.kind = MetricKind::kCounter;
+  return e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels, MetricKind::kGauge)) {
+    return e->gauge;
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.labels = std::string(labels);
+  e.kind = MetricKind::kGauge;
+  return e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, std::string_view labels,
+    const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels, MetricKind::kHistogram)) {
+    return *e->histogram;
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.labels = std::string(labels);
+  e.kind = MetricKind::kHistogram;
+  e.histogram = std::make_unique<Histogram>(upper_bounds);
+  return *e.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter.Value());
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge.Value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        s.value = h.Sum();
+        s.count = h.Count();
+        s.upper_bounds = h.upper_bounds();
+        s.bucket_counts.reserve(s.upper_bounds.size() + 1);
+        for (size_t i = 0; i <= s.upper_bounds.size(); ++i) {
+          s.bucket_counts.push_back(h.BucketCount(i));
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) names.push_back(e.name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace adn::obs

@@ -1,0 +1,211 @@
+// Low-overhead metrics registry (the data-plane half of the paper's Figure 3
+// telemetry plane: "Each processor ... periodically sends reports of
+// logging, tracing, and runtime statistical information back to the
+// controller").
+//
+// Design contract (documented for operators in docs/OBSERVABILITY.md):
+//
+//  - The hot path is lock-free: instruments are registered once (mutex held
+//    only at registration) and return stable references; Inc()/Set()/
+//    Observe() are single relaxed atomics. Node-based storage (std::deque)
+//    guarantees instrument addresses never move after registration.
+//  - Reads are snapshot-on-read: Snapshot() walks the registry under the
+//    registration mutex and copies every atomic once, so exporters never
+//    block writers.
+//  - The whole subsystem sits behind one master kill switch (obs::Enabled());
+//    instrumented call sites check it with a single relaxed load and skip
+//    all work when off, which is what keeps fig5 throughput within noise of
+//    the uninstrumented build. Compiling with -DADN_OBS_DISABLED turns the
+//    switch into a constant false so the optimizer removes the sites
+//    entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adn::obs {
+
+// --- Master kill switch -------------------------------------------------------
+
+#ifdef ADN_OBS_DISABLED
+inline constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
+namespace internal {
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+// Default off: the data plane pays one relaxed load + branch per
+// instrumented site and nothing else.
+inline bool Enabled() {
+  return internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetEnabled(bool on) {
+  internal::EnabledFlag().store(on, std::memory_order_relaxed);
+}
+#endif
+
+// --- Instruments --------------------------------------------------------------
+
+// Monotonic event count. uint64_t with wraparound semantics: increments are
+// relaxed fetch_adds, so the counter wraps mod 2^64 instead of saturating
+// or trapping (consumers diff successive snapshots, which stays correct
+// across one wrap).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written point-in-time value (utilization, queue depth, widths).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(ToBits(v), std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    // Relaxed CAS loop; gauges are low-frequency (per report window, not per
+    // message), so contention is negligible.
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, ToBits(FromBits(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const {
+    return FromBits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Fixed-bucket histogram with Prometheus "le" semantics: bucket i counts
+// observations v <= upper_bounds[i]; one implicit +Inf bucket catches the
+// rest. Bounds are fixed at registration, so Observe is a linear scan over
+// a handful of cached doubles plus one relaxed increment — no allocation,
+// no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  // Latency layout used by every *_ns histogram in the repo: exponential
+  // 100ns .. 10ms, 16 finite buckets (+Inf implicit).
+  static const std::vector<double>& DefaultLatencyBucketsNs();
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // Count in finite bucket i (i < upper_bounds().size()) or the +Inf
+  // bucket (i == upper_bounds().size()).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+
+  // Linear-interpolated quantile estimate from the bucket counts (q in
+  // [0,1]); returns 0 when empty. Values beyond the last finite bound clamp
+  // to it.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  // One slot per finite bucket plus the +Inf bucket.
+  std::deque<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double bits, CAS-accumulated
+};
+
+// --- Registry -----------------------------------------------------------------
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+std::string_view MetricKindName(MetricKind kind);
+
+// One metric read at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // canonical 'key="value",key2="value2"' or empty
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter value / gauge value / histogram sum
+  // Histogram-only:
+  uint64_t count = 0;
+  std::vector<double> upper_bounds;
+  std::vector<uint64_t> bucket_counts;  // size = upper_bounds.size() + 1
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(std::string_view name,
+                           std::string_view labels = "") const;
+};
+
+// Names + label sets are registered once and the returned instrument
+// reference stays valid for the registry's lifetime. Re-registering the
+// same (name, labels) returns the same instrument, so call sites may cache
+// the pointer or re-resolve freely.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge& GetGauge(std::string_view name, std::string_view labels = "");
+  // `upper_bounds` is consulted only on first registration.
+  Histogram& GetHistogram(std::string_view name, std::string_view labels = "",
+                          const std::vector<double>& upper_bounds =
+                              Histogram::DefaultLatencyBucketsNs());
+
+  MetricsSnapshot Snapshot() const;
+
+  // Distinct metric names currently registered (label sets collapsed) —
+  // the set docs/OBSERVABILITY.md must enumerate (enforced by test_obs).
+  std::vector<std::string> MetricNames() const;
+
+  // Drop every instrument. Tests only: outstanding references go stale.
+  void Reset();
+
+  // The process-wide registry all built-in instrumentation writes to.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string labels;
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrNull(std::string_view name, std::string_view labels,
+                    MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  // node-based: addresses stable forever
+};
+
+// Monotonic wall-clock nanoseconds for span/latency timing (steady_clock).
+int64_t NowNs();
+
+}  // namespace adn::obs

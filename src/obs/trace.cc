@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+namespace adn::obs {
+
+namespace {
+
+// Process-wide span id allocator; ids stay unique across processors so a
+// multi-scope trace (the simulated path) never collides.
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local TraceContext* tls_current_trace = nullptr;
+
+}  // namespace
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kEngine: return "engine";
+    case Tier::kMesh: return "mesh";
+    case Tier::kSim: return "sim";
+  }
+  return "?";
+}
+
+TraceContext* CurrentTrace() { return tls_current_trace; }
+
+size_t TraceContext::OpenSpan(std::string_view name, uint64_t parent_id) {
+  Span s;
+  s.trace_id = trace_id;
+  s.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  s.parent_id = parent_id == 0 ? root_span_id : parent_id;
+  s.name = std::string(name);
+  s.tier = tier;
+  s.processor = processor;
+  s.start_ns = NowNs();
+  spans.push_back(std::move(s));
+  return spans.size() - 1;
+}
+
+void Tracer::SetRingCapacity(size_t spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = spans == 0 ? 1 : spans;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void Tracer::Flush(std::vector<Span>&& spans) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Span& s : spans) {
+      if (ring_.size() >= capacity_) {
+        ring_.pop_front();
+        ++evicted;
+      }
+      ring_.push_back(std::move(s));
+    }
+  }
+  reg.GetCounter("adn_obs_spans_total").Inc(spans.size());
+  if (evicted > 0) {
+    reg.GetCounter("adn_obs_spans_evicted_total").Inc(evicted);
+  }
+}
+
+std::vector<Span> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& s : ring_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Span> Tracer::AllSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<uint64_t> Tracer::TraceIds() const {
+  std::vector<uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& s : ring_) {
+    bool seen = false;
+    for (uint64_t id : out) {
+      if (id == s.trace_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(s.trace_id);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+Tracer& Tracer::Default() {
+  static Tracer tracer;
+  return tracer;
+}
+
+RpcTraceScope::RpcTraceScope(uint64_t trace_id, Tier tier,
+                             std::string_view processor,
+                             std::string_view root_name, Tracer& tracer) {
+  if (tls_current_trace != nullptr || !tracer.ShouldSample(trace_id)) {
+    return;
+  }
+  tracer_ = &tracer;
+  active_ = true;
+  ctx_.trace_id = trace_id;
+  ctx_.tier = tier;
+  ctx_.processor = std::string(processor);
+  const size_t root = ctx_.OpenSpan(root_name, /*parent_id=*/0);
+  ctx_.root_span_id = ctx_.SpanId(root);
+  tls_current_trace = &ctx_;
+  MetricsRegistry::Default().GetCounter("adn_obs_traces_sampled_total").Inc();
+}
+
+RpcTraceScope::~RpcTraceScope() {
+  if (!active_) return;
+  tls_current_trace = nullptr;
+  // Close the root (index 0) and any span a drop left open.
+  for (Span& s : ctx_.spans) {
+    if (s.end_ns == 0) s.end_ns = NowNs();
+  }
+  tracer_->Flush(std::move(ctx_.spans));
+}
+
+}  // namespace adn::obs

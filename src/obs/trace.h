@@ -1,0 +1,144 @@
+// Per-RPC tracing: one sampled RPC yields one causally-ordered span tree
+// whichever execution layer carries it (mRPC engine, mesh sidecar,
+// simulator path).
+//
+// A span is one stage enter/exit — an element segment in the ChainExecutor,
+// an interpreted element, a proxy codec boundary — tagged with the element/
+// stage name, the execution tier, and the processor that ran it. Spans
+// share the RPC's id as trace_id, so a message that crosses several
+// processors (the simulated path) still assembles into a single tree.
+//
+// Mechanics, tuned for the <2%-overhead-when-off requirement:
+//
+//  - The tracer is off unless obs::Enabled() AND tracing enabled AND the
+//    trace_id passes sampling (1-in-N by id). Instrumented layers open an
+//    RpcTraceScope; when any gate fails the scope is inert and the per-span
+//    call sites reduce to one thread-local load + null check.
+//  - Open spans are staged in the thread-local TraceContext (a plain
+//    vector, no synchronization) and flushed to the shared ring buffer once
+//    when the scope closes.
+//  - Storage is a fixed-capacity ring: recording never allocates without
+//    bound and never blocks the data plane for long — old traces are
+//    evicted, counted by adn_obs_spans_evicted_total.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace adn::obs {
+
+// Which execution layer emitted the span (DESIGN.md §5 tiers).
+enum class Tier : uint8_t {
+  kEngine,  // mRPC engine chain (compiled or interpreted stages)
+  kMesh,    // sidecar proxy path (AdnChainFilter / Envoy model)
+  kSim,     // simulated ADN path (per-site stations)
+};
+std::string_view TierName(Tier tier);
+
+struct Span {
+  uint64_t trace_id = 0;   // the RPC id
+  uint64_t span_id = 0;    // unique per process
+  uint64_t parent_id = 0;  // 0 = root of this processor's subtree
+  std::string name;        // element/stage name
+  Tier tier = Tier::kEngine;
+  std::string processor;   // e.g. "client-engine", "server-sidecar"
+  int64_t start_ns = 0;    // steady-clock wall time (obs::NowNs)
+  int64_t end_ns = 0;
+};
+
+// Thread-local staging area for one in-flight sampled RPC on one processor.
+// Span ids come from a process-wide counter so ids stay unique when one RPC
+// opens scopes on several processors (the simulated path).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  Tier tier = Tier::kEngine;
+  std::string processor;
+  std::vector<Span> spans;        // staged; flushed on scope close
+  uint64_t root_span_id = 0;
+
+  // Opens a child span under `parent` (0 = under the root span) and returns
+  // its index into `spans`.
+  size_t OpenSpan(std::string_view name, uint64_t parent_id = 0);
+  void CloseSpan(size_t idx) { spans[idx].end_ns = NowNs(); }
+  uint64_t SpanId(size_t idx) const { return spans[idx].span_id; }
+};
+
+// The active context on this thread, or nullptr when the current RPC is not
+// being traced. This is the only thing per-element call sites touch.
+TraceContext* CurrentTrace();
+
+class Tracer {
+ public:
+  // Tracing rides on the master obs switch AND its own flag, so metrics can
+  // stay on while tracing is off.
+  void SetTracingEnabled(bool on) {
+    tracing_.store(on, std::memory_order_relaxed);
+  }
+  bool tracing_enabled() const {
+    return Enabled() && tracing_.load(std::memory_order_relaxed);
+  }
+
+  // Sample 1 in `n` RPCs by trace id (id % n == 0). n == 1 traces all.
+  void SetSampleEvery(uint64_t n) {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  bool ShouldSample(uint64_t trace_id) const {
+    return tracing_enabled() &&
+           trace_id % sample_every_.load(std::memory_order_relaxed) == 0;
+  }
+
+  // Ring capacity in spans (default 4096). Shrinking evicts oldest.
+  void SetRingCapacity(size_t spans);
+
+  void Flush(std::vector<Span>&& spans);
+
+  // Spans of one trace, in causal (recording) order.
+  std::vector<Span> SpansForTrace(uint64_t trace_id) const;
+  // Every resident span, oldest first.
+  std::vector<Span> AllSpans() const;
+  // Trace ids currently resident, most recent last.
+  std::vector<uint64_t> TraceIds() const;
+
+  void Clear();
+
+  static Tracer& Default();
+
+ private:
+  std::atomic<bool> tracing_{false};
+  std::atomic<uint64_t> sample_every_{1};
+  mutable std::mutex mu_;
+  std::deque<Span> ring_;
+  size_t capacity_ = 4096;
+};
+
+// RAII root scope for one RPC on one processor. If the tracer declines the
+// trace (disabled / not sampled / a scope already active on this thread)
+// the scope is inert and costs two loads. Otherwise it installs the
+// thread-local context, opens the root span (named `root_name`), and on
+// destruction closes it and flushes the staged spans to the ring.
+class RpcTraceScope {
+ public:
+  RpcTraceScope(uint64_t trace_id, Tier tier, std::string_view processor,
+                std::string_view root_name, Tracer& tracer = Tracer::Default());
+  ~RpcTraceScope();
+
+  RpcTraceScope(const RpcTraceScope&) = delete;
+  RpcTraceScope& operator=(const RpcTraceScope&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  bool active_ = false;
+  TraceContext ctx_;
+};
+
+}  // namespace adn::obs

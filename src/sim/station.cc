@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace adn::sim {
 
 CpuStation::CpuStation(Simulator* sim, std::string name, int width)
@@ -21,6 +23,15 @@ SimTime CpuStation::Submit(SimTime cost, std::function<void()> done) {
   ++jobs_;
   busy_ += cost;
   max_queue_delay_ = std::max(max_queue_delay_, start - sim_->now());
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string label = "station=\"" + name_ + "\"";
+    reg.GetCounter("adn_sim_jobs_total", label).Inc();
+    reg.GetCounter("adn_sim_busy_ns_total", label)
+        .Inc(static_cast<uint64_t>(cost));
+    reg.GetHistogram("adn_sim_queue_delay_ns", label)
+        .Observe(static_cast<double>(start - sim_->now()));
+  }
   if (done) {
     sim_->At(end, std::move(done));
   }
@@ -55,6 +66,12 @@ SimTime Link::Send(size_t bytes, std::function<void()> deliver) {
   SimTime arrival = tx_done + propagation_;
   ++messages_;
   bytes_total_ += bytes;
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string label = "link=\"" + name_ + "\"";
+    reg.GetCounter("adn_sim_link_messages_total", label).Inc();
+    reg.GetCounter("adn_sim_link_bytes_total", label).Inc(bytes);
+  }
   if (deliver) {
     sim_->At(arrival, std::move(deliver));
   }

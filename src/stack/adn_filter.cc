@@ -1,5 +1,10 @@
 #include "stack/adn_filter.h"
 
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace adn::stack {
 
 AdnChainFilter::AdnChainFilter(
@@ -19,11 +24,30 @@ AdnChainFilter::AdnChainFilter(
 }
 
 FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
+  const bool timing = obs::Enabled();
+  std::optional<obs::RpcTraceScope> scope;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  if (timing) {
+    reg.GetCounter("adn_mesh_messages_total").Inc();
+    // Same trace_id as the engine tiers (stream id is 2*rpc_id+1), so the
+    // mesh span tree is comparable to theirs for the same workload.
+    scope.emplace(ctx.stream_id / 2, obs::Tier::kMesh, "sidecar", "rpc");
+  }
+  obs::TraceContext* trace = scope && scope->active() ? obs::CurrentTrace()
+                                                      : nullptr;
+  auto abort_with = [&](int status, std::string message) -> FilterResult {
+    if (timing) reg.GetCounter("adn_mesh_aborts_total").Inc();
+    return {FilterAction::kAbort, status, std::move(message)};
+  };
+
   // The proxy boundary forces a decode: elements operate on typed tuples,
   // the mesh delivers proto bytes.
+  size_t decode_span = 0;
+  if (trace != nullptr) decode_span = trace->OpenSpan("proto-decode");
   auto decoded = ProtoDecode(*ctx.body, proto_schema_);
+  if (trace != nullptr) trace->CloseSpan(decode_span);
   if (!decoded.ok()) {
-    return {FilterAction::kAbort, 400, decoded.error().ToString()};
+    return abort_with(400, decoded.error().ToString());
   }
   rpc::Message m = std::move(decoded).value();
   m.set_kind(ctx.is_request ? rpc::MessageKind::kRequest
@@ -34,17 +58,20 @@ FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
 
   ir::ProcessResult r = executor_->Process(m, /*now_ns=*/0);
   if (r.outcome == ir::ProcessOutcome::kDropAbort) {
-    return {FilterAction::kAbort, 403, std::move(r.abort_message)};
+    return abort_with(403, std::move(r.abort_message));
   }
   if (r.outcome == ir::ProcessOutcome::kDropSilent) {
     // A proxy cannot truly vanish an in-stream request; closest mesh
     // behavior is a 503 with no detail.
-    return {FilterAction::kAbort, 503, std::move(r.abort_message)};
+    return abort_with(503, std::move(r.abort_message));
   }
 
+  size_t encode_span = 0;
+  if (trace != nullptr) encode_span = trace->OpenSpan("proto-encode");
   auto encoded = ProtoEncode(m, proto_schema_);
+  if (trace != nullptr) trace->CloseSpan(encode_span);
   if (!encoded.ok()) {
-    return {FilterAction::kAbort, 500, encoded.error().ToString()};
+    return abort_with(500, encoded.error().ToString());
   }
   *ctx.body = std::move(encoded).value();
   return {};

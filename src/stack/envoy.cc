@@ -2,6 +2,7 @@
 
 #include "common/codec.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace adn::stack {
 
@@ -177,6 +178,12 @@ Result<EnvoySidecar::Output> EnvoySidecar::ProcessMessage(
     std::span<const uint8_t> wire, bool is_request, HpackCodec& inbound_hpack,
     HpackCodec& outbound_hpack) {
   ++processed_;
+  const bool timing = obs::Enabled();
+  if (timing) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("adn_envoy_messages_total", "sidecar=\"" + name_ + "\"")
+        .Inc();
+  }
   // 1. Real parse of the inbound bytes.
   ADN_ASSIGN_OR_RETURN(GrpcHttp2Message msg,
                        ParseGrpcMessage(wire, inbound_hpack));
@@ -192,6 +199,11 @@ Result<EnvoySidecar::Output> EnvoySidecar::ProcessMessage(
     FilterResult r = filter->OnMessage(ctx);
     if (r.action == FilterAction::kAbort) {
       ++aborted_;
+      if (timing) {
+        obs::MetricsRegistry::Default()
+            .GetCounter("adn_envoy_aborts_total", "sidecar=\"" + name_ + "\"")
+            .Inc();
+      }
       Output out;
       out.aborted = true;
       out.http_status = r.http_status;

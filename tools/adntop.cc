@@ -1,0 +1,201 @@
+// adntop — observability console for the ADN data plane.
+//
+// Usage:
+//   adntop [--json] [--rpcs N] [--sample N] [--ring N]
+//
+// Drives the Figure-5 chain (Logging, Acl, Fault) through an in-process
+// mRPC engine with the obs plane enabled, then renders what the telemetry
+// contract (docs/OBSERVABILITY.md) exposes: the metrics registry as a
+// table, the most recent sampled RPC as a span tree, and the controller's
+// scaling read of the same data. `--json` instead dumps the whole plane
+// via adn::obs::ExportJson() — the machine-readable form consumed by
+// scripts and by bench_breakdown.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/lower.h"
+#include "controller/telemetry.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+#include "mrpc/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: adntop [--json] [--rpcs N] [--sample N] [--ring N]\n"
+               "  --json    dump metrics + traces as JSON (obs::ExportJson)\n"
+               "  --rpcs    RPCs to drive through the fig5 chain (default "
+               "1000)\n"
+               "  --sample  trace 1 in N RPCs (default 100)\n"
+               "  --ring    span ring capacity (default 4096)\n");
+  return 2;
+}
+
+// Linear-interpolated quantile from a snapshot's bucket counts (same math
+// as Histogram::Quantile, which the snapshot no longer has access to).
+double SampleQuantile(const adn::obs::MetricSample& s, double q) {
+  if (s.count == 0) return 0.0;
+  const double rank = q * static_cast<double>(s.count);
+  uint64_t seen = 0;
+  double lower = 0.0;
+  for (size_t i = 0; i < s.upper_bounds.size(); ++i) {
+    const uint64_t in_bucket = s.bucket_counts[i];
+    if (static_cast<double>(seen + in_bucket) >= rank && in_bucket > 0) {
+      const double fraction =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + fraction * (s.upper_bounds[i] - lower);
+    }
+    seen += in_bucket;
+    lower = s.upper_bounds[i];
+  }
+  return s.upper_bounds.empty() ? 0.0 : s.upper_bounds.back();
+}
+
+void PrintSpanTree(const std::vector<adn::obs::Span>& spans,
+                   uint64_t parent_id, int depth) {
+  for (const adn::obs::Span& s : spans) {
+    if (s.parent_id != parent_id) continue;
+    std::printf("  %*s%s  [%s/%s]  %lld ns\n", depth * 2, "", s.name.c_str(),
+                std::string(adn::obs::TierName(s.tier)).c_str(),
+                s.processor.c_str(),
+                static_cast<long long>(s.end_ns - s.start_ns));
+    PrintSpanTree(spans, s.span_id, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adn;
+
+  bool json = false;
+  uint64_t rpcs = 1000;
+  uint64_t sample_every = 100;
+  size_t ring = 4096;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--rpcs" && i + 1 < argc) {
+      rpcs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sample" && i + 1 < argc) {
+      sample_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--ring" && i + 1 < argc) {
+      ring = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+
+  obs::SetEnabled(true);
+  obs::Tracer::Default().SetTracingEnabled(true);
+  obs::Tracer::Default().SetSampleEvery(sample_every);
+  obs::Tracer::Default().SetRingCapacity(ring);
+
+  // Build the fig5 engine chain the same way the controller would deploy it.
+  auto parsed = dsl::ParseProgram(elements::Fig5ProgramSource());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto lowered = compiler::LowerProgram(*parsed);
+  if (!lowered.ok()) {
+    std::fprintf(stderr, "lower: %s\n", lowered.status().ToString().c_str());
+    return 1;
+  }
+  mrpc::EngineChain chain;
+  chain.set_trace_identity(obs::Tier::kEngine, "adntop-engine");
+  for (const char* name : {"Logging", "Acl", "Fault"}) {
+    auto element = lowered->FindElement(name);
+    if (element == nullptr) {
+      std::fprintf(stderr, "fig5 element missing: %s\n", name);
+      return 1;
+    }
+    auto stage = std::make_unique<mrpc::GeneratedStage>(element, /*seed=*/7);
+    if (std::strcmp(name, "Acl") == 0) {
+      for (const char* user : {"alice", "bob", "carol", "dave"}) {
+        (void)stage->instance().FindTable("ac_tab")->Insert(
+            {rpc::Value(std::string(user)), rpc::Value("W")});
+      }
+    }
+    chain.AddStage(std::move(stage));
+  }
+
+  const char* users[] = {"alice", "bob", "carol", "dave"};
+  for (uint64_t id = 0; id < rpcs; ++id) {
+    rpc::Message m = rpc::Message::MakeRequest(
+        id, "Echo",
+        {{"username", rpc::Value(std::string(users[id % 4]))},
+         {"object_id", rpc::Value(static_cast<int64_t>(id))},
+         {"payload", rpc::Value(Bytes{1, 2, 3, 4})}});
+    (void)chain.Process(m, static_cast<int64_t>(id));
+  }
+
+  if (json) {
+    std::printf("%s\n", obs::ExportJson().c_str());
+    return 0;
+  }
+
+  // --- Metrics table -------------------------------------------------------
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+  std::printf("%-28s %-28s %-10s %14s\n", "METRIC", "LABELS", "KIND",
+              "VALUE");
+  for (const obs::MetricSample& s : snap.samples) {
+    if (s.kind == obs::MetricKind::kHistogram) {
+      std::printf("%-28s %-28s %-10s %14s  count=%llu p50=%.0fns p99=%.0fns\n",
+                  s.name.c_str(), s.labels.c_str(), "histogram", "-",
+                  static_cast<unsigned long long>(s.count),
+                  SampleQuantile(s, 0.50), SampleQuantile(s, 0.99));
+    } else {
+      std::printf("%-28s %-28s %-10s %14.0f\n", s.name.c_str(),
+                  s.labels.c_str(),
+                  std::string(obs::MetricKindName(s.kind)).c_str(), s.value);
+    }
+  }
+
+  // --- Latest sampled trace ------------------------------------------------
+  obs::Tracer& tracer = obs::Tracer::Default();
+  std::vector<uint64_t> ids = tracer.TraceIds();
+  if (!ids.empty()) {
+    const uint64_t last = ids.back();
+    std::printf("\ntrace %llu (1 in %llu sampled):\n",
+                static_cast<unsigned long long>(last),
+                static_cast<unsigned long long>(sample_every));
+    std::vector<obs::Span> spans = tracer.SpansForTrace(last);
+    // Roots are spans whose parent is not resident in the trace (one per
+    // processor scope).
+    for (const obs::Span& s : spans) {
+      bool has_parent = false;
+      for (const obs::Span& other : spans) {
+        if (other.span_id == s.parent_id) has_parent = true;
+      }
+      if (has_parent) continue;
+      std::printf("  %s  [%s/%s]  %lld ns\n", s.name.c_str(),
+                  std::string(obs::TierName(s.tier)).c_str(),
+                  s.processor.c_str(),
+                  static_cast<long long>(s.end_ns - s.start_ns));
+      PrintSpanTree(spans, s.span_id, 1);
+    }
+  }
+
+  // --- Controller's read (Figure 3 feedback) -------------------------------
+  controller::TelemetryHub hub;
+  if (Status s = hub.IngestSnapshot(snap, 0, 1); !s.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncontroller advice:\n");
+  std::printf("  adntop-engine: util=%.2f advice=%s\n",
+              hub.SmoothedUtilization("adntop-engine"),
+              std::string(controller::ScalingAdviceName(
+                              hub.Advise("adntop-engine")))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (run by the CI docs job).
+
+Two checks, both cheap enough for every push:
+
+1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
+   PAPER.md and docs/*.md must resolve to an existing file (anchors and
+   external http(s)/mailto links are skipped).
+2. Every `bench_*` target named in EXPERIMENTS.md must be declared in
+   bench/CMakeLists.txt (adn_bench/adn_gbench) — the experiment index and
+   the build may not drift apart.
+
+Exits 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    p for p in [REPO / "README.md", REPO / "DESIGN.md",
+                REPO / "EXPERIMENTS.md", REPO / "PAPER.md"]
+    if p.exists()
+] + sorted((REPO / "docs").glob("*.md"))
+
+# [text](target) — target captured up to the closing paren; images too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_RE = re.compile(r"\bbench_[a-z0-9_]+")
+
+
+def check_links():
+    problems = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                line = text[:match.start()].count("\n") + 1
+                problems.append(
+                    f"{doc.relative_to(REPO)}:{line}: broken link '{target}'")
+    return problems
+
+
+def check_bench_targets():
+    problems = []
+    cmake = (REPO / "bench" / "CMakeLists.txt").read_text(encoding="utf-8")
+    declared = set(re.findall(r"adn_g?bench\((bench_[a-z0-9_]+)\)", cmake))
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for lineno, line in enumerate(experiments.splitlines(), start=1):
+        for match in BENCH_RE.finditer(line):
+            # Skip file mentions like bench_output.txt.
+            rest = line[match.end():]
+            if rest.startswith("."):
+                continue
+            name = match.group(0)
+            if name not in declared:
+                problems.append(
+                    f"EXPERIMENTS.md:{lineno}: bench target '{name}' is not "
+                    f"declared in bench/CMakeLists.txt")
+    return problems
+
+
+def main():
+    problems = check_links() + check_bench_targets()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    print(f"check_docs: OK ({len(DOC_FILES)} docs checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
