@@ -1,0 +1,265 @@
+// E13 — the Figure-3 loop closed *live*: a step/burst offered-load profile
+// drives the simulated ADN path while the in-run reporting event feeds the
+// controller's Autoscaler; sustained high utilization scales the engine
+// pools out through the real pause-drain-resume migration protocol, and the
+// post-burst lull scales them back in. Prints the per-window timeline and
+// writes BENCH_autoscale.json (offered load, utilization, instance counts,
+// window p99, SLO burn, pause windows).
+//
+// Self-checking: exits non-zero unless the run shows >=1 scale-out,
+// >=1 scale-in, zero admitted-message loss, and a final window back under
+// the latency objective.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "controller/autoscale.h"
+#include "core/network.h"
+#include "core/workload.h"
+#include "elements/library.h"
+#include "obs/metrics.h"
+
+#ifndef ADN_GIT_SHA
+#define ADN_GIT_SHA "unknown"
+#endif
+
+namespace adn {
+namespace {
+
+constexpr sim::SimTime kMs = 1'000'000;
+constexpr sim::SimTime kReportInterval = 5 * kMs;
+constexpr sim::SimTime kRunFor = 140 * kMs;
+constexpr double kLatencyObjectiveNs = 300'000;  // p99 <= 300 us
+
+// Logging + ACL on the engines (the Figure 5 chain minus Fault, whose 5%
+// injected drops would drown the loss SLO in by-design noise).
+std::string LiveProgram() {
+  std::string out;
+  out += elements::AclTableSql();
+  out += elements::LogTableSql();
+  out += elements::LoggingSql();
+  out += elements::AclSql();
+  out += "CHAIN live FOR CALLS client -> server { Logging, Acl }\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<rpc::Row>>> AclSeeds() {
+  std::vector<rpc::Row> rows;
+  for (const char* user : {"alice", "bob", "carol", "dave"}) {
+    rows.push_back({rpc::Value(std::string(user)), rpc::Value("W")});
+  }
+  return {{"ac_tab", std::move(rows)}};
+}
+
+struct WindowRow {
+  mrpc::PathReport report;
+  double offered_rps = 0;
+  double p99_ns = 0;
+  double burn = 0;
+  double drop_fraction = 0;
+  bool latency_alert = false;
+};
+
+}  // namespace
+}  // namespace adn
+
+int main() {
+  using namespace adn;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.Reset();
+  obs::SetEnabled(true);
+
+  // Offered load: comfortable baseline, a 3-4x step past one engine's
+  // capacity, then a lull under the scale-in threshold.
+  core::StepRateProfile profile(60'000,
+                                {
+                                    {30 * kMs, 75 * kMs, 140'000},
+                                    {75 * kMs, kRunFor + 10 * kMs, 30'000},
+                                });
+
+  controller::AutoscaleOptions opts;
+  opts.telemetry.window_reports = 2;  // smooth over 2 ticks, react fast
+  opts.slo.latency_objective_ns = kLatencyObjectiveNs;
+  opts.sustain_windows = 2;
+  opts.cooldown_windows = 2;
+  opts.max_width = 8;
+  controller::Autoscaler scaler(&reg, opts);
+
+  core::NetworkOptions net_options;
+  net_options.policy = controller::PlacementPolicy::kNativeOnly;
+  net_options.state_seeds = AclSeeds();
+  auto network = core::Network::Create(LiveProgram(), net_options);
+  if (!network.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<WindowRow> timeline;
+  core::WorkloadOptions workload;
+  workload.label = "autoscale";
+  workload.concurrency = 128;  // admission cap for the open loop
+  workload.make_request = core::MakeDefaultRequestFactory();
+  workload.report_interval_ns = kReportInterval;
+  workload.offered_rps = profile.AsFunction();
+  workload.run_for_ns = kRunFor;
+  workload.on_report = [&](const mrpc::PathReport& report) {
+    auto commands = scaler.OnReport(report);
+    WindowRow row;
+    row.report = report;
+    row.offered_rps = profile.RateAt(report.window_start);
+    row.p99_ns = scaler.slo().last_quantile_ns();
+    row.burn = scaler.slo().last_burn();
+    row.drop_fraction = scaler.slo().last_drop_fraction();
+    row.latency_alert = scaler.slo().latency_alert();
+    timeline.push_back(std::move(row));
+    return commands;
+  };
+
+  auto result = (*network)->RunWorkload("live", workload);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  obs::SetEnabled(false);
+
+  std::printf(
+      "Live autoscaling (E13): Logging+ACL chain, open-loop step profile,\n"
+      "%lld ms run, %lld ms report windows, p99 objective %.0f us.\n\n",
+      static_cast<long long>(kRunFor / kMs),
+      static_cast<long long>(kReportInterval / kMs),
+      kLatencyObjectiveNs / 1000.0);
+  std::printf(
+      "  t(ms)  offered  done/s   rej/s  cli-eng  srv-eng   p99(us)   burn\n");
+  for (const WindowRow& row : timeline) {
+    const auto& r = row.report;
+    double span_sec =
+        static_cast<double>(r.window_end - r.window_start) / 1e9;
+    if (span_sec <= 0) span_sec = 1;
+    auto site = [&](const char* proc) -> const mrpc::SiteWindow* {
+      for (const auto& s : r.sites)
+        if (s.processor == proc) return &s;
+      return nullptr;
+    };
+    const mrpc::SiteWindow* cli = site("client-engine");
+    const mrpc::SiteWindow* srv = site("server-engine");
+    std::printf(
+        "  %5lld  %7.0f  %6.0f  %6.0f  %dx %3.0f%%  %dx %3.0f%%  %8.1f  %5.2f%s\n",
+        static_cast<long long>(r.window_end / kMs), row.offered_rps,
+        static_cast<double>(r.completed) / span_sec,
+        static_cast<double>(r.rejected) / span_sec, cli ? cli->width : 0,
+        cli ? cli->utilization * 100 : 0, srv ? srv->width : 0,
+        srv ? srv->utilization * 100 : 0, row.p99_ns / 1000.0, row.burn,
+        row.latency_alert ? "  [SLO]" : "");
+  }
+
+  int scale_outs = 0, scale_ins = 0;
+  sim::SimTime total_pause = 0;
+  std::printf("\nReconfigurations (pause-drain-resume):\n");
+  for (const mrpc::ReconfigEvent& e : result->reconfigs) {
+    const bool out = e.new_width > e.old_width;
+    out ? ++scale_outs : ++scale_ins;
+    total_pause += e.pause_ns;
+    std::printf(
+        "  t=%5.1f ms  %-14s %d -> %d  pause %6.1f us  %llu msg(s) queued\n",
+        static_cast<double>(e.at) / kMs, SiteName(e.site).data(), e.old_width,
+        e.new_width, static_cast<double>(e.pause_ns) / 1000.0,
+        static_cast<unsigned long long>(e.queued_during_pause));
+  }
+
+  const uint64_t admitted = result->issued;
+  const uint64_t settled = result->stats.completed + result->stats.dropped;
+  const bool lossless = admitted == settled;
+  const bool recovered =
+      !timeline.empty() && timeline.back().p99_ns <= kLatencyObjectiveNs;
+  std::printf(
+      "\nSummary: %d scale-out(s), %d scale-in(s), %.1f us total pause,\n"
+      "%llu msgs queued across pauses, admitted %llu = settled %llu (%s),\n"
+      "final-window p99 %.1f us (%s objective).\n",
+      scale_outs, scale_ins, static_cast<double>(total_pause) / 1000.0,
+      static_cast<unsigned long long>(result->queued_during_pause),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(settled),
+      lossless ? "lossless" : "LOST MESSAGES",
+      timeline.empty() ? 0.0 : timeline.back().p99_ns / 1000.0,
+      recovered ? "under" : "OVER");
+
+  // --- BENCH_autoscale.json ------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_autoscale.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema_version\": 1,\n"
+                 "  \"git_sha\": \"%s\",\n"
+                 "  \"chain\": \"live (Logging -> ACL)\",\n"
+                 "  \"report_interval_ms\": %lld,\n"
+                 "  \"latency_objective_us\": %.1f,\n"
+                 "  \"windows\": [",
+                 ADN_GIT_SHA, static_cast<long long>(kReportInterval / kMs),
+                 kLatencyObjectiveNs / 1000.0);
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      const WindowRow& row = timeline[i];
+      const auto& r = row.report;
+      std::fprintf(f,
+                   "%s\n    {\"t_ms\": %.1f, \"offered_rps\": %.0f, "
+                   "\"issued\": %llu, \"completed\": %llu, \"dropped\": %llu, "
+                   "\"rejected\": %llu, \"p99_us\": %.1f, \"burn\": %.3f, "
+                   "\"drop_fraction\": %.4f, \"sites\": [",
+                   i == 0 ? "" : ",",
+                   static_cast<double>(r.window_end) / kMs, row.offered_rps,
+                   static_cast<unsigned long long>(r.issued),
+                   static_cast<unsigned long long>(r.completed),
+                   static_cast<unsigned long long>(r.dropped),
+                   static_cast<unsigned long long>(r.rejected),
+                   row.p99_ns / 1000.0, row.burn, row.drop_fraction);
+      bool first = true;
+      for (const auto& s : r.sites) {
+        if (s.processor != "client-engine" && s.processor != "server-engine")
+          continue;
+        std::fprintf(f,
+                     "%s{\"processor\": \"%s\", \"width\": %d, "
+                     "\"utilization\": %.3f}",
+                     first ? "" : ", ", s.processor.c_str(), s.width,
+                     s.utilization);
+        first = false;
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "\n  ],\n  \"reconfigs\": [");
+    for (size_t i = 0; i < result->reconfigs.size(); ++i) {
+      const mrpc::ReconfigEvent& e = result->reconfigs[i];
+      std::fprintf(f,
+                   "%s\n    {\"t_ms\": %.1f, \"processor\": \"%s\", "
+                   "\"old_width\": %d, \"new_width\": %d, \"pause_us\": %.1f, "
+                   "\"queued\": %llu}",
+                   i == 0 ? "" : ",", static_cast<double>(e.at) / kMs,
+                   std::string(SiteName(e.site)).c_str(), e.old_width,
+                   e.new_width, static_cast<double>(e.pause_ns) / 1000.0,
+                   static_cast<unsigned long long>(e.queued_during_pause));
+    }
+    std::fprintf(f,
+                 "\n  ],\n"
+                 "  \"summary\": {\"scale_outs\": %d, \"scale_ins\": %d, "
+                 "\"total_pause_us\": %.1f, \"queued_during_pause\": %llu, "
+                 "\"admitted\": %llu, \"settled\": %llu, \"lossless\": %s, "
+                 "\"p99_recovered\": %s}\n}\n",
+                 scale_outs, scale_ins,
+                 static_cast<double>(total_pause) / 1000.0,
+                 static_cast<unsigned long long>(result->queued_during_pause),
+                 static_cast<unsigned long long>(admitted),
+                 static_cast<unsigned long long>(settled),
+                 lossless ? "true" : "false", recovered ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nWrote BENCH_autoscale.json\n");
+  }
+
+  if (scale_outs < 1 || scale_ins < 1 || !lossless || !recovered) {
+    std::fprintf(stderr,
+                 "\nFAILED: closed loop not demonstrated (outs=%d ins=%d "
+                 "lossless=%d recovered=%d)\n",
+                 scale_outs, scale_ins, lossless, recovered);
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "ir/program.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "stack/mesh_path.h"
 
 #ifndef ADN_GIT_SHA
@@ -153,13 +154,21 @@ ExecTierResult RunExecTierBench() {
     (void)obs_exec.Process(stream[i % stream.size()], 0);
   }
   obs::SetEnabled(false);
+  // Quantiles from the exported snapshot through the shared bucket math
+  // (obs::SnapshotHistogram) — the same path adntop and the telemetry hub
+  // read, so the number printed here is the number a consumer would derive.
+  const obs::MetricsSnapshot snap = reg.Snapshot();
   for (const auto& element : elements) {
     const std::string label = "element=\"" + element->name + "\"";
-    out.element_p50_ns.emplace_back(
-        element->name,
-        reg.GetHistogram("adn_element_latency_ns", label).Quantile(0.50));
+    double p50 = 0;
+    for (const obs::MetricSample& s : snap.samples) {
+      if (s.name == "adn_element_latency_ns" && s.labels == label) {
+        p50 = obs::SnapshotHistogram::FromSample(s).Quantile(0.50);
+      }
+    }
+    out.element_p50_ns.emplace_back(element->name, p50);
   }
-  out.obs_metrics_json = obs::ExportMetricsJson(reg.Snapshot());
+  out.obs_metrics_json = obs::ExportMetricsJson(snap);
   return out;
 }
 

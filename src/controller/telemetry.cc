@@ -1,10 +1,38 @@
 #include "controller/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace adn::controller {
 
 namespace {
+
+// Fraction of the delta's observations at or below `bound`, linearly
+// interpolated inside the containing bucket (the CDF counterpart of
+// obs::BucketQuantile). Overflow-bucket observations count as above every
+// finite bound.
+double FractionAtOrBelow(const obs::SnapshotHistogram& h, double bound) {
+  if (h.count == 0) return 1.0;
+  double below = 0.0;
+  double prev_bound = 0.0;
+  for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    const bool overflow = i >= h.upper_bounds.size();
+    const double ub = overflow ? std::numeric_limits<double>::infinity()
+                               : h.upper_bounds[i];
+    const double in_bucket = static_cast<double>(h.bucket_counts[i]);
+    if (bound >= ub) {
+      below += in_bucket;
+      prev_bound = ub;
+      continue;
+    }
+    if (!overflow && ub > prev_bound) {
+      below += in_bucket * (bound - prev_bound) / (ub - prev_bound);
+    }
+    break;
+  }
+  return std::clamp(below / static_cast<double>(h.count), 0.0, 1.0);
+}
 
 // Pull the value of `key` out of a canonical 'key="value",...' label string.
 std::string LabelValue(const std::string& labels, std::string_view key) {
@@ -66,12 +94,18 @@ Status TelemetryHub::IngestSnapshot(const obs::MetricsSnapshot& snapshot,
     return it->second;
   };
   // Cumulative counter -> this window's delta (unsigned subtraction stays
-  // correct across one 2^64 wrap, matching the Counter contract).
+  // correct across one 2^64 wrap, matching the Counter contract). The first
+  // time a series key is seen it SEEDS the baseline and contributes a zero
+  // delta: a processor label appearing mid-run (scale-out, late element
+  // install) carries history from before the hub watched it, and crediting
+  // that cumulative total to one window would fabricate a rate spike (and
+  // spurious drop alerts). Its real rates start with the next snapshot.
   auto delta = [&](const obs::MetricSample& s) -> uint64_t {
-    uint64_t cur = static_cast<uint64_t>(s.value);
-    uint64_t& last = last_counter_[s.name + "|" + s.labels];
-    uint64_t d = cur - last;
-    last = cur;
+    const uint64_t cur = static_cast<uint64_t>(s.value);
+    auto [it, fresh] = last_counter_.try_emplace(s.name + "|" + s.labels, cur);
+    if (fresh) return 0;
+    const uint64_t d = cur - it->second;
+    it->second = cur;
     return d;
   };
   for (const obs::MetricSample& s : snapshot.samples) {
@@ -131,6 +165,50 @@ std::vector<std::string> TelemetryHub::DropAlerts() const {
     }
   }
   return out;
+}
+
+void SloMonitor::ObserveWindow(const obs::SnapshotHistogram& latency_delta,
+                               uint64_t attempted, uint64_t lost) {
+  ++windows_;
+  const double budget = std::max(1e-9, 1.0 - options_.latency_quantile);
+  bool latency_violation = false;
+  if (latency_delta.count == 0) {
+    last_quantile_ns_ = 0.0;
+    last_burn_ = 0.0;
+  } else {
+    last_quantile_ns_ = latency_delta.Quantile(options_.latency_quantile);
+    const double over =
+        1.0 - FractionAtOrBelow(latency_delta, options_.latency_objective_ns);
+    last_burn_ = over / budget;
+    latency_violation = last_burn_ > 1.0;
+  }
+  last_drop_fraction_ =
+      attempted > 0
+          ? static_cast<double>(lost) / static_cast<double>(attempted)
+          : 0.0;
+  const bool drop_violation = last_drop_fraction_ > options_.drop_objective;
+
+  auto advance = [this](bool violation, int& violations, int& healthy,
+                        bool& alert) {
+    if (violation) {
+      healthy = 0;
+      if (++violations >= options_.alert_after) alert = true;
+    } else {
+      violations = 0;
+      if (++healthy >= options_.clear_after) alert = false;
+    }
+  };
+  advance(latency_violation, latency_violations_, latency_healthy_,
+          latency_alert_);
+  advance(drop_violation, drop_violations_, drop_healthy_, drop_alert_);
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    reg.GetGauge("adn_slo_p99_ns", "tier=\"sim\"").Set(last_quantile_ns_);
+    reg.GetGauge("adn_slo_burn", "tier=\"sim\"").Set(last_burn_);
+    reg.GetGauge("adn_slo_drop_fraction", "tier=\"sim\"")
+        .Set(last_drop_fraction_);
+  }
 }
 
 int64_t TelemetryHub::CounterTotal(std::string_view processor,

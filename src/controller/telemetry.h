@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "sim/simulator.h"
 
 namespace adn::controller {
@@ -84,6 +85,59 @@ class TelemetryHub {
   // "name|labels", for window deltas.
   std::map<std::string, uint64_t> last_counter_;
   uint64_t ingested_ = 0;
+};
+
+// --- SLO monitor ------------------------------------------------------------
+//
+// Watches the end-to-end latency objective and the loss objective over the
+// report-window stream. Latency health is expressed as a *burn rate*: the
+// fraction of requests slower than the objective divided by the budget the
+// quantile allows (1 - latency_quantile). burn <= 1 means within SLO; burn 3
+// means three times the allowed tail missed the objective this window.
+// Alerts have hysteresis: a state change needs `alert_after` consecutive
+// violating windows (or `clear_after` healthy ones), so a single noisy
+// window — or the pause bubble of one reconfiguration — does not flap.
+//
+// When the obs plane is on, each window publishes adn_slo_p99_ns,
+// adn_slo_burn and adn_slo_drop_fraction gauges.
+struct SloOptions {
+  double latency_objective_ns = 2'000'000;  // tail objective (2 ms)
+  double latency_quantile = 0.99;           // which tail the objective binds
+  double drop_objective = 0.01;  // allowed lost/attempted per window
+  int alert_after = 2;           // violating windows before alert raises
+  int clear_after = 2;           // healthy windows before alert clears
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloOptions options = {}) : options_(options) {}
+
+  // Feed one report window: the adn_rpc_latency_ns histogram delta for the
+  // window plus attempted/lost message counts (lost = drops + rejects).
+  // An empty latency delta (nothing completed) judges latency as healthy
+  // and leaves the drop objective to catch the outage.
+  void ObserveWindow(const obs::SnapshotHistogram& latency_delta,
+                     uint64_t attempted, uint64_t lost);
+
+  bool latency_alert() const { return latency_alert_; }
+  bool drop_alert() const { return drop_alert_; }
+  double last_quantile_ns() const { return last_quantile_ns_; }
+  double last_burn() const { return last_burn_; }
+  double last_drop_fraction() const { return last_drop_fraction_; }
+  uint64_t windows_observed() const { return windows_; }
+
+ private:
+  SloOptions options_;
+  bool latency_alert_ = false;
+  bool drop_alert_ = false;
+  int latency_violations_ = 0;  // consecutive
+  int latency_healthy_ = 0;
+  int drop_violations_ = 0;
+  int drop_healthy_ = 0;
+  double last_quantile_ns_ = 0.0;
+  double last_burn_ = 0.0;
+  double last_drop_fraction_ = 0.0;
+  uint64_t windows_ = 0;
 };
 
 }  // namespace adn::controller

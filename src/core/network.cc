@@ -131,6 +131,10 @@ Result<mrpc::AdnPathResult> Network::RunWorkload(
   config.stages = std::move(stages);
   config.client_engine_width = workload.client_engine_width;
   config.server_engine_width = workload.server_engine_width;
+  config.report_interval_ns = workload.report_interval_ns;
+  config.on_report = workload.on_report;
+  config.offered_rps = workload.offered_rps;
+  config.run_for_ns = workload.run_for_ns;
   // The wire header between the machines is the spec at the sender->receiver
   // cut: after the last client-side element.
   size_t cut = 0;

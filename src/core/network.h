@@ -43,6 +43,13 @@ struct WorkloadOptions {
   int client_engine_width = 1;
   int server_engine_width = 1;
   std::string label;
+  // Live telemetry->control loop, passed through to mrpc::AdnPathConfig
+  // (see adn_path.h): in-run reporting cadence, controller hook, and the
+  // optional open-loop offered-load profile.
+  sim::SimTime report_interval_ns = 0;
+  mrpc::ReportCallback on_report;
+  std::function<double(sim::SimTime)> offered_rps;
+  sim::SimTime run_for_ns = 0;
 };
 
 class Network {

@@ -75,4 +75,12 @@ std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
   };
 }
 
+double StepRateProfile::RateAt(int64_t t_ns) const {
+  double rate = baseline_;
+  for (const RateStep& step : steps_) {
+    if (t_ns >= step.start_ns && t_ns < step.end_ns) rate = step.rps;
+  }
+  return rate;
+}
+
 }  // namespace adn::core

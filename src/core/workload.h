@@ -62,4 +62,31 @@ struct TraceWorkloadOptions {
 std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
     TraceWorkloadOptions options);
 
+// Piecewise-constant offered-load profile (RPCs/sec over time) for
+// open-loop experiments: a baseline rate with timed overrides — step-up,
+// burst, step-down. Overrides are half-open [start_ns, end_ns); when they
+// overlap, the last matching one wins.
+struct RateStep {
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  double rps = 0.0;
+};
+
+class StepRateProfile {
+ public:
+  StepRateProfile(double baseline_rps, std::vector<RateStep> steps)
+      : baseline_(baseline_rps), steps_(std::move(steps)) {}
+
+  double RateAt(int64_t t_ns) const;
+
+  // Convenience adapter for AdnPathConfig::offered_rps.
+  std::function<double(int64_t)> AsFunction() const {
+    return [profile = *this](int64_t t) { return profile.RateAt(t); };
+  }
+
+ private:
+  double baseline_;
+  std::vector<RateStep> steps_;
+};
+
 }  // namespace adn::core

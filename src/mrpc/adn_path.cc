@@ -1,7 +1,9 @@
 #include "mrpc/adn_path.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
+#include <deque>
 
 #include "sim/simulator.h"
 #include "sim/station.h"
@@ -23,6 +25,14 @@ struct SiteRuntime {
   bool fixed_pipeline = false;  // switch: fixed latency per message
   bool on_host = true;          // counts toward host CPU
   bool active = true;           // site participates in the path
+  // --- Live-loop state ------------------------------------------------------
+  // While paused (mid-reconfiguration) arriving messages are parked here in
+  // arrival order and replayed at resume — paused, never lost. Work already
+  // inside the station keeps draining during the pause.
+  bool paused = false;
+  std::deque<std::function<void()>> pending;
+  uint64_t queued_total = 0;
+  SimTime last_busy = 0;  // busy_time() at the previous report tick
 };
 
 struct Experiment {
@@ -55,6 +65,20 @@ struct Experiment {
   SimTime measure_start_time = 0;
   SimTime measure_end_time = 0;
   bool warmed_up = false;
+
+  // --- Live-loop state ------------------------------------------------------
+  bool open_loop = false;  // offered_rps drives arrivals instead of MaybeIssue
+  uint64_t arrivals = 0;   // open-loop arrivals (admitted + rejected)
+  uint64_t rejected = 0;   // open-loop arrivals bounced off the admission cap
+  uint64_t queued_total = 0;  // messages parked across all pauses
+  SimTime last_report_time = 0;
+  uint64_t last_arrivals = 0;
+  uint64_t last_completed = 0;
+  uint64_t last_dropped = 0;
+  uint64_t last_rejected = 0;
+  std::vector<PathReport> reports;
+  std::vector<ReconfigEvent> reconfigs;
+  obs::Histogram* latency_hist = nullptr;
 
   void BuildSites() {
     auto make = [&](size_t idx, Site site, const char* name, int width,
@@ -119,7 +143,25 @@ struct Experiment {
   }
 
   void MaybeIssue() {
+    if (open_loop) return;  // arrivals are paced by offered_rps, not slots
     while (!AllIssued() && in_flight < cfg.concurrency) IssueOne();
+  }
+
+  // Park `resume` on site `idx`'s pause queue if it is mid-reconfiguration.
+  // Returns true when the message was parked (caller must not proceed).
+  bool MaybeQueue(size_t idx, std::function<void()> resume) {
+    SiteRuntime& site = SiteAt(idx);
+    if (!site.paused) return false;
+    site.pending.push_back(std::move(resume));
+    ++site.queued_total;
+    ++queued_total;
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Default()
+          .GetCounter("adn_ctrl_queued_msgs_total",
+                      "processor=\"" + std::string(SiteName(site.site)) + "\"")
+          .Inc();
+    }
+    return true;
   }
 
   struct Rpc {
@@ -196,6 +238,10 @@ struct Experiment {
 
   // Advance the request through site index `idx` (1..6); site 7 = server app.
   void Forward(std::shared_ptr<Rpc> rpc, size_t idx) {
+    if (MaybeQueue(std::min<size_t>(idx, 7),
+                   [this, rpc, idx] { Forward(rpc, idx); })) {
+      return;
+    }
     // First site past the wire (the switch position parses the packet):
     // materialize the message from the minimal wire format. Fields the
     // compiler did not put in the header are genuinely gone.
@@ -328,6 +374,11 @@ struct Experiment {
   }
 
   void BackwardArrive(std::shared_ptr<Rpc> rpc, size_t idx, bool success) {
+    if (MaybeQueue(idx, [this, rpc, idx, success] {
+          BackwardArrive(rpc, idx, success);
+        })) {
+      return;
+    }
     SiteRuntime& site = SiteAt(idx);
     if (!site.active) {
       Backward(rpc, idx, success);
@@ -399,14 +450,179 @@ struct Experiment {
     }
     if (warmed_up) {
       ++measured_done;
-      if (success) latencies.Record(sim.now() - rpc->start);
+      if (success) {
+        latencies.Record(sim.now() - rpc->start);
+        if (obs::Enabled()) {
+          if (latency_hist == nullptr) {
+            latency_hist = &obs::MetricsRegistry::Default().GetHistogram(
+                "adn_rpc_latency_ns", "tier=\"sim\"");
+          }
+          latency_hist->Observe(static_cast<double>(sim.now() - rpc->start));
+        }
+      }
       measure_end_time = sim.now();
     }
     MaybeIssue();
   }
 
+  // --- Live loop ------------------------------------------------------------
+
+  // Open-loop load generation: one arrival event at a time, paced by the
+  // instantaneous offered rate. Arrivals beyond the admission cap are
+  // rejected (counted) rather than queued — the client gives up, which is
+  // what lets an under-provisioned window show up as loss in the timeline.
+  void ScheduleNextArrival() {
+    double rate = cfg.offered_rps(sim.now());
+    SimTime gap = rate > 0
+                      ? std::max<SimTime>(1, static_cast<SimTime>(1e9 / rate))
+                      : std::max<SimTime>(1, cfg.report_interval_ns > 0
+                                                 ? cfg.report_interval_ns / 4
+                                                 : 1'000'000);
+    SimTime next = sim.now() + gap;
+    if (next >= cfg.run_for_ns) return;  // load generation window is over
+    sim.At(next, [this] {
+      if (cfg.offered_rps(sim.now()) > 0) {
+        ++arrivals;
+        if (in_flight >= cfg.concurrency) {
+          ++rejected;
+        } else {
+          IssueOne();
+        }
+      }
+      ScheduleNextArrival();
+    });
+  }
+
+  // The recurring Figure-3 reporting event: publish window telemetry, hand
+  // the report to the controller callback, apply whatever it commands.
+  void DoReport() {
+    SimTime now = sim.now();
+    SimTime span = now - last_report_time;
+    PathReport report;
+    report.window_start = last_report_time;
+    report.window_end = now;
+    report.issued = arrivals - last_arrivals;
+    report.completed = completed - last_completed;
+    report.dropped = dropped - last_dropped;
+    report.rejected = rejected - last_rejected;
+    last_arrivals = arrivals;
+    last_completed = completed;
+    last_dropped = dropped;
+    last_rejected = rejected;
+    last_report_time = now;
+    for (auto& site : sites) {
+      if (!site.active) continue;
+      SimTime busy = site.station->busy_time();
+      SimTime busy_delta = std::max<SimTime>(0, busy - site.last_busy);
+      site.last_busy = busy;
+      SiteWindow w;
+      w.site = site.site;
+      w.processor = std::string(SiteName(site.site));
+      w.width = site.station->width();
+      w.utilization =
+          span > 0 ? std::min(1.0, static_cast<double>(busy_delta) /
+                                       (static_cast<double>(span) * w.width))
+                   : 0.0;
+      w.paused = site.paused;
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Default()
+            .GetGauge("adn_engine_utilization",
+                      "processor=\"" + w.processor + "\"")
+            .Set(w.utilization);
+      }
+      report.sites.push_back(std::move(w));
+    }
+    reports.push_back(report);
+    if (cfg.on_report) {
+      for (ReconfigCommand& cmd : cfg.on_report(report)) {
+        ApplyReconfig(std::move(cmd));
+      }
+    }
+    // Keep ticking while the run is still producing work; stop once load
+    // generation ended and the path drained, so the event does not hold the
+    // simulator open forever.
+    bool finished = open_loop ? (now + cfg.report_interval_ns >=
+                                     cfg.run_for_ns &&
+                                 in_flight == 0)
+                              : (AllIssued() && in_flight == 0);
+    if (!finished) {
+      sim.After(cfg.report_interval_ns, [this] { DoReport(); });
+    }
+  }
+
+  // Pause-drain-resume: pause the site now, run the controller's migration
+  // (the real state split/merge — its cost is the data-plane pause), resume
+  // at the new width and replay everything that arrived meanwhile.
+  void ApplyReconfig(ReconfigCommand cmd) {
+    for (auto& site : sites) {
+      if (site.site != cmd.site) continue;
+      if (site.paused) return;  // one reconfiguration at a time per site
+      int old_width = site.station->width();
+      if (cmd.new_width == old_width && !cmd.migrate) return;
+      site.paused = true;
+      SimTime pause =
+          cmd.migrate ? std::max<SimTime>(0, cmd.migrate(site.chain)) : 0;
+      const std::string processor(SiteName(site.site));
+      if (obs::Enabled()) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+        const std::string label = "processor=\"" + processor + "\"";
+        reg.GetCounter("adn_ctrl_reconfigs_total", label).Inc();
+        reg.GetHistogram("adn_ctrl_pause_ns", label)
+            .Observe(static_cast<double>(pause));
+      }
+      ReconfigEvent event;
+      event.at = sim.now();
+      event.site = site.site;
+      event.old_width = old_width;
+      event.new_width = cmd.new_width;
+      event.pause_ns = pause;
+      size_t event_idx = reconfigs.size();
+      reconfigs.push_back(event);
+      uint64_t queued_before = site.queued_total;
+      SiteRuntime* site_ptr = &site;
+      int new_width = cmd.new_width;
+      sim.After(pause, [this, site_ptr, event_idx, queued_before, new_width] {
+        site_ptr->station->SetWidth(new_width);
+        site_ptr->paused = false;
+        reconfigs[event_idx].queued_during_pause =
+            site_ptr->queued_total - queued_before;
+        // Replay in arrival order; a nested pause (possible only via a
+        // future report tick, not synchronously here) would re-park them.
+        while (!site_ptr->pending.empty() && !site_ptr->paused) {
+          auto fn = std::move(site_ptr->pending.front());
+          site_ptr->pending.pop_front();
+          fn();
+        }
+      });
+      return;
+    }
+  }
+
   AdnPathResult Run() {
-    MaybeIssue();
+    open_loop = static_cast<bool>(cfg.offered_rps);
+    if (open_loop) {
+      assert(cfg.run_for_ns > 0);
+      // The live loop *is* the experiment: measure from t=0, no warmup.
+      warmed_up = true;
+      measure_start_time = 0;
+      // First arrival at t=0 if the profile offers load there.
+      sim.At(0, [this] {
+        if (cfg.offered_rps(sim.now()) > 0) {
+          ++arrivals;
+          if (in_flight >= cfg.concurrency) {
+            ++rejected;
+          } else {
+            IssueOne();
+          }
+        }
+        ScheduleNextArrival();
+      });
+    } else {
+      MaybeIssue();
+    }
+    if (cfg.report_interval_ns > 0) {
+      sim.After(cfg.report_interval_ns, [this] { DoReport(); });
+    }
     sim.Run();
 
     AdnPathResult result;
@@ -450,6 +666,11 @@ struct Experiment {
             .Set(site.station->Utilization(span));
       }
     }
+    result.reconfigs = std::move(reconfigs);
+    result.reports = std::move(reports);
+    result.issued = open_loop ? arrivals - rejected : next_id;
+    result.rejected = rejected;
+    result.queued_during_pause = queued_total;
     return result;
   }
 };

@@ -48,6 +48,60 @@ struct PlacedStage {
   int parallel_group = -1;
 };
 
+// --- Live telemetry -> control loop (Figure 3 running *inside* the run) ------
+//
+// With AdnPathConfig::report_interval_ns > 0 the experiment schedules a
+// recurring reporting event: every interval it publishes each active site's
+// window telemetry into the obs registry (adn_engine_utilization gauges;
+// the end-to-end adn_rpc_latency_ns histogram accumulates at completion
+// time) and invokes on_report. The callback — the controller side, e.g.
+// controller::Autoscaler — returns reconfiguration commands; each is
+// applied with the pause-drain-resume migration protocol:
+//
+//   pause:  the site stops serving; messages arriving in either direction
+//           are queued (never dropped), counted by adn_ctrl_queued_msgs_total
+//   drain:  the command's `migrate` closure re-shards the chain's element
+//           state for the new instance pool and returns the data-plane
+//           pause it cost (EstimatePauseNs of the state moved)
+//   resume: the station continues at new_width and replays the queue in
+//           arrival order
+//
+// The station's width models the instance pool: the simulator charges
+// capacity at the station, while the state split/merge runs for real on the
+// chain's stages so the pause is proportional to true state size and
+// losslessness is verifiable (hash round-trip).
+
+// One active site's view over the last report window.
+struct SiteWindow {
+  Site site;
+  std::string processor;  // SiteName(site) — the metric `processor` label
+  int width = 1;
+  double utilization = 0.0;  // busy fraction over the window
+  bool paused = false;
+};
+
+struct PathReport {
+  sim::SimTime window_start = 0;
+  sim::SimTime window_end = 0;
+  uint64_t issued = 0;     // arrivals this window (admitted + rejected)
+  uint64_t completed = 0;  // completions this window (success)
+  uint64_t dropped = 0;    // chain drops/aborts this window
+  uint64_t rejected = 0;   // open-loop admission rejects this window
+  std::vector<SiteWindow> sites;  // active sites only
+};
+
+struct ReconfigCommand {
+  Site site;
+  int new_width = 1;
+  // Controller-supplied migration, run at pause start on the site's chain.
+  // Returns the data-plane pause in ns; the site resumes (at new_width)
+  // when it elapses. May be null (pure width change, minimal pause).
+  std::function<sim::SimTime(EngineChain&)> migrate;
+};
+
+using ReportCallback =
+    std::function<std::vector<ReconfigCommand>(const PathReport&)>;
+
 struct AdnPathConfig {
   std::string label = "ADN+mRPC";
   int concurrency = 128;
@@ -74,6 +128,29 @@ struct AdnPathConfig {
   // "in-app" deployment where the RPC library does everything).
   bool client_engine_present = true;
   bool server_engine_present = true;
+
+  // --- Live loop (all optional; defaults reproduce the closed-loop run) ----
+  // > 0 enables the recurring in-run reporting event (Figure 3 cadence).
+  sim::SimTime report_interval_ns = 0;
+  // Controller hook invoked at each report; may return reconfigurations.
+  ReportCallback on_report;
+  // Open-loop arrivals: offered load (RPCs/sec) as a function of sim time.
+  // When set, `concurrency` becomes an admission cap — arrivals beyond it
+  // are rejected (counted, not simulated) — and the run lasts run_for_ns
+  // instead of a fixed request count. Load generation starts at t=0 with no
+  // warmup (the live loop is the experiment).
+  std::function<double(sim::SimTime)> offered_rps;
+  sim::SimTime run_for_ns = 0;
+};
+
+// One applied reconfiguration (for result timelines / bench_autoscale).
+struct ReconfigEvent {
+  sim::SimTime at = 0;  // pause start
+  Site site;
+  int old_width = 1;
+  int new_width = 1;
+  sim::SimTime pause_ns = 0;
+  uint64_t queued_during_pause = 0;
 };
 
 struct AdnPathResult {
@@ -87,6 +164,12 @@ struct AdnPathResult {
   // controller's scaling feedback loop consumes.
   double client_engine_utilization = 0.0;
   double server_engine_utilization = 0.0;
+  // --- Live-loop accounting (empty unless report_interval_ns > 0) ----------
+  std::vector<ReconfigEvent> reconfigs;
+  std::vector<PathReport> reports;  // one per reporting tick, in order
+  uint64_t issued = 0;              // open-loop arrivals admitted
+  uint64_t rejected = 0;            // open-loop arrivals beyond the cap
+  uint64_t queued_during_pause = 0;  // messages held (not lost) across pauses
 };
 
 AdnPathResult RunAdnPathExperiment(const AdnPathConfig& config);

@@ -88,6 +88,13 @@ class EngineChain {
   EngineStage& stage(size_t i) { return *stages_[i]; }
   const EngineStage& stage(size_t i) const { return *stages_[i]; }
 
+  // Swap stage i for another instance of the same element (the migration
+  // protocol's resume step: the merged/re-sharded instance replaces the
+  // paused one). Group membership is unchanged.
+  void ReplaceStage(size_t i, std::unique_ptr<EngineStage> stage) {
+    stages_[i] = std::move(stage);
+  }
+
   // Run all applicable stages; stops at the first drop.
   ir::ProcessResult Process(rpc::Message& message, int64_t now_ns);
 

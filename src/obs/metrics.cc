@@ -54,24 +54,36 @@ const std::vector<double>& Histogram::DefaultLatencyBucketsNs() {
 }
 
 double Histogram::Quantile(double q) const {
-  const uint64_t total = Count();
-  if (total == 0) return 0.0;
+  std::vector<uint64_t> counts;
+  counts.reserve(upper_bounds_.size() + 1);
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    counts.push_back(BucketCount(i));
+  }
+  return BucketQuantile(upper_bounds_, counts, Count(), q);
+}
+
+double BucketQuantile(const std::vector<double>& upper_bounds,
+                      const std::vector<uint64_t>& bucket_counts,
+                      uint64_t count, double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(total);
+  const double rank = q * static_cast<double>(count);
   uint64_t seen = 0;
   double lower = 0.0;
-  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
-    const uint64_t in_bucket = BucketCount(i);
+  const size_t finite =
+      std::min(upper_bounds.size(), bucket_counts.size());
+  for (size_t i = 0; i < finite; ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
     if (static_cast<double>(seen + in_bucket) >= rank && in_bucket > 0) {
       const double fraction =
           (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return lower + fraction * (upper_bounds_[i] - lower);
+      return lower + fraction * (upper_bounds[i] - lower);
     }
     seen += in_bucket;
-    lower = upper_bounds_[i];
+    lower = upper_bounds[i];
   }
   // Quantile lands in the +Inf bucket: clamp to the last finite bound.
-  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
 }
 
 // --- Registry -----------------------------------------------------------------

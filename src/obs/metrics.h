@@ -205,6 +205,15 @@ class MetricsRegistry {
   std::deque<Entry> entries_;  // node-based: addresses stable forever
 };
 
+// Linear-interpolated quantile over Prometheus "le" bucket counts — the one
+// implementation behind Histogram::Quantile and SnapshotHistogram::Quantile
+// (obs/window.h). `bucket_counts` holds one slot per finite bound plus the
+// +Inf bucket; q is clamped to [0,1]. Returns 0 when count is 0; a quantile
+// landing in the +Inf bucket clamps to the last finite bound.
+double BucketQuantile(const std::vector<double>& upper_bounds,
+                      const std::vector<uint64_t>& bucket_counts,
+                      uint64_t count, double q);
+
 // Monotonic wall-clock nanoseconds for span/latency timing (steady_clock).
 int64_t NowNs();
 

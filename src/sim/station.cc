@@ -38,6 +38,18 @@ SimTime CpuStation::Submit(SimTime cost, std::function<void()> done) {
   return end;
 }
 
+void CpuStation::SetWidth(int width) {
+  assert(width >= 1);
+  if (width == width_) return;
+  if (width > width_) {
+    server_free_.resize(static_cast<size_t>(width), sim_->now());
+  } else {
+    std::sort(server_free_.begin(), server_free_.end());
+    server_free_.resize(static_cast<size_t>(width));
+  }
+  width_ = width;
+}
+
 double CpuStation::Utilization(SimTime horizon) const {
   if (horizon <= 0) return 0.0;
   return static_cast<double>(busy_) /

@@ -29,6 +29,13 @@ class CpuStation {
   const std::string& name() const { return name_; }
   int width() const { return width_; }
 
+  // Resize the server pool in place (the controller's scale-out/in acting
+  // on a live station). Growing adds servers that are idle from now on;
+  // shrinking keeps the servers that free up earliest, so work already
+  // accepted still completes (jobs are never lost, matching the
+  // pause-drain-resume migration model that brackets a resize).
+  void SetWidth(int width);
+
   // --- Statistics -----------------------------------------------------------
   uint64_t jobs_completed_submitted() const { return jobs_; }
   SimTime busy_time() const { return busy_; }

@@ -1,0 +1,171 @@
+// Autoscaler tests: sustained-advice gating, per-site cooldown, width
+// bounds, and the migrate closure's lossless shard/merge round trip on a
+// live engine chain.
+#include <gtest/gtest.h>
+
+#include "compiler/lower.h"
+#include "controller/autoscale.h"
+#include "controller/migration.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+#include "obs/metrics.h"
+
+namespace adn::controller {
+namespace {
+
+constexpr sim::SimTime kMs = 1'000'000;
+constexpr const char* kProc = "client-engine";
+constexpr const char* kProcLabels = "processor=\"client-engine\"";
+
+// One synthetic report window for a single client-engine site.
+mrpc::PathReport Report(int tick, int width) {
+  mrpc::PathReport r;
+  r.window_start = tick * kMs;
+  r.window_end = (tick + 1) * kMs;
+  r.issued = 1'000;
+  r.completed = 1'000;
+  mrpc::SiteWindow site;
+  site.site = mrpc::Site::kClientEngine;
+  site.processor = kProc;
+  site.width = width;
+  r.sites.push_back(site);
+  return r;
+}
+
+// The hub reads utilization from the obs gauge, not from the PathReport.
+void SetUtil(obs::MetricsRegistry& reg, double u) {
+  reg.GetGauge("adn_engine_utilization", kProcLabels).Set(u);
+}
+
+AutoscaleOptions FastOptions() {
+  AutoscaleOptions opts;
+  opts.telemetry.window_reports = 1;  // advice tracks the latest window
+  opts.sustain_windows = 2;
+  opts.cooldown_windows = 1;
+  return opts;
+}
+
+TEST(Autoscale, SustainedScaleOutDoublesWidth) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  SetUtil(reg, 0.95);
+  EXPECT_TRUE(scaler.OnReport(Report(0, 1)).empty());  // streak 1: hold
+  auto commands = scaler.OnReport(Report(1, 1));       // streak 2: act
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].site, mrpc::Site::kClientEngine);
+  EXPECT_EQ(commands[0].new_width, 2);
+  ASSERT_EQ(scaler.decisions().size(), 1u);
+  EXPECT_EQ(scaler.decisions()[0].advice, ScalingAdvice::kScaleOut);
+  EXPECT_EQ(scaler.decisions()[0].old_width, 1);
+  EXPECT_EQ(scaler.decisions()[0].new_width, 2);
+}
+
+TEST(Autoscale, CooldownThenFreshStreakBeforeNextAction) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  SetUtil(reg, 0.95);
+  (void)scaler.OnReport(Report(0, 1));
+  ASSERT_EQ(scaler.OnReport(Report(1, 1)).size(), 1u);  // 1 -> 2
+  // Cooldown tick, then the sustain streak must rebuild from zero.
+  EXPECT_TRUE(scaler.OnReport(Report(2, 2)).empty());  // resting
+  EXPECT_TRUE(scaler.OnReport(Report(3, 2)).empty());  // streak 1
+  auto commands = scaler.OnReport(Report(4, 2));       // streak 2: act
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].new_width, 4);
+}
+
+TEST(Autoscale, ScaleInHalvesButNeverBelowMinWidth) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  SetUtil(reg, 0.05);
+  (void)scaler.OnReport(Report(0, 4));
+  auto commands = scaler.OnReport(Report(1, 4));
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].new_width, 2);
+  ASSERT_EQ(scaler.decisions().size(), 1u);
+  EXPECT_EQ(scaler.decisions()[0].advice, ScalingAdvice::kScaleIn);
+
+  // At the floor, sustained scale-in advice is a no-op (no thrash).
+  Autoscaler floor(&reg, FastOptions());
+  for (int tick = 0; tick < 4; ++tick) {
+    EXPECT_TRUE(floor.OnReport(Report(tick, 1)).empty());
+  }
+  EXPECT_TRUE(floor.decisions().empty());
+}
+
+TEST(Autoscale, MaxWidthCapsScaleOut) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  SetUtil(reg, 0.95);
+  for (int tick = 0; tick < 4; ++tick) {
+    EXPECT_TRUE(scaler.OnReport(Report(tick, 8)).empty());
+  }
+  EXPECT_TRUE(scaler.decisions().empty());
+}
+
+TEST(Autoscale, SteadyAdviceResetsStreaks) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  SetUtil(reg, 0.95);
+  (void)scaler.OnReport(Report(0, 1));  // streak 1
+  SetUtil(reg, 0.50);                   // steady: streak resets
+  EXPECT_TRUE(scaler.OnReport(Report(1, 1)).empty());
+  SetUtil(reg, 0.95);
+  EXPECT_TRUE(scaler.OnReport(Report(2, 1)).empty());  // streak 1 again
+  EXPECT_EQ(scaler.OnReport(Report(3, 1)).size(), 1u);
+}
+
+TEST(Autoscale, MigrateClosureRoundTripsStateThroughShardMerge) {
+  obs::MetricsRegistry reg;
+  Autoscaler scaler(&reg, FastOptions());
+
+  // A live Logging chain with real accumulated state.
+  auto parsed = dsl::ParseProgram(std::string(elements::LogTableSql()) +
+                                  std::string(elements::LoggingSql()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto program = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  mrpc::EngineChain chain;
+  chain.AddStage(std::make_unique<mrpc::GeneratedStage>(
+      program->FindElement("Logging"), 11));
+  for (uint64_t id = 0; id < 200; ++id) {
+    rpc::Message m = rpc::Message::MakeRequest(
+        id, "Echo.Call",
+        {{"username", rpc::Value(std::string("alice"))},
+         {"object_id", rpc::Value(static_cast<int64_t>(id))},
+         {"payload", rpc::Value(Bytes{1, 2, 3})}});
+    ASSERT_EQ(chain.Process(m, static_cast<int64_t>(id)).outcome,
+              ir::ProcessOutcome::kPass);
+  }
+  auto& before = dynamic_cast<mrpc::GeneratedStage&>(chain.stage(0));
+  const uint64_t state_hash = before.instance().StateContentHash();
+
+  SetUtil(reg, 0.95);
+  (void)scaler.OnReport(Report(0, 1));
+  auto commands = scaler.OnReport(Report(1, 1));
+  ASSERT_EQ(commands.size(), 1u);
+  ASSERT_TRUE(commands[0].migrate != nullptr);
+
+  const sim::SimTime pause = commands[0].migrate(chain);
+  EXPECT_GE(pause, EstimatePauseNs(0));  // at least the handshake floor
+
+  // The stage was swapped for the merged instance; the state survived the
+  // shard/merge round trip bit-for-bit, and the chain still processes.
+  auto& after = dynamic_cast<mrpc::GeneratedStage&>(chain.stage(0));
+  EXPECT_EQ(after.instance().StateContentHash(), state_hash);
+  rpc::Message m = rpc::Message::MakeRequest(
+      500, "Echo.Call",
+      {{"username", rpc::Value(std::string("bob"))},
+       {"object_id", rpc::Value(static_cast<int64_t>(500))},
+       {"payload", rpc::Value(Bytes{4, 5})}});
+  EXPECT_EQ(chain.Process(m, 500).outcome, ir::ProcessOutcome::kPass);
+  EXPECT_NE(after.instance().StateContentHash(), state_hash);
+}
+
+}  // namespace
+}  // namespace adn::controller

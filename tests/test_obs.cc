@@ -19,6 +19,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sim/simulator.h"
 #include "sim/station.h"
 #include "stack/adn_filter.h"
@@ -35,13 +36,17 @@ using obs::Tracer;
 // registry holds after exercising the layers must be on this list.
 constexpr const char* kContractMetricNames[] = {
     "adn_chain_drops_total",      "adn_chain_rpcs_total",
-    "adn_element_latency_ns",     "adn_engine_utilization",
-    "adn_envoy_aborts_total",     "adn_envoy_messages_total",
-    "adn_mesh_aborts_total",      "adn_mesh_messages_total",
-    "adn_obs_spans_evicted_total", "adn_obs_spans_total",
-    "adn_obs_traces_sampled_total", "adn_sim_busy_ns_total",
+    "adn_ctrl_pause_ns",          "adn_ctrl_queued_msgs_total",
+    "adn_ctrl_reconfigs_total",   "adn_element_latency_ns",
+    "adn_engine_utilization",     "adn_envoy_aborts_total",
+    "adn_envoy_messages_total",   "adn_mesh_aborts_total",
+    "adn_mesh_messages_total",    "adn_obs_spans_evicted_total",
+    "adn_obs_spans_total",        "adn_obs_traces_sampled_total",
+    "adn_rpc_latency_ns",         "adn_sim_busy_ns_total",
     "adn_sim_jobs_total",         "adn_sim_link_bytes_total",
     "adn_sim_link_messages_total", "adn_sim_queue_delay_ns",
+    "adn_slo_burn",               "adn_slo_drop_fraction",
+    "adn_slo_p99_ns",
 };
 
 // Fresh global obs state; call first in every test (instrument references
@@ -475,29 +480,137 @@ TEST(Obs, ExportJsonContainsMetricsAndNestedTraces) {
 
 // --- Controller feedback (Figure 3) ------------------------------------------
 
-TEST(Telemetry, IngestSnapshotDerivesReportsAndDiffsWindows) {
+TEST(Telemetry, IngestSnapshotSeedsBaselinesThenDiffsWindows) {
   ResetObs();
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.GetCounter("adn_chain_rpcs_total", "processor=\"p\"").Inc(100);
   reg.GetCounter("adn_chain_drops_total", "processor=\"p\"").Inc(20);
   reg.GetGauge("adn_engine_utilization", "processor=\"p\"").Set(0.9);
 
+  // First snapshot: counters carry pre-watch history, so they only seed the
+  // baselines (delta 0). Gauges are instantaneous and flow immediately.
   controller::TelemetryHub hub;
   ASSERT_TRUE(hub.IngestSnapshot(reg.Snapshot(), 0, 100).ok());
   EXPECT_EQ(hub.reports_ingested(), 1u);
   EXPECT_DOUBLE_EQ(hub.SmoothedUtilization("p"), 0.9);
   EXPECT_EQ(hub.Advise("p"), controller::ScalingAdvice::kScaleOut);
-  // 20 drops / (80 passed + 20 dropped) = 0.2 > 0.1 alert threshold.
-  EXPECT_EQ(hub.DropAlerts(), std::vector<std::string>{"p"});
+  EXPECT_TRUE(hub.DropAlerts().empty());  // 20 lifetime drops: not a window
 
-  // Second window: counters are cumulative; the hub must diff, not re-count.
+  // Second window: counters are cumulative; the hub diffs against the seed.
   reg.GetCounter("adn_chain_rpcs_total", "processor=\"p\"").Inc(100);
+  reg.GetCounter("adn_chain_drops_total", "processor=\"p\"").Inc(30);
   reg.GetGauge("adn_engine_utilization", "processor=\"p\"").Set(0.1);
   ASSERT_TRUE(hub.IngestSnapshot(reg.Snapshot(), 100, 200).ok());
   EXPECT_EQ(hub.reports_ingested(), 2u);
   EXPECT_DOUBLE_EQ(hub.SmoothedUtilization("p"), 0.5);  // (0.9 + 0.1) / 2
-  // Window drop fraction: 20 / 200 = 0.1, no longer above the threshold.
-  EXPECT_TRUE(hub.DropAlerts().empty());
+  // This window: 100 rpcs, 30 drops -> 30 / 100 = 0.3 > 0.1 threshold.
+  EXPECT_EQ(hub.DropAlerts(), std::vector<std::string>{"p"});
+}
+
+// --- Windowed series (obs/window.h) ------------------------------------------
+
+TEST(Window, SnapshotHistogramQuantileEmpty) {
+  obs::SnapshotHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(Window, SnapshotHistogramQuantileSingleBucket) {
+  // All mass in (100, 250]: every quantile interpolates inside that bucket.
+  obs::SnapshotHistogram h;
+  h.upper_bounds = {100, 250, 500};
+  h.bucket_counts = {0, 10, 0, 0};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 175.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 250.0);
+}
+
+TEST(Window, SnapshotHistogramQuantileOverflowBucketClampsToLastBound) {
+  // Mass in the +Inf bucket: quantiles there clamp to the last finite bound
+  // rather than inventing a value beyond the instrument's range.
+  obs::SnapshotHistogram h;
+  h.upper_bounds = {100, 250};
+  h.bucket_counts = {2, 0, 8};  // 8 of 10 beyond 250
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 250.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), 50.0);
+}
+
+TEST(Window, SnapshotHistogramMatchesLiveHistogramQuantile) {
+  ResetObs();
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  obs::Histogram& live = reg.GetHistogram("adn_element_latency_ns",
+                                          "element=\"q\"");
+  for (int i = 1; i <= 1000; ++i) live.Observe(static_cast<double>(i * 7));
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  const obs::SnapshotHistogram h =
+      obs::SnapshotHistogram::FromSample(snap.samples[0]);
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), live.Quantile(q)) << "q=" << q;
+  }
+  ResetObs();
+}
+
+TEST(Window, WindowedSeriesSeedsThenRatesAndHistogramDeltas) {
+  ResetObs();
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  obs::Counter& rpcs = reg.GetCounter("adn_chain_rpcs_total",
+                                      "processor=\"w\"");
+  obs::Histogram& lat = reg.GetHistogram("adn_rpc_latency_ns", "tier=\"t\"");
+  rpcs.Inc(500);
+  lat.Observe(200);
+
+  obs::WindowedSeries series;
+  series.Ingest(reg.Snapshot(), 0, 1'000'000'000);
+  // First window seeds: the 500 pre-existing rpcs are baseline, not rate.
+  EXPECT_EQ(series.CounterDelta("adn_chain_rpcs_total", "processor=\"w\""),
+            0u);
+  const obs::SnapshotHistogram* d0 =
+      series.HistogramDelta("adn_rpc_latency_ns", "tier=\"t\"");
+  ASSERT_NE(d0, nullptr);
+  EXPECT_TRUE(d0->empty());
+
+  rpcs.Inc(250);
+  for (int i = 0; i < 8; ++i) lat.Observe(400);
+  series.Ingest(reg.Snapshot(), 1'000'000'000, 2'000'000'000);
+  EXPECT_EQ(series.CounterDelta("adn_chain_rpcs_total", "processor=\"w\""),
+            250u);
+  EXPECT_DOUBLE_EQ(
+      series.CounterRatePerSec("adn_chain_rpcs_total", "processor=\"w\""),
+      250.0);
+  const obs::SnapshotHistogram* d1 =
+      series.HistogramDelta("adn_rpc_latency_ns", "tier=\"t\"");
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->count, 8u);  // only this window's observations
+  EXPECT_EQ(series.FirstLabels("adn_rpc_latency_ns"), "tier=\"t\"");
+  EXPECT_EQ(series.windows(), 2u);
+  ResetObs();
+}
+
+TEST(Window, WindowedSeriesKeepsBoundedHistory) {
+  ResetObs();
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  obs::Counter& c = reg.GetCounter("adn_chain_rpcs_total", "processor=\"k\"");
+  obs::WindowedSeries series(/*keep_windows=*/3);
+  for (int i = 0; i < 10; ++i) {
+    c.Inc(static_cast<uint64_t>(i + 1));
+    series.Ingest(reg.Snapshot(), i, i + 1);
+  }
+  EXPECT_EQ(series.windows(), 3u);
+  // Window(0) is the most recent (delta 10), Window(2) the oldest kept (8).
+  EXPECT_EQ(series.Window(0).counter_deltas.at(
+                "adn_chain_rpcs_total|processor=\"k\""),
+            10u);
+  EXPECT_EQ(series.Window(2).counter_deltas.at(
+                "adn_chain_rpcs_total|processor=\"k\""),
+            8u);
+  ResetObs();
 }
 
 // --- Documentation contract --------------------------------------------------

@@ -75,6 +75,104 @@ TEST(Telemetry, DropAlerts) {
   EXPECT_EQ(alerts[0], "lossy");
 }
 
+// Regression: a processor label that first appears mid-run (scale-out, a
+// late-installed element) arrives with a cumulative counter history. The
+// first observation must seed the baseline — crediting the lifetime total
+// to one window would fabricate a drop-rate spike and a spurious alert.
+TEST(Telemetry, SnapshotLabelAppearingMidRunSeedsInsteadOfSpiking) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("adn_chain_rpcs_total", "processor=\"old\"").Inc(100);
+  reg.GetCounter("adn_chain_drops_total", "processor=\"old\"").Inc(0);
+
+  TelemetryHub hub;
+  ASSERT_TRUE(hub.IngestSnapshot(reg.Snapshot(), 0, 100).ok());
+
+  // "fresh" appears between windows carrying 1000 lifetime rpcs and 900
+  // lifetime drops from before the hub watched it.
+  reg.GetCounter("adn_chain_rpcs_total", "processor=\"old\"").Inc(100);
+  reg.GetCounter("adn_chain_rpcs_total", "processor=\"fresh\"").Inc(1000);
+  reg.GetCounter("adn_chain_drops_total", "processor=\"fresh\"").Inc(900);
+  ASSERT_TRUE(hub.IngestSnapshot(reg.Snapshot(), 100, 200).ok());
+  // Seeded, not spiked: no drop alert for the newcomer.
+  EXPECT_TRUE(hub.DropAlerts().empty());
+
+  // The newcomer's *next* window reports real deltas.
+  reg.GetCounter("adn_chain_rpcs_total", "processor=\"fresh\"").Inc(50);
+  reg.GetCounter("adn_chain_drops_total", "processor=\"fresh\"").Inc(40);
+  ASSERT_TRUE(hub.IngestSnapshot(reg.Snapshot(), 200, 300).ok());
+  auto alerts = hub.DropAlerts();
+  ASSERT_EQ(alerts.size(), 1u);  // 40/50 this window: a real alert
+  EXPECT_EQ(alerts[0], "fresh");
+}
+
+// --- SLO monitor -------------------------------------------------------------
+
+obs::SnapshotHistogram LatencyWindow(uint64_t fast, uint64_t slow) {
+  // Two-bucket layout: "fast" observations land at <= 100us, "slow" at
+  // <= 10ms; the objective in these tests sits between the two.
+  obs::SnapshotHistogram h;
+  h.upper_bounds = {100'000, 10'000'000};
+  h.bucket_counts = {fast, slow, 0};
+  h.count = fast + slow;
+  return h;
+}
+
+TEST(Slo, BurnRateFromLatencyWindows) {
+  controller::SloOptions opts;
+  opts.latency_objective_ns = 1'000'000;  // 1 ms, between the two buckets
+  opts.latency_quantile = 0.99;           // 1% budget
+  controller::SloMonitor slo(opts);
+
+  slo.ObserveWindow(LatencyWindow(1000, 0), 1000, 0);
+  EXPECT_NEAR(slo.last_burn(), 0.0, 0.1);
+  EXPECT_FALSE(slo.latency_alert());
+
+  // 5% of the window beyond the objective = 5x the 1% budget.
+  slo.ObserveWindow(LatencyWindow(950, 50), 1000, 0);
+  EXPECT_NEAR(slo.last_burn(), 5.0, 0.7);
+}
+
+TEST(Slo, LatencyAlertHasHysteresis) {
+  controller::SloOptions opts;
+  opts.latency_objective_ns = 1'000'000;
+  opts.alert_after = 2;
+  opts.clear_after = 2;
+  controller::SloMonitor slo(opts);
+
+  // One violating window does not alert...
+  slo.ObserveWindow(LatencyWindow(500, 500), 1000, 0);
+  EXPECT_FALSE(slo.latency_alert());
+  // ...two consecutive ones do.
+  slo.ObserveWindow(LatencyWindow(500, 500), 1000, 0);
+  EXPECT_TRUE(slo.latency_alert());
+  // One healthy window does not clear...
+  slo.ObserveWindow(LatencyWindow(1000, 0), 1000, 0);
+  EXPECT_TRUE(slo.latency_alert());
+  // ...two do.
+  slo.ObserveWindow(LatencyWindow(1000, 0), 1000, 0);
+  EXPECT_FALSE(slo.latency_alert());
+}
+
+TEST(Slo, DropObjectiveAndEmptyWindows) {
+  controller::SloOptions opts;
+  opts.drop_objective = 0.01;
+  opts.alert_after = 2;
+  controller::SloMonitor slo(opts);
+
+  // 10% loss two windows running -> drop alert; empty latency windows stay
+  // latency-healthy (the loss objective owns outages).
+  slo.ObserveWindow(obs::SnapshotHistogram{}, 1000, 100);
+  slo.ObserveWindow(obs::SnapshotHistogram{}, 1000, 100);
+  EXPECT_TRUE(slo.drop_alert());
+  EXPECT_FALSE(slo.latency_alert());
+  EXPECT_NEAR(slo.last_drop_fraction(), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(slo.last_quantile_ns(), 0.0);
+  // No attempts at all: vacuously healthy.
+  slo.ObserveWindow(obs::SnapshotHistogram{}, 0, 0);
+  slo.ObserveWindow(obs::SnapshotHistogram{}, 0, 0);
+  EXPECT_FALSE(slo.drop_alert());
+}
+
 TEST(Telemetry, CounterAggregation) {
   TelemetryHub hub;
   ProcessorReport r1 = Report("engine", 0.4);

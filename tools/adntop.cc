@@ -1,7 +1,7 @@
 // adntop — observability console for the ADN data plane.
 //
 // Usage:
-//   adntop [--json] [--rpcs N] [--sample N] [--ring N]
+//   adntop [--json] [--watch N] [--rpcs N] [--sample N] [--ring N]
 //
 // Drives the Figure-5 chain (Logging, Acl, Fault) through an in-process
 // mRPC engine with the obs plane enabled, then renders what the telemetry
@@ -10,6 +10,14 @@
 // scaling read of the same data. `--json` instead dumps the whole plane
 // via adn::obs::ExportJson() — the machine-readable form consumed by
 // scripts and by bench_breakdown.
+//
+// `--watch N` switches to the windowed view: N report ticks, each driving
+// one batch of RPCs and then rendering that *window's* telemetry — rates
+// and per-element quantiles derived by obs::WindowedSeries snapshot
+// diffing (cumulative counters never appear), plus the controller's
+// per-window scaling advice. It is the same series->hub pipeline the live
+// autoscaler runs inside bench_autoscale, rendered as a console.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,38 +32,29 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: adntop [--json] [--rpcs N] [--sample N] [--ring N]\n"
+               "usage: adntop [--json] [--watch N] [--rpcs N] [--sample N] "
+               "[--ring N]\n"
                "  --json    dump metrics + traces as JSON (obs::ExportJson)\n"
-               "  --rpcs    RPCs to drive through the fig5 chain (default "
-               "1000)\n"
+               "  --watch   render N windowed report ticks (rates + window\n"
+               "            quantiles from snapshot diffs) instead of the\n"
+               "            cumulative table\n"
+               "  --rpcs    RPCs to drive through the fig5 chain per tick "
+               "(default 1000)\n"
                "  --sample  trace 1 in N RPCs (default 100)\n"
                "  --ring    span ring capacity (default 4096)\n");
   return 2;
 }
 
-// Linear-interpolated quantile from a snapshot's bucket counts (same math
-// as Histogram::Quantile, which the snapshot no longer has access to).
+// Window quantile via the shared bucket math (obs::SnapshotHistogram), the
+// same implementation the telemetry hub and bench_breakdown use.
 double SampleQuantile(const adn::obs::MetricSample& s, double q) {
-  if (s.count == 0) return 0.0;
-  const double rank = q * static_cast<double>(s.count);
-  uint64_t seen = 0;
-  double lower = 0.0;
-  for (size_t i = 0; i < s.upper_bounds.size(); ++i) {
-    const uint64_t in_bucket = s.bucket_counts[i];
-    if (static_cast<double>(seen + in_bucket) >= rank && in_bucket > 0) {
-      const double fraction =
-          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return lower + fraction * (s.upper_bounds[i] - lower);
-    }
-    seen += in_bucket;
-    lower = s.upper_bounds[i];
-  }
-  return s.upper_bounds.empty() ? 0.0 : s.upper_bounds.back();
+  return adn::obs::SnapshotHistogram::FromSample(s).Quantile(q);
 }
 
 void PrintSpanTree(const std::vector<adn::obs::Span>& spans,
@@ -76,6 +75,7 @@ int main(int argc, char** argv) {
   using namespace adn;
 
   bool json = false;
+  uint64_t watch_ticks = 0;
   uint64_t rpcs = 1000;
   uint64_t sample_every = 100;
   size_t ring = 4096;
@@ -83,6 +83,8 @@ int main(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--watch" && i + 1 < argc) {
+      watch_ticks = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--rpcs" && i + 1 < argc) {
       rpcs = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--sample" && i + 1 < argc) {
@@ -129,14 +131,71 @@ int main(int argc, char** argv) {
   }
 
   const char* users[] = {"alice", "bob", "carol", "dave"};
-  for (uint64_t id = 0; id < rpcs; ++id) {
-    rpc::Message m = rpc::Message::MakeRequest(
-        id, "Echo",
-        {{"username", rpc::Value(std::string(users[id % 4]))},
-         {"object_id", rpc::Value(static_cast<int64_t>(id))},
-         {"payload", rpc::Value(Bytes{1, 2, 3, 4})}});
-    (void)chain.Process(m, static_cast<int64_t>(id));
+  auto drive = [&](uint64_t base_id, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t id = base_id + i;
+      rpc::Message m = rpc::Message::MakeRequest(
+          id, "Echo",
+          {{"username", rpc::Value(std::string(users[id % 4]))},
+           {"object_id", rpc::Value(static_cast<int64_t>(id))},
+           {"payload", rpc::Value(Bytes{1, 2, 3, 4})}});
+      (void)chain.Process(m, static_cast<int64_t>(id));
+    }
+  };
+
+  // --- Watch mode: windowed report ticks -----------------------------------
+  if (watch_ticks > 0) {
+    obs::WindowedSeries series;
+    controller::TelemetryHub hub;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string proc_labels = "processor=\"adntop-engine\"";
+    std::printf(
+        "%-6s %10s %10s %10s  %s\n", "TICK", "RPCS/S", "DROPS/S", "p99(ns)",
+        "per-element window p50/p99 (adn_element_latency_ns deltas)");
+    int64_t window_start = obs::NowNs();
+    for (uint64_t tick = 0; tick < watch_ticks; ++tick) {
+      drive(tick * rpcs, rpcs);
+      const int64_t window_end = obs::NowNs();
+      obs::MetricsSnapshot snap = reg.Snapshot();
+      series.Ingest(snap, window_start, window_end);
+      if (Status s = hub.IngestSnapshot(snap, window_start, window_end);
+          !s.ok()) {
+        std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::string elements_out;
+      double p99 = 0;
+      for (const obs::MetricSample& s : snap.samples) {
+        if (s.name != "adn_element_latency_ns") continue;
+        const obs::SnapshotHistogram* delta =
+            series.HistogramDelta(s.name, s.labels);
+        if (delta == nullptr || delta->empty()) continue;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "  %s %.0f/%.0f", s.labels.c_str(),
+                      delta->Quantile(0.50), delta->Quantile(0.99));
+        elements_out += buf;
+        p99 = std::max(p99, delta->Quantile(0.99));
+      }
+      std::printf("%-6llu %10.0f %10.0f %10.0f%s\n",
+                  static_cast<unsigned long long>(tick),
+                  series.CounterRatePerSec("adn_chain_rpcs_total",
+                                           proc_labels),
+                  series.CounterRatePerSec("adn_chain_drops_total",
+                                           proc_labels),
+                  p99, elements_out.c_str());
+      window_start = window_end;
+    }
+    std::printf("\ncontroller advice (windowed feed):\n");
+    std::printf("  adntop-engine: util=%.2f advice=%s  drop-alerts:%zu\n",
+                hub.SmoothedUtilization("adntop-engine"),
+                std::string(controller::ScalingAdviceName(
+                                hub.Advise("adntop-engine")))
+                    .c_str(),
+                hub.DropAlerts().size());
+    return 0;
   }
+
+  drive(0, rpcs);
 
   if (json) {
     std::printf("%s\n", obs::ExportJson().c_str());

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker (run by the CI docs job).
 
-Two checks, both cheap enough for every push:
+Three checks, all cheap enough for every push:
 
 1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
    PAPER.md and docs/*.md must resolve to an existing file (anchors and
@@ -9,6 +9,11 @@ Two checks, both cheap enough for every push:
 2. Every `bench_*` target named in EXPERIMENTS.md must be declared in
    bench/CMakeLists.txt (adn_bench/adn_gbench) — the experiment index and
    the build may not drift apart.
+3. Every backticked `adn_*` metric name in docs/OBSERVABILITY.md must
+   appear somewhere under src/ — the documented telemetry contract may not
+   list metrics the runtime no longer registers. (The reverse direction —
+   the runtime registering undocumented names — is enforced at runtime by
+   tests/test_obs.cc's contract tests.)
 
 Exits 0 when clean, 1 with one line per problem otherwise.
 """
@@ -28,6 +33,8 @@ DOC_FILES = [
 # [text](target) — target captured up to the closing paren; images too.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BENCH_RE = re.compile(r"\bbench_[a-z0-9_]+")
+# Backticked metric names in the telemetry contract, e.g. `adn_slo_burn`.
+METRIC_RE = re.compile(r"`(adn_[a-z0-9_]+)`")
 
 
 def check_links():
@@ -68,8 +75,27 @@ def check_bench_targets():
     return problems
 
 
+def check_metric_names():
+    problems = []
+    doc = REPO / "docs" / "OBSERVABILITY.md"
+    if not doc.exists():
+        return problems
+    src_text = "".join(
+        p.read_text(encoding="utf-8")
+        for p in sorted((REPO / "src").rglob("*"))
+        if p.suffix in (".h", ".cc"))
+    text = doc.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for name in set(METRIC_RE.findall(line)):
+            if name not in src_text:
+                problems.append(
+                    f"docs/OBSERVABILITY.md:{lineno}: metric '{name}' does "
+                    f"not appear anywhere under src/")
+    return problems
+
+
 def main():
-    problems = check_links() + check_bench_targets()
+    problems = check_links() + check_bench_targets() + check_metric_names()
     for p in problems:
         print(p)
     if problems:

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Perf regression gate (run by the CI perf job).
+
+Compares a fresh BENCH_exec.json (written by bench_breakdown into its
+working directory) against the committed baseline
+bench/baselines/exec_baseline.json. The guarded number is
+``compiled_ns_per_msg`` — the *uninstrumented* compiled-tier cost per
+message through the fig5 chain, the proxy for obs-off fig5 throughput
+(throughput = 1e9 / ns_per_msg). The gate fails when fresh throughput
+falls more than --max-regress (default 20%) below the baseline; the
+generous threshold absorbs shared-runner noise while still catching the
+kill-switch requirement breaking (observability or control-loop overhead
+leaking into the obs-off hot path).
+
+Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
+Exits 0 when within bounds, 1 with a one-line verdict otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "bench" / "baselines" / "exec_baseline.json"
+
+
+def load(path):
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_perf: cannot read {path}: {e}")
+    ns = data.get("compiled_ns_per_msg")
+    if not isinstance(ns, (int, float)) or ns <= 0:
+        sys.exit(f"check_perf: {path}: missing/invalid compiled_ns_per_msg")
+    return data, float(ns)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh", help="BENCH_exec.json from this build")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--max-regress", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20 = 20%%)")
+    args = parser.parse_args()
+
+    base_data, base_ns = load(args.baseline)
+    fresh_data, fresh_ns = load(args.fresh)
+
+    base_mrps = 1e3 / base_ns   # messages per microsecond -> Mmsg/s at 1e3/ns
+    fresh_mrps = 1e3 / fresh_ns
+    # Throughput ratio; ns-per-msg is inversely proportional.
+    drop = 1.0 - base_ns / fresh_ns
+    print(f"baseline: {base_ns:.1f} ns/msg ({base_mrps:.2f} Mmsg/s) "
+          f"[sha {base_data.get('git_sha', '?')}]")
+    print(f"fresh:    {fresh_ns:.1f} ns/msg ({fresh_mrps:.2f} Mmsg/s) "
+          f"[sha {fresh_data.get('git_sha', '?')}]")
+    if drop > args.max_regress:
+        print(f"check_perf: FAIL — obs-off compiled throughput regressed "
+              f"{drop * 100:.1f}% (> {args.max_regress * 100:.0f}% allowed)")
+        return 1
+    verb = "regressed" if drop > 0 else "improved"
+    print(f"check_perf: OK — throughput {verb} {abs(drop) * 100:.1f}% "
+          f"(limit {args.max_regress * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
