@@ -7,12 +7,32 @@
 // chosen by AdnController::RecommendEngineWidth from measured utilization.
 // Part 2: migration audit — split/merge a populated LB + quota element and
 // report state bytes, pause time, and hash equality (zero lost rows).
+// Part 3 (`--threads`): real-thread scaling of the EnginePool — N worker
+// threads, shard-key routing, per-worker table shards — writing
+// BENCH_threads.json (schema in EXPERIMENTS.md). On a single-core host wall
+// clock cannot show thread scaling, so the pool reports *capacity*: each
+// worker's CLOCK_THREAD_CPUTIME_ID cost per message (workers park when idle,
+// so CPU time ~= busy time), summed as the throughput the pool would sustain
+// with one core per worker.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "compiler/lower.h"
 #include "controller/migration.h"
 #include "core/network.h"
 #include "dsl/parser.h"
 #include "elements/library.h"
+#include "ir/analysis.h"
+#include "mrpc/engine_pool.h"
+
+#ifndef ADN_GIT_SHA
+#define ADN_GIT_SHA "unknown"
+#endif
 
 namespace adn {
 namespace {
@@ -32,11 +52,300 @@ struct Phase {
   double utilization_proxy;  // rate achieved / rate capacity estimate
 };
 
+// --- Part 3: real-thread EnginePool scaling (`--threads`) --------------------
+
+constexpr int kThreadUsers = 1024;  // spread shard-key routing across workers
+
+std::string ThreadUser(uint64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "u%04llu",
+                static_cast<unsigned long long>(i % kThreadUsers));
+  return buf;
+}
+
+std::vector<rpc::Message> ThreadStream(size_t n, bool with_blob) {
+  std::vector<rpc::Message> stream;
+  stream.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes payload(64, static_cast<uint8_t>(i));
+    std::vector<rpc::Field> fields = {
+        {"username", rpc::Value(ThreadUser(i * 2654435761ULL))},
+        {"payload", rpc::Value(std::move(payload))}};
+    if (with_blob) {
+      fields.push_back({"blob", rpc::Value(Bytes(64, 0x5A))});
+    }
+    stream.push_back(
+        rpc::Message::MakeRequest(i + 1, "Obj.Put", std::move(fields)));
+  }
+  return stream;
+}
+
+struct PoolRunResult {
+  int workers = 0;
+  double wall_ns_per_msg = 0;
+  double cpu_ns_per_msg = 0;     // total worker CPU / messages
+  double exec_ns_per_msg = 0;    // chain executor only (no ring transport)
+  double capacity_mrps = 0;      // sum_w processed_w / cpu_ns_w, in Mmsg/s
+  std::vector<double> per_worker_cpu_ns_per_msg;
+  uint64_t processed = 0;
+  uint64_t dropped = 0;
+};
+
+PoolRunResult RunPool(
+    const std::vector<std::shared_ptr<const ir::ElementIr>>& elements,
+    const std::vector<int>& groups, const std::vector<rpc::Message>& stream,
+    int workers, uint64_t messages, mrpc::EnginePool::GroupMode mode) {
+  mrpc::EnginePool::Config config;
+  config.workers = workers;
+  config.shard_key_field = "username";
+  config.group_mode = mode;
+  config.processor = "bench-threads";
+  config.measure_exec = true;
+  mrpc::EnginePool pool(elements, groups, config);
+  if (ir::ElementInstance* acl = pool.FindTemplateInstance("Acl")) {
+    rpc::Table* tab = acl->FindTable("ac_tab");
+    for (uint64_t i = 0; i < kThreadUsers; ++i) {
+      (void)tab->Insert({rpc::Value(ThreadUser(i)), rpc::Value("W")});
+    }
+  }
+  if (!pool.Start().ok()) return {};
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < messages; ++i) {
+    pool.Submit(stream[i % stream.size()]);
+  }
+  pool.Drain();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+  pool.Stop();  // finalizes per-worker CPU counters
+
+  PoolRunResult r;
+  r.workers = workers;
+  r.processed = pool.processed();
+  r.dropped = pool.dropped();
+  r.wall_ns_per_msg = wall_ns / static_cast<double>(messages);
+  double total_cpu = 0;
+  double total_exec = 0;
+  for (int w = 0; w < workers; ++w) {
+    const double cpu = static_cast<double>(pool.worker_cpu_ns(w));
+    const double done = static_cast<double>(pool.processed_by(w));
+    total_cpu += cpu;
+    total_exec += static_cast<double>(pool.worker_exec_ns(w));
+    r.per_worker_cpu_ns_per_msg.push_back(done > 0 ? cpu / done : 0.0);
+    if (cpu > 0) r.capacity_mrps += done / cpu * 1e3;  // msgs/ns -> Mmsg/s
+  }
+  r.cpu_ns_per_msg = total_cpu / static_cast<double>(messages);
+  r.exec_ns_per_msg = total_exec / static_cast<double>(messages);
+  return r;
+}
+
+int RunThreadsBench() {
+  std::printf(
+      "Part 3: EnginePool thread scaling (fig5 chain, %d seeded users,\n"
+      "shard-key routing on username; hardware_concurrency=%u).\n\n",
+      kThreadUsers, std::thread::hardware_concurrency());
+
+  auto parsed = dsl::ParseProgram(elements::Fig5ProgramSource());
+  auto lowered = compiler::LowerProgram(*parsed);
+  if (!lowered.ok()) return 1;
+  std::vector<std::shared_ptr<const ir::ElementIr>> elements = {
+      lowered->FindElement("Logging"), lowered->FindElement("Acl"),
+      lowered->FindElement("Fault")};
+  std::vector<const ir::ElementIr*> raw;
+  for (const auto& e : elements) raw.push_back(e.get());
+  const std::vector<int> groups = ir::PartitionIntoParallelGroups(raw);
+
+  constexpr uint64_t kMessages = 400'000;
+  // 256 distinct messages, cycled — the same stream shape the exec-tier
+  // baseline (bench_breakdown) uses, so the gated number below compares
+  // apples to apples.
+  const std::vector<rpc::Message> stream = ThreadStream(256, false);
+  // Warmup run (also validates the pipeline end to end).
+  (void)RunPool(elements, groups, stream, 1, 50'000,
+                mrpc::EnginePool::GroupMode::kSequential);
+
+  std::printf("%-8s %13s %12s %12s %15s %s\n", "workers", "wall ns/msg",
+              "cpu ns/msg", "exec ns/msg", "capacity(Mrps)",
+              "per-worker cpu ns/msg");
+  std::printf("%.*s\n", 88,
+              "----------------------------------------------------------------------------------------");
+  std::vector<PoolRunResult> rows;
+  for (int workers : {1, 2, 4}) {
+    PoolRunResult r = RunPool(elements, groups, stream, workers, kMessages,
+                              mrpc::EnginePool::GroupMode::kSequential);
+    std::string per_worker;
+    for (double v : r.per_worker_cpu_ns_per_msg) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%.0f", per_worker.empty() ? "" : " ",
+                    v);
+      per_worker += buf;
+    }
+    std::printf("%-8d %13.1f %12.1f %12.1f %15.2f %s\n", workers,
+                r.wall_ns_per_msg, r.cpu_ns_per_msg, r.exec_ns_per_msg,
+                r.capacity_mrps, per_worker.c_str());
+    rows.push_back(std::move(r));
+  }
+  // Gate measurement: the 1-worker compiled-chain cost, measured the way
+  // the baseline (bench_breakdown) measures it — reps of 100k messages with
+  // log_tab cleared between reps (the unbounded log table otherwise
+  // dominates with multimap rehash + cache misses as it grows), best rep
+  // wins. Clearing the worker's table between reps is safe: the pool is
+  // drained and the worker parked, and the next Submit's ring handoff
+  // orders the clear before the worker touches the table again.
+  double compiled_ns_per_msg = 1e18;
+  {
+    mrpc::EnginePool::Config config;
+    config.workers = 1;
+    config.shard_key_field = "username";
+    config.processor = "bench-threads-gate";
+    config.measure_exec = true;
+    mrpc::EnginePool pool(elements, groups, config);
+    rpc::Table* acl = pool.FindTemplateInstance("Acl")->FindTable("ac_tab");
+    for (uint64_t i = 0; i < kThreadUsers; ++i) {
+      (void)acl->Insert({rpc::Value(ThreadUser(i)), rpc::Value("W")});
+    }
+    if (!pool.Start().ok()) return 1;
+    constexpr uint64_t kRepMessages = 100'000;
+    int64_t prev_exec = 0;
+    uint64_t prev_done = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      pool.WorkerInstance(0, 0).FindTable("log_tab")->Clear();
+      for (uint64_t i = 0; i < kRepMessages; ++i) {
+        pool.Submit(stream[i % stream.size()]);
+      }
+      pool.Drain();
+      const int64_t exec = pool.worker_exec_ns(0);
+      const uint64_t done = pool.processed_by(0);
+      const double ns = static_cast<double>(exec - prev_exec) /
+                        static_cast<double>(done - prev_done);
+      compiled_ns_per_msg = std::min(compiled_ns_per_msg, ns);
+      prev_exec = exec;
+      prev_done = done;
+    }
+    pool.Stop();
+  }
+  std::printf(
+      "\n1-worker compiled-chain cost (best of 5 x 100k, log cleared per rep,"
+      "\nbaseline methodology): %.1f ns/msg\n",
+      compiled_ns_per_msg);
+
+  const double speedup_4w = rows.back().capacity_mrps / rows[0].capacity_mrps;
+  std::printf(
+      "\nCapacity speedup at 4 workers: %.2fx (capacity = sum over workers of\n"
+      "msgs per CPU-ns — the throughput the pool sustains with a core per\n"
+      "worker; on this %u-CPU host wall clock cannot show the scaling).\n",
+      speedup_4w, std::thread::hardware_concurrency());
+
+  // Group-mode ablation on the provably-parallel chain (bench_parallel's
+  // field-disjoint transforms -> one group of 3).
+  const char* kIndep = R"(
+ELEMENT Encrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, encrypt(payload, 'key') AS payload FROM input;
+}
+ELEMENT CompressBlob ON REQUEST {
+  INPUT (blob BYTES);
+  SELECT *, compress(blob) AS blob FROM input;
+}
+ELEMENT UserDigest ON REQUEST {
+  INPUT (username TEXT);
+  SELECT *, hash(username) AS user_digest FROM input;
+}
+)";
+  auto indep_parsed = dsl::ParseProgram(kIndep);
+  auto indep = compiler::LowerProgram(*indep_parsed);
+  if (!indep.ok()) return 1;
+  std::vector<std::shared_ptr<const ir::ElementIr>> indep_elements = {
+      indep->FindElement("Encrypt"), indep->FindElement("CompressBlob"),
+      indep->FindElement("UserDigest")};
+  std::vector<const ir::ElementIr*> indep_raw;
+  for (const auto& e : indep_elements) indep_raw.push_back(e.get());
+  const std::vector<int> indep_groups =
+      ir::PartitionIntoParallelGroups(indep_raw);
+
+  // Fault-free chain: both modes process every message, so ns/msg compares
+  // the execution strategy alone.
+  constexpr uint64_t kAblationMessages = 100'000;
+  const std::vector<rpc::Message> indep_stream = ThreadStream(4096, true);
+  PoolRunResult seq = RunPool(indep_elements, indep_groups, indep_stream, 1,
+                              kAblationMessages,
+                              mrpc::EnginePool::GroupMode::kSequential);
+  PoolRunResult con = RunPool(indep_elements, indep_groups, indep_stream, 1,
+                              kAblationMessages,
+                              mrpc::EnginePool::GroupMode::kConcurrent);
+  std::printf(
+      "\nParallel-group execution ablation (1 worker, Encrypt || CompressBlob "
+      "|| UserDigest):\n"
+      "  sequential-within-worker  %10.1f exec ns/msg\n"
+      "  fused concurrent segment  %10.1f exec ns/msg  (%.1fx %s)\n"
+      "Fork-join synchronization costs microseconds; these elements cost\n"
+      "nanoseconds, so sequential-within-worker wins and stays the default —\n"
+      "pool parallelism comes from sharding RPCs across workers instead.\n",
+      seq.exec_ns_per_msg, con.exec_ns_per_msg,
+      con.exec_ns_per_msg / seq.exec_ns_per_msg,
+      con.exec_ns_per_msg > seq.exec_ns_per_msg ? "slower" : "faster");
+
+  // BENCH_threads.json — schema documented in EXPERIMENTS.md.
+  // `compiled_ns_per_msg` is the 1-worker chain-executor cost (transport
+  // excluded — the same quantity bench_breakdown reports) so
+  // tools/check_perf.py gates it against bench/baselines/exec_baseline.json.
+  std::FILE* f = std::fopen("BENCH_threads.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema_version\": 1,\n"
+               "  \"git_sha\": \"%s\",\n"
+               "  \"chain\": \"fig5 (Logging -> ACL -> Fault)\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"messages\": %llu,\n"
+               "  \"compiled_ns_per_msg\": %.1f,\n"
+               "  \"speedup_4w\": %.2f,\n"
+               "  \"rows\": [",
+               ADN_GIT_SHA, std::thread::hardware_concurrency(),
+               static_cast<unsigned long long>(kMessages),
+               compiled_ns_per_msg, speedup_4w);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PoolRunResult& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"workers\": %d, \"wall_ns_per_msg\": %.1f, "
+                 "\"cpu_ns_per_msg\": %.1f, \"exec_ns_per_msg\": %.1f, "
+                 "\"capacity_mrps\": %.3f, "
+                 "\"processed\": %llu, \"dropped\": %llu, "
+                 "\"per_worker_cpu_ns_per_msg\": [",
+                 i == 0 ? "" : ",", r.workers, r.wall_ns_per_msg,
+                 r.cpu_ns_per_msg, r.exec_ns_per_msg, r.capacity_mrps,
+                 static_cast<unsigned long long>(r.processed),
+                 static_cast<unsigned long long>(r.dropped));
+    for (size_t w = 0; w < r.per_worker_cpu_ns_per_msg.size(); ++w) {
+      std::fprintf(f, "%s%.1f", w == 0 ? "" : ", ",
+                   r.per_worker_cpu_ns_per_msg[w]);
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f,
+               "\n  ],\n"
+               "  \"group_ablation\": {\"chain\": \"Encrypt || CompressBlob "
+               "|| UserDigest\", \"sequential_exec_ns_per_msg\": %.1f, "
+               "\"concurrent_exec_ns_per_msg\": %.1f, \"winner\": \"%s\"}\n"
+               "}\n",
+               seq.exec_ns_per_msg, con.exec_ns_per_msg,
+               con.exec_ns_per_msg > seq.exec_ns_per_msg ? "sequential"
+                                                         : "concurrent");
+  std::fclose(f);
+  std::printf("\nWrote BENCH_threads.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace adn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adn;
+  if (argc > 1 && std::strcmp(argv[1], "--threads") == 0) {
+    return RunThreadsBench();
+  }
   std::printf(
       "Scaling without disruption (E7).\n\n"
       "Part 1: controller feedback loop widens the engine pool as load "

@@ -10,6 +10,13 @@
 // reordering, config 4 widens the engine stations. The wire format between
 // machines is the compiler-synthesized minimal header (rpc/wire.h), encoded
 // and decoded for real on every crossing.
+//
+// Threading: this whole path is single-threaded by design — it runs inside
+// the discrete-event simulator, so "engine width" is a station parameter
+// and the app<->service SpscRing carries a modeled shm_hop_ns cost, not
+// real contention. The real-thread realization of the engine tier is
+// EnginePool (engine_pool.h): N worker threads, shard-key routing, true
+// SPSC handoff. See docs/ARCHITECTURE.md "Threading model".
 #pragma once
 
 #include <functional>

@@ -6,6 +6,10 @@
 // simulated cost scale). Stages see *typed* messages — no protocol parsing —
 // which is the property that lets ADN skip the (de)marshalling the general
 // stack pays at every hop.
+//
+// Not thread-safe: an EngineChain and its stages belong to one thread (the
+// simulator's event loop, or one EnginePool worker — engine_pool.h spawns
+// per-worker chains over per-worker state shards rather than locking one).
 #pragma once
 
 #include <memory>

@@ -1,0 +1,516 @@
+#include "mrpc/engine_pool.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "compiler/chain_compile.h"
+#include "obs/trace.h"
+#include "rpc/table.h"
+
+namespace adn::mrpc {
+
+namespace {
+
+// Thread CPU time (what this worker actually burned, preemption excluded) —
+// the honest per-core cost basis for pool capacity on shared/overcommitted
+// hosts where wall clock cannot attribute time to threads.
+int64_t ThreadCpuNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+// --- GroupRunner --------------------------------------------------------------
+
+GroupRunner::GroupRunner(int helpers) {
+  threads_.reserve(static_cast<size_t>(std::max(helpers, 0)));
+  for (int i = 0; i < helpers; ++i) {
+    threads_.emplace_back([this, i] { HelperLoop(i); });
+  }
+}
+
+GroupRunner::~GroupRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void GroupRunner::HelperLoop(int index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (epoch_ != seen_epoch &&
+                                           tasks_ != nullptr); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      tasks = tasks_;
+    }
+    // Helper i owns tasks[i + 1] (task 0 runs on the caller).
+    const size_t mine = static_cast<size_t>(index) + 1;
+    if (mine < tasks->size()) (*tasks)[mine]();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void GroupRunner::Run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  // Tasks beyond the helper pool run inline after task 0.
+  const size_t dispatched =
+      std::min(tasks.size() - 1, threads_.size());
+  if (dispatched > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    remaining_ = static_cast<int>(threads_.size());
+    ++epoch_;
+    work_cv_.notify_all();
+  }
+  tasks[0]();
+  for (size_t i = threads_.size() + 1; i < tasks.size(); ++i) tasks[i]();
+  if (dispatched > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    tasks_ = nullptr;
+  }
+}
+
+// --- EnginePool ---------------------------------------------------------------
+
+EnginePool::EnginePool(
+    std::vector<std::shared_ptr<const ir::ElementIr>> elements,
+    std::vector<int> parallel_groups, Config config)
+    : elements_(std::move(elements)),
+      parallel_groups_(std::move(parallel_groups)),
+      config_(std::move(config)) {
+  if (config_.workers < 1) config_.workers = 1;
+  template_instances_.reserve(elements_.size());
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    template_instances_.push_back(std::make_unique<ir::ElementInstance>(
+        elements_[i], config_.seed + i + 1));
+  }
+  // Compiled forms. The whole-chain program is the sequential fast path; the
+  // per-element programs serve concurrent segments and the fallback path.
+  element_programs_.resize(elements_.size());
+  bool all_compiled = true;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    auto program = compiler::CompileElementProgram(*elements_[i]);
+    if (program.ok()) {
+      element_programs_[i] = std::move(program).value();
+    } else {
+      all_compiled = false;
+    }
+  }
+  if (all_compiled && config_.group_mode == GroupMode::kSequential) {
+    auto chain = compiler::CompileChainProgram(elements_, {});
+    if (chain.ok()) whole_chain_program_ = std::move(chain).value();
+  }
+  BuildSegments();
+}
+
+EnginePool::~EnginePool() { Stop(); }
+
+void EnginePool::BuildSegments() {
+  segments_.clear();
+  max_fused_width_ = 1;
+  size_t i = 0;
+  while (i < elements_.size()) {
+    Segment seg;
+    seg.begin = i;
+    seg.end = i + 1;
+    if (i < parallel_groups_.size()) {
+      const int group = parallel_groups_[i];
+      while (seg.end < elements_.size() && seg.end < parallel_groups_.size() &&
+             parallel_groups_[seg.end] == group) {
+        ++seg.end;
+      }
+    }
+    // A fused concurrent segment must be provably safe on one shared
+    // Message: every member compiled, and no member reshapes the field
+    // vector (projection) or steers routing mid-group. Written fields are
+    // collected so RunFusedSegment can pre-create them — after that, every
+    // kStoreField lands in an existing slot and never reallocates.
+    if (seg.end - seg.begin > 1) {
+      bool safe = true;
+      for (size_t e = seg.begin; e < seg.end && safe; ++e) {
+        const ir::ChainProgram* program = element_programs_[e].get();
+        if (program == nullptr) {
+          safe = false;
+          break;
+        }
+        for (const ir::Instr& instr : program->code) {
+          if (instr.op == ir::Instr::Op::kProject ||
+              instr.op == ir::Instr::Op::kRouteDest) {
+            safe = false;
+            break;
+          }
+          if (instr.op == ir::Instr::Op::kStoreField) {
+            seg.precreate_fields.push_back(program->field_names[instr.b]);
+          }
+        }
+      }
+      seg.fused = safe;
+      if (!safe) seg.precreate_fields.clear();
+      std::sort(seg.precreate_fields.begin(), seg.precreate_fields.end());
+      seg.precreate_fields.erase(
+          std::unique(seg.precreate_fields.begin(), seg.precreate_fields.end()),
+          seg.precreate_fields.end());
+      if (seg.fused) {
+        max_fused_width_ = std::max(max_fused_width_, seg.end - seg.begin);
+      }
+    }
+    segments_.push_back(std::move(seg));
+    i = segments_.back().end;
+  }
+}
+
+ir::ElementInstance* EnginePool::TemplateInstance(size_t element) {
+  if (element >= template_instances_.size()) return nullptr;
+  return template_instances_[element].get();
+}
+
+ir::ElementInstance* EnginePool::FindTemplateInstance(std::string_view name) {
+  for (auto& inst : template_instances_) {
+    if (inst->name() == name) return inst.get();
+  }
+  return nullptr;
+}
+
+Status EnginePool::Start() {
+  if (started_) {
+    return Status(ErrorCode::kInvalidArgument, "EnginePool already started");
+  }
+  const int n = config_.workers;
+  // Shard the template state: element e's tables split by key hash into one
+  // snapshot per worker (Table::SplitByKeyHash under the hood).
+  std::vector<std::vector<Bytes>> shards(elements_.size());
+  for (size_t e = 0; e < elements_.size(); ++e) {
+    auto split = template_instances_[e]->SplitState(static_cast<size_t>(n));
+    if (!split.ok()) return split.status();
+    shards[e] = std::move(split).value();
+  }
+
+  workers_.reserve(static_cast<size_t>(n));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  for (int w = 0; w < n; ++w) {
+    auto worker = std::make_unique<Worker>(config_.ring_capacity);
+    worker->trace_processor =
+        config_.processor + "-w" + std::to_string(w);
+    const std::string label =
+        "processor=\"" + worker->trace_processor + "\"";
+    worker->rpcs_counter = &reg.GetCounter("adn_chain_rpcs_total", label);
+    worker->drops_counter = &reg.GetCounter("adn_chain_drops_total", label);
+    worker->instances.reserve(elements_.size());
+    for (size_t e = 0; e < elements_.size(); ++e) {
+      auto inst = std::make_unique<ir::ElementInstance>(
+          elements_[e],
+          config_.seed * 1'000'003 + static_cast<uint64_t>(w) * 131 + e);
+      ADN_RETURN_IF_ERROR(inst->RestoreState(shards[e][w]));
+      worker->instances.push_back(std::move(inst));
+    }
+    if (whole_chain_program_ != nullptr) {
+      std::vector<ir::ElementInstance*> raw;
+      for (auto& inst : worker->instances) raw.push_back(inst.get());
+      worker->chain_exec = std::make_unique<ir::ChainExecutor>(
+          whole_chain_program_, std::move(raw));
+    } else {
+      worker->element_exec.resize(elements_.size());
+      for (size_t e = 0; e < elements_.size(); ++e) {
+        if (element_programs_[e] == nullptr) continue;
+        worker->element_exec[e] = std::make_unique<ir::ChainExecutor>(
+            element_programs_[e],
+            std::vector<ir::ElementInstance*>{worker->instances[e].get()});
+      }
+      if (config_.group_mode == GroupMode::kConcurrent &&
+          max_fused_width_ > 1) {
+        worker->group_runner = std::make_unique<GroupRunner>(
+            static_cast<int>(max_fused_width_) - 1);
+      }
+    }
+    workers_.push_back(std::move(worker));
+  }
+  stop_.store(false, std::memory_order_release);
+  started_ = true;
+  for (int w = 0; w < n; ++w) {
+    workers_[static_cast<size_t>(w)]->thread =
+        std::thread([this, w] { WorkerLoop(w); });
+  }
+  return Status::Ok();
+}
+
+int EnginePool::WorkerOfKey(const rpc::Value& key) const {
+  return static_cast<int>(rpc::HashSingleKey(key) %
+                          static_cast<uint64_t>(config_.workers));
+}
+
+int EnginePool::WorkerOfMessage(const rpc::Message& message) const {
+  if (!config_.shard_key_field.empty()) {
+    if (const rpc::Value* v = message.FindField(config_.shard_key_field)) {
+      return WorkerOfKey(*v);
+    }
+  }
+  // Connection/RPC-id fallback for messages without the shard key.
+  return WorkerOfKey(rpc::Value(static_cast<int64_t>(message.id())));
+}
+
+int EnginePool::Submit(rpc::Message message) {
+  const int w = WorkerOfMessage(message);
+  Worker& worker = *workers_[static_cast<size_t>(w)];
+  worker.submitted.fetch_add(1, std::memory_order_relaxed);
+  while (!worker.ring.TryPush(std::move(message))) {
+    // Backpressure: the SPSC contract means only this thread pushes, so
+    // yielding until the worker frees a slot is safe (and on an
+    // oversubscribed host it donates the timeslice to the worker).
+    std::this_thread::yield();
+  }
+  if (worker.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.cv.notify_one();
+  }
+  return w;
+}
+
+void EnginePool::Drain() {
+  if (!started_) return;
+  for (auto& worker : workers_) {
+    while (worker->done.load(std::memory_order_acquire) <
+           worker->submitted.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void EnginePool::Stop() {
+  if (!started_ || stopped_) return;
+  Drain();
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+    worker->group_runner.reset();  // joins helper threads
+  }
+  stopped_ = true;
+}
+
+void EnginePool::WorkerLoop(int index) {
+  Worker& w = *workers_[static_cast<size_t>(index)];
+  const int64_t cpu_start = ThreadCpuNs();
+  int64_t exec_acc = 0;
+  // measure_exec drains in small batches with a CLOCK_THREAD_CPUTIME_ID
+  // window around the Process calls only: thread CPU time excludes
+  // preemption (wall clocks lie on oversubscribed hosts) and batching
+  // amortizes the two clock syscalls to ~nothing per message. Dequeue,
+  // message destruction, and parking stay outside the window, so
+  // exec_ns measures the same thing bench_breakdown's timed loop does.
+  constexpr size_t kExecBatch = 64;
+  std::vector<rpc::Message> batch;
+  if (config_.measure_exec) batch.reserve(kExecBatch);
+  int spins = 0;
+  for (;;) {
+    if (config_.measure_exec) {
+      batch.clear();
+      while (batch.size() < kExecBatch) {
+        std::optional<rpc::Message> m = w.ring.TryPop();
+        if (!m.has_value()) break;
+        batch.push_back(std::move(*m));
+      }
+      if (!batch.empty()) {
+        spins = 0;
+        const int64_t now_ns = config_.clock ? config_.clock() : 0;
+        uint64_t drops = 0;
+        const int64_t exec_start = ThreadCpuNs();
+        for (rpc::Message& msg : batch) {
+          const ir::ProcessResult result = ProcessMessage(w, msg, now_ns);
+          if (result.outcome != ir::ProcessOutcome::kPass) ++drops;
+          if (config_.on_done) config_.on_done(index, msg, result);
+        }
+        exec_acc += ThreadCpuNs() - exec_start;
+        if (drops > 0) w.dropped.fetch_add(drops, std::memory_order_relaxed);
+        // Publish exec before done: after Drain() observes done==submitted,
+        // worker_exec_ns() is exact for everything processed so far.
+        w.exec_ns.store(exec_acc, std::memory_order_release);
+        w.done.fetch_add(batch.size(), std::memory_order_release);
+        continue;
+      }
+    } else {
+      std::optional<rpc::Message> m = w.ring.TryPop();
+      if (m.has_value()) {
+        spins = 0;
+        const int64_t now_ns = config_.clock ? config_.clock() : 0;
+        const ir::ProcessResult result = ProcessMessage(w, *m, now_ns);
+        if (result.outcome != ir::ProcessOutcome::kPass) {
+          w.dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (config_.on_done) config_.on_done(index, *m, result);
+        w.done.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (++spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park so idle workers burn no CPU (keeps worker_cpu_ns ≈ busy time).
+    // seq_cst on the sleeping flag pairs with the producer's seq_cst load
+    // after its push; the timed wait is a belt-and-braces fallback.
+    std::unique_lock<std::mutex> lock(w.mu);
+    w.sleeping.store(true, std::memory_order_seq_cst);
+    if (w.ring.empty() && !stop_.load(std::memory_order_acquire)) {
+      w.cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    w.sleeping.store(false, std::memory_order_relaxed);
+    spins = 0;
+  }
+  w.cpu_ns.store(ThreadCpuNs() - cpu_start, std::memory_order_release);
+  w.exec_ns.store(exec_acc, std::memory_order_release);
+}
+
+ir::ProcessResult EnginePool::ProcessMessage(Worker& w, rpc::Message& m,
+                                             int64_t now_ns) {
+  const bool timing = obs::Enabled();
+  std::optional<obs::RpcTraceScope> scope;
+  if (timing) {
+    w.rpcs_counter->Inc();
+    scope.emplace(m.id(), obs::Tier::kEngine, w.trace_processor, "rpc");
+  }
+  ir::ProcessResult result = ir::ProcessResult::Pass();
+  if (w.chain_exec != nullptr) {
+    result = w.chain_exec->Process(m, now_ns);
+  } else {
+    for (const Segment& seg : segments_) {
+      if (seg.fused && w.group_runner != nullptr) {
+        result = RunFusedSegment(w, seg, m, now_ns);
+      } else {
+        for (size_t e = seg.begin; e < seg.end; ++e) {
+          result = RunElement(w, e, m, now_ns);
+          if (result.outcome != ir::ProcessOutcome::kPass) break;
+        }
+      }
+      if (result.outcome != ir::ProcessOutcome::kPass) break;
+    }
+  }
+  if (timing && result.outcome != ir::ProcessOutcome::kPass) {
+    w.drops_counter->Inc();
+  }
+  return result;
+}
+
+ir::ProcessResult EnginePool::RunElement(Worker& w, size_t element,
+                                         rpc::Message& m, int64_t now_ns) {
+  ir::ElementInstance& inst = *w.instances[element];
+  if (!inst.AppliesTo(m.kind())) return ir::ProcessResult::Pass();
+  if (w.element_exec[element] != nullptr) {
+    return w.element_exec[element]->Process(m, now_ns);
+  }
+  return inst.Process(m, now_ns);
+}
+
+ir::ProcessResult EnginePool::RunFusedSegment(Worker& w, const Segment& seg,
+                                              rpc::Message& m,
+                                              int64_t now_ns) {
+  // Collect applicable members; a group that degenerates to one member runs
+  // inline with no fork-join cost.
+  std::vector<size_t> members;
+  members.reserve(seg.end - seg.begin);
+  for (size_t e = seg.begin; e < seg.end; ++e) {
+    if (w.instances[e]->AppliesTo(m.kind())) members.push_back(e);
+  }
+  if (members.empty()) return ir::ProcessResult::Pass();
+  if (members.size() == 1) return RunElement(w, members[0], m, now_ns);
+
+  // Pre-create every field the segment writes: after this, member stores
+  // overwrite existing slots in place and the field vector never moves while
+  // the helpers run. The effect analysis already guarantees the members'
+  // read/write field sets are pairwise disjoint.
+  for (const std::string& field : seg.precreate_fields) {
+    if (!m.HasField(field)) m.SetField(field, rpc::Value());
+  }
+
+  std::vector<ir::ProcessResult> results(members.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(members.size());
+  for (size_t k = 0; k < members.size(); ++k) {
+    tasks.push_back([this, &w, &m, &results, &members, k, now_ns] {
+      results[k] = w.element_exec[members[k]]->Process(m, now_ns);
+    });
+  }
+  w.group_runner->Run(tasks);
+  // All members saw the same input snapshot; the first non-pass in chain
+  // order decides the message's fate (CheckParallelizable admits at most
+  // one dropper per group).
+  for (const ir::ProcessResult& r : results) {
+    if (r.outcome != ir::ProcessOutcome::kPass) return r;
+  }
+  return ir::ProcessResult::Pass();
+}
+
+uint64_t EnginePool::processed() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->done.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t EnginePool::dropped() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->dropped.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t EnginePool::processed_by(int worker) const {
+  return workers_[static_cast<size_t>(worker)]->done.load(
+      std::memory_order_acquire);
+}
+
+int64_t EnginePool::worker_cpu_ns(int worker) const {
+  return workers_[static_cast<size_t>(worker)]->cpu_ns.load(
+      std::memory_order_acquire);
+}
+
+int64_t EnginePool::worker_exec_ns(int worker) const {
+  return workers_[static_cast<size_t>(worker)]->exec_ns.load(
+      std::memory_order_acquire);
+}
+
+ir::ElementInstance& EnginePool::WorkerInstance(int worker, size_t element) {
+  return *workers_[static_cast<size_t>(worker)]->instances[element];
+}
+
+Result<std::unique_ptr<ir::ElementInstance>> EnginePool::MergedInstance(
+    size_t element) const {
+  auto merged = std::make_unique<ir::ElementInstance>(elements_[element],
+                                                      config_.seed);
+  for (const auto& worker : workers_) {
+    const Bytes snapshot = worker->instances[element]->SnapshotState();
+    ADN_RETURN_IF_ERROR(merged->MergeState(snapshot));
+  }
+  return merged;
+}
+
+uint64_t EnginePool::MergedStateHash(size_t element) const {
+  uint64_t h = 0;
+  for (const auto& worker : workers_) {
+    h ^= worker->instances[element]->StateContentHash();
+  }
+  return h;
+}
+
+}  // namespace adn::mrpc

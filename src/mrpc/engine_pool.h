@@ -1,0 +1,249 @@
+// EnginePool: the multi-worker mRPC engine runtime (mRPC, NSDI '23 is a
+// multi-core shared-memory runtime; this is that shape for the ADN engine
+// tier).
+//
+// An EnginePool owns N worker threads. Each worker runs the chain's compiled
+// ChainProgram against its OWN ElementInstances, whose tables are the
+// per-worker shards produced by Table::SplitByKeyHash (via
+// ElementInstance::SplitState) at Start(). A single producer thread routes
+// every RPC to a worker by hash of its shard-key field — the same
+// HashSingleKey the table sharder uses, so the worker that receives a
+// message is exactly the worker whose shard holds that key's rows — and
+// hands it over on a true SPSC ring (ring.h). RPCs without the shard-key
+// field fall back to a hash of the RPC/connection id.
+//
+// State stays per-worker and unsynchronized (shared-nothing); anything
+// cross-worker is merge-on-read: processed()/dropped() sum worker counters,
+// MergedInstance() materializes the union of the worker shards into a fresh
+// instance, and MergedStateHash() XORs the shard hashes (ElementInstance::
+// StateContentHash is XOR-decomposable, so the merged hash equals the
+// unsharded hash exactly when the shards partition the rows — the PR 4
+// migration invariant, now continuously checkable on a live pool).
+//
+// Parallel groups (paper §5.2): the compiler's effect analysis marks runs of
+// elements that may execute concurrently on one message. GroupMode picks how
+// a worker honors that:
+//  - kSequential (default): group members run back-to-back on the worker.
+//    Pool parallelism comes from sharding across workers — zero per-message
+//    synchronization.
+//  - kConcurrent: members of a size>1 group run as one fused concurrent
+//    segment on per-worker helper threads (fork-join per message). Only
+//    groups whose members are provably safe on a shared Message are fused
+//    (no projection/routing, written fields pre-created so the field vector
+//    never reallocates mid-flight); unsafe groups fall back to sequential.
+// bench_scaling --threads measures both; see EXPERIMENTS.md for why
+// sequential-within-worker wins for ns-scale elements.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/exec.h"
+#include "ir/program.h"
+#include "mrpc/ring.h"
+#include "obs/metrics.h"
+#include "rpc/message.h"
+
+namespace adn::mrpc {
+
+// Fork-join runner for one fused concurrent segment: `helpers` persistent
+// threads wait for a task batch; Run() executes tasks[0] on the calling
+// worker thread and tasks[1..] on helpers, returning when all finish.
+class GroupRunner {
+ public:
+  explicit GroupRunner(int helpers);
+  ~GroupRunner();
+
+  GroupRunner(const GroupRunner&) = delete;
+  GroupRunner& operator=(const GroupRunner&) = delete;
+
+  // Blocks until every task has run. Tasks beyond the helper count run on
+  // the calling thread.
+  void Run(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void HelperLoop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  const std::vector<std::function<void()>>* tasks_ = nullptr;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+class EnginePool {
+ public:
+  enum class GroupMode { kSequential, kConcurrent };
+
+  struct Config {
+    int workers = 1;
+    // Message field whose value routes the RPC (the shard key — normally
+    // the primary key of the chain's hottest table). Empty or absent on a
+    // message: route by hash of the RPC/connection id instead.
+    std::string shard_key_field;
+    size_t ring_capacity = 1024;
+    GroupMode group_mode = GroupMode::kSequential;
+    // Base seed for per-worker instance RNG/nonce streams.
+    uint64_t seed = 1;
+    // Observability identity: workers count into
+    // adn_chain_rpcs_total/adn_chain_drops_total{processor="<processor>-w<i>"}
+    // and open per-RPC trace scopes under that name.
+    std::string processor = "engine-pool";
+    // Worker clock exposed to now(); null = constant 0 (deterministic).
+    std::function<int64_t()> clock;
+    // Measure chain-execution time per message (steady_clock around the
+    // executor, excluding ring transport and dequeue): worker_exec_ns().
+    // Costs ~2 clock reads per message; off by default.
+    bool measure_exec = false;
+    // Invoked on the WORKER thread after each message (any mode). Must be
+    // thread-safe across workers; keep it cheap.
+    std::function<void(int worker, const rpc::Message&,
+                       const ir::ProcessResult&)>
+        on_done;
+  };
+
+  // `parallel_groups[i]` is element i's compiler-assigned group id
+  // (compiler::CompiledChain::parallel_groups); empty = every element its
+  // own group. Elements must be SQL elements for the compiled tier; filter
+  // elements make that element fall back to the interpreter.
+  EnginePool(std::vector<std::shared_ptr<const ir::ElementIr>> elements,
+             std::vector<int> parallel_groups, Config config);
+  ~EnginePool();
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // --- Seeding (before Start) ------------------------------------------------
+  // Controller-style state seeding happens on the template instances; Start
+  // shards whatever the templates hold at that point.
+  ir::ElementInstance* TemplateInstance(size_t element);
+  ir::ElementInstance* FindTemplateInstance(std::string_view name);
+
+  // Shard the template state across `workers` instance sets and spawn the
+  // worker threads. Error to call twice.
+  Status Start();
+  bool started() const { return started_; }
+
+  // --- Data plane (single producer) -----------------------------------------
+  // Routes and enqueues; spins (with backoff) while the target worker's ring
+  // is full. Call from ONE thread. Returns the worker index it routed to.
+  int Submit(rpc::Message message);
+  // Deterministic routing preview (usable before Start and from tests).
+  int WorkerOfKey(const rpc::Value& key) const;
+  int WorkerOfMessage(const rpc::Message& message) const;
+
+  // Blocks until every submitted message has been fully processed.
+  void Drain();
+  // Drain, then join every worker (and helper) thread. Idempotent; the
+  // destructor calls it.
+  void Stop();
+
+  // --- Merge-on-read ---------------------------------------------------------
+  int workers() const { return config_.workers; }
+  size_t element_count() const { return elements_.size(); }
+  uint64_t processed() const;  // summed over workers
+  uint64_t dropped() const;
+  uint64_t processed_by(int worker) const;
+  // CPU nanoseconds worker `w` has consumed (CLOCK_THREAD_CPUTIME_ID),
+  // final after Stop(). Idle workers park on a condvar, so this approximates
+  // busy time — the per-core cost the pool pays per message.
+  int64_t worker_cpu_ns(int worker) const;
+  // Nanoseconds worker `w` spent inside the chain executor, by thread-CPU
+  // clock (only populated when Config::measure_exec; exact for all processed
+  // messages once Drain() returns). The pool-side analogue of
+  // bench_breakdown's compiled_ns_per_msg — excludes ring transport.
+  int64_t worker_exec_ns(int worker) const;
+
+  // Worker w's live instance of element e (tests; the worker thread owns it
+  // while running — read after Drain/Stop).
+  ir::ElementInstance& WorkerInstance(int worker, size_t element);
+
+  // Union of the worker shards of element e, materialized into a fresh
+  // instance (MergeState over every worker snapshot).
+  Result<std::unique_ptr<ir::ElementInstance>> MergedInstance(
+      size_t element) const;
+  // XOR of the worker shards' StateContentHash — equals the hash of the
+  // equivalent unsharded instance when the shards partition the rows.
+  uint64_t MergedStateHash(size_t element) const;
+
+  // True when worker threads execute the whole chain as one compiled
+  // ChainProgram (SQL-only chain, sequential mode); false = per-element
+  // dispatch (concurrent mode or interpreter fallback).
+  bool whole_chain_compiled() const { return whole_chain_program_ != nullptr; }
+
+ private:
+  struct Segment {
+    size_t begin = 0;  // element index range [begin, end)
+    size_t end = 0;
+    bool fused = false;  // safe to run concurrently in kConcurrent mode
+    // Fields kStoreField writes anywhere in the segment: pre-created on the
+    // message before forking so no member's store reallocates the vector.
+    std::vector<std::string> precreate_fields;
+  };
+
+  struct Worker {
+    explicit Worker(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<rpc::Message> ring;
+    std::vector<std::unique_ptr<ir::ElementInstance>> instances;
+    // Sequential fast path: one executor over the whole chain.
+    std::unique_ptr<ir::ChainExecutor> chain_exec;
+    // Per-element executors (concurrent mode / fallback); null entry =
+    // interpreter for that element.
+    std::vector<std::unique_ptr<ir::ChainExecutor>> element_exec;
+    std::unique_ptr<GroupRunner> group_runner;
+    std::thread thread;
+
+    std::atomic<uint64_t> submitted{0};  // producer-side
+    std::atomic<uint64_t> done{0};       // worker-side
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<int64_t> cpu_ns{0};
+    std::atomic<int64_t> exec_ns{0};
+    std::atomic<bool> sleeping{false};
+    std::mutex mu;
+    std::condition_variable cv;
+
+    obs::Counter* rpcs_counter = nullptr;
+    obs::Counter* drops_counter = nullptr;
+    std::string trace_processor;
+  };
+
+  void WorkerLoop(int index);
+  ir::ProcessResult ProcessMessage(Worker& w, rpc::Message& m, int64_t now_ns);
+  ir::ProcessResult RunElement(Worker& w, size_t element, rpc::Message& m,
+                               int64_t now_ns);
+  ir::ProcessResult RunFusedSegment(Worker& w, const Segment& seg,
+                                    rpc::Message& m, int64_t now_ns);
+  void BuildSegments();
+
+  std::vector<std::shared_ptr<const ir::ElementIr>> elements_;
+  std::vector<int> parallel_groups_;
+  Config config_;
+
+  // Unsharded reference state (seeded pre-Start, sharded at Start).
+  std::vector<std::unique_ptr<ir::ElementInstance>> template_instances_;
+
+  std::shared_ptr<const ir::ChainProgram> whole_chain_program_;
+  // Per-element programs, shared by every worker's executors; null entry =
+  // no compiled form (filter element) -> interpreter.
+  std::vector<std::shared_ptr<const ir::ChainProgram>> element_programs_;
+  std::vector<Segment> segments_;
+  size_t max_fused_width_ = 1;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace adn::mrpc

@@ -3,17 +3,41 @@
 //
 // In the real system this lives in shared memory between two processes; here
 // both ends are in-process but the data structure is the real thing: no
-// locks, head/tail indexes, power-of-two capacity, move-only slots. The
-// simulator charges CostModel::shm_hop_ns per enqueue+dequeue pair.
+// locks, atomic head/tail indexes with acquire/release ordering, power-of-two
+// capacity, move-only slots. The simulator charges CostModel::shm_hop_ns per
+// enqueue+dequeue pair.
+//
+// Concurrency contract (single-producer / single-consumer):
+//  - TryPush/full/enqueued may be called by ONE producer thread;
+//  - TryPop/empty may be called by ONE consumer thread;
+//  - size() may be called from either side (or a third observer) and returns
+//    a point-in-time estimate that is exact only when the other side is
+//    quiescent.
+// The producer publishes a slot with a release store on tail_ and the
+// consumer acquires it before reading, so slot contents are always fully
+// visible to the popper; head_ is released by the consumer and acquired by
+// the producer so a slot is never overwritten before its value has been
+// moved out. The indexes live on separate cache lines to keep the two sides
+// from false-sharing.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <new>
 #include <optional>
 #include <utility>
 #include <vector>
 
 namespace adn::mrpc {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr size_t kCacheLineBytes =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr size_t kCacheLineBytes = 64;
+#endif
 
 template <typename T>
 class SpscRing {
@@ -27,33 +51,52 @@ class SpscRing {
   }
 
   size_t capacity() const { return slots_.size(); }
-  size_t size() const { return tail_ - head_; }
-  bool empty() const { return head_ == tail_; }
+
+  // Cross-thread estimate; exact when the other side is quiescent.
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  // Consumer side (also valid from an observer, as an estimate).
+  bool empty() const { return size() == 0; }
+  // Producer side (also valid from an observer, as an estimate).
   bool full() const { return size() == capacity(); }
 
-  // False when full.
-  bool TryPush(T value) {
-    if (full()) return false;
-    slots_[tail_ & mask_] = std::move(value);
-    ++tail_;
+  // Producer only. False when full, in which case `value` is left untouched
+  // so the producer can retry the same object after backoff.
+  template <typename U>
+  bool TryPush(U&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == capacity()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::forward<U>(value);
+    tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
+  // Consumer only.
   std::optional<T> TryPop() {
-    if (empty()) return std::nullopt;
-    T out = std::move(slots_[head_ & mask_]);
-    ++head_;
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    T out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
     return out;
   }
 
-  // Total items ever enqueued (for stats).
-  uint64_t enqueued() const { return tail_; }
+  // Total items ever enqueued (for stats). Producer-side exact; an estimate
+  // elsewhere.
+  uint64_t enqueued() const { return tail_.load(std::memory_order_acquire); }
 
  private:
   std::vector<T> slots_;
   size_t mask_ = 0;
-  uint64_t head_ = 0;
-  uint64_t tail_ = 0;
+  // Consumer index and producer index on separate cache lines so the two
+  // sides' writes never contend for one line.
+  alignas(kCacheLineBytes) std::atomic<uint64_t> head_{0};
+  alignas(kCacheLineBytes) std::atomic<uint64_t> tail_{0};
 };
 
 }  // namespace adn::mrpc

@@ -206,6 +206,9 @@ std::vector<std::string> MetricsRegistry::MetricNames() const {
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Park the current generation instead of destroying it: concurrent
+  // writers may still hold references into it (see header contract).
+  if (!entries_.empty()) retired_.push_back(std::move(entries_));
   entries_.clear();
 }
 

@@ -182,7 +182,13 @@ class MetricsRegistry {
   // the set docs/OBSERVABILITY.md must enumerate (enforced by test_obs).
   std::vector<std::string> MetricNames() const;
 
-  // Drop every instrument. Tests only: outstanding references go stale.
+  // Drop every instrument from the exported set. Outstanding references
+  // stay *valid* — retired entries are parked (never freed) rather than
+  // destroyed, so a data-plane thread still holding a Counter& may keep
+  // incrementing it without UB; its writes simply stop being exported.
+  // Each Reset leaks the retired generation by design (tests and benches
+  // only); call sites that cached instrument pointers must re-resolve to
+  // appear in new snapshots.
   void Reset();
 
   // The process-wide registry all built-in instrumentation writes to.
@@ -203,6 +209,10 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::deque<Entry> entries_;  // node-based: addresses stable forever
+  // Generations retired by Reset(). Moving the deque moves only its control
+  // block — every Entry keeps its address — so instrument references handed
+  // out before the Reset stay writable for the registry's lifetime.
+  std::vector<std::deque<Entry>> retired_;
 };
 
 // Linear-interpolated quantile over Prometheus "le" bucket counts — the one

@@ -20,8 +20,16 @@ Table::Table(std::string name, Schema schema)
   pk_indexes_ = schema_.PrimaryKeyIndexes();
 }
 
+uint64_t HashSingleKey(const Value& key) {
+  uint64_t h = 0x452821E638D01377ULL;
+  h ^= HashValue(key);
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
 uint64_t Table::KeyHashOf(const Row& row) const {
   if (pk_indexes_.empty()) return HashRow(row);
+  if (pk_indexes_.size() == 1) return HashSingleKey(row[pk_indexes_[0]]);
   uint64_t h = 0x452821E638D01377ULL;
   for (size_t idx : pk_indexes_) {
     h ^= HashValue(row[idx]);
@@ -102,9 +110,7 @@ std::vector<const Row*> Table::LookupByKey(const Row& key) const {
 
 const Row* Table::LookupSingleKey(const Value& key) const {
   if (pk_indexes_.size() != 1) return nullptr;
-  uint64_t h = 0x452821E638D01377ULL;
-  h ^= HashValue(key);
-  h *= 0x100000001B3ULL;
+  const uint64_t h = HashSingleKey(key);
   auto [begin, end] = key_index_.equal_range(h);
   for (auto it = begin; it != end; ++it) {
     const Row& row = rows_[it->second];

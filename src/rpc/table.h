@@ -88,4 +88,10 @@ class Table {
 
 uint64_t HashRow(const Row& row);
 
+// Hash of one key value — exactly the hash KeyHashOf/LookupSingleKey use
+// for a single-column primary key. Shard routers (mrpc::EnginePool) hash the
+// message's shard-key field with this so that worker i's table shard from
+// SplitByKeyHash(n) holds precisely the keys whose messages route to i.
+uint64_t HashSingleKey(const Value& key);
+
 }  // namespace adn::rpc

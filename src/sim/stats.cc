@@ -13,10 +13,18 @@ double LatencyRecorder::MeanMicros() const {
   return total / static_cast<double>(samples_.size()) / kNanosPerMicro;
 }
 
+const std::vector<SimTime>& LatencyRecorder::Sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 double LatencyRecorder::PercentileMicros(double q) const {
   if (samples_.empty()) return 0.0;
-  std::vector<SimTime> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<SimTime>& sorted = Sorted();
   double rank = q * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -37,15 +45,23 @@ double LatencyRecorder::MaxMicros() const {
 }
 
 std::string RunStats::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%-28s rate=%8.1f krps  mean=%9.1f us  p50=%9.1f us  "
-                "p99=%9.1f us  ok=%llu drop=%llu",
-                label.c_str(), throughput_krps, mean_latency_us,
-                p50_latency_us, p99_latency_us,
-                static_cast<unsigned long long>(completed),
-                static_cast<unsigned long long>(dropped));
-  return buf;
+  // Sized snprintf: measure first, then format into an exactly-sized string,
+  // so arbitrarily long labels (e.g. multi-worker bench labels) never
+  // truncate.
+  constexpr char kFormat[] =
+      "%-28s rate=%8.1f krps  mean=%9.1f us  p50=%9.1f us  "
+      "p99=%9.1f us  ok=%llu drop=%llu";
+  const auto format = [&](char* buf, size_t size) {
+    return std::snprintf(buf, size, kFormat, label.c_str(), throughput_krps,
+                         mean_latency_us, p50_latency_us, p99_latency_us,
+                         static_cast<unsigned long long>(completed),
+                         static_cast<unsigned long long>(dropped));
+  };
+  const int needed = format(nullptr, 0);
+  if (needed <= 0) return label;
+  std::string out(static_cast<size_t>(needed), '\0');
+  format(out.data(), out.size() + 1);
+  return out;
 }
 
 }  // namespace adn::sim

@@ -9,23 +9,39 @@
 
 namespace adn::sim {
 
+// Not thread-safe: each run records from one driver thread (multi-worker
+// benches keep one recorder per worker and merge at report time).
 class LatencyRecorder {
  public:
-  void Record(SimTime latency_ns) { samples_.push_back(latency_ns); }
+  void Record(SimTime latency_ns) {
+    samples_.push_back(latency_ns);
+    sorted_valid_ = false;
+  }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
   double MeanMicros() const;
-  // q in [0,1]; nearest-rank on a sorted copy.
+  // q in [0,1]; linear interpolation between order statistics. The sorted
+  // sample vector is cached across calls (every run asks for at least p50
+  // and p99), so only the first call after a Record pays the sort.
   double PercentileMicros(double q) const;
   double MinMicros() const;
   double MaxMicros() const;
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = true;
+  }
 
  private:
+  const std::vector<SimTime>& Sorted() const;
+
   std::vector<SimTime> samples_;
+  // Sort-once cache for the percentile family; rebuilt lazily after Record.
+  mutable std::vector<SimTime> sorted_;
+  mutable bool sorted_valid_ = true;
 };
 
 struct RunStats {

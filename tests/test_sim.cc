@@ -2,6 +2,10 @@
 // queueing math, link serialization, latency statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "sim/simulator.h"
 #include "sim/station.h"
 #include "sim/stats.h"
@@ -127,6 +131,57 @@ TEST(LatencyRecorder, Percentiles) {
   EXPECT_NEAR(rec.PercentileMicros(0.99), 99.0, 1.01);
   EXPECT_DOUBLE_EQ(rec.MinMicros(), 1.0);
   EXPECT_DOUBLE_EQ(rec.MaxMicros(), 100.0);
+}
+
+// Regression for the sort-once percentile cache: interleaving Record calls
+// with percentile reads must keep every statistic in agreement with a naive
+// recompute over the samples so far.
+TEST(LatencyRecorder, CacheStaysCoherentAcrossRecordAndRead) {
+  LatencyRecorder rec;
+  std::vector<SimTime> seen;
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const SimTime sample = static_cast<SimTime>(x % 1'000'000);
+    rec.Record(sample);
+    seen.push_back(sample);
+    if (i % 7 != 0) continue;  // read mid-stream to exercise invalidation
+    std::vector<SimTime> sorted = seen;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(rec.MinMicros(), sorted.front() / 1000.0);
+    EXPECT_DOUBLE_EQ(rec.MaxMicros(), sorted.back() / 1000.0);
+    EXPECT_DOUBLE_EQ(rec.PercentileMicros(0.0), sorted.front() / 1000.0);
+    EXPECT_DOUBLE_EQ(rec.PercentileMicros(1.0), sorted.back() / 1000.0);
+    const double q = 0.5;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double naive =
+        (static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac) /
+        1000.0;
+    EXPECT_NEAR(rec.PercentileMicros(q), naive, 1e-9);
+  }
+  rec.Clear();
+  EXPECT_DOUBLE_EQ(rec.PercentileMicros(0.5), 0.0);
+  rec.Record(42'000);
+  EXPECT_DOUBLE_EQ(rec.PercentileMicros(0.5), 42.0);
+}
+
+// Regression for the fixed-size snprintf buffer ToString used to have: a
+// long label must come through whole, not truncated at 256 bytes.
+TEST(RunStats, ToStringSurvivesLongLabels) {
+  RunStats stats;
+  stats.label = std::string(600, 'x');
+  stats.completed = 123456789;
+  stats.throughput_krps = 1234.5;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find(stats.label), std::string::npos);
+  EXPECT_NE(s.find("123456789"), std::string::npos);
+  EXPECT_EQ(s.find('\0'), std::string::npos);
 }
 
 TEST(LatencyRecorder, EmptyIsZero) {

@@ -1,0 +1,442 @@
+// Concurrency tests: the SPSC ring under a real producer/consumer pair, the
+// obs metrics registry under concurrent writers + snapshot readers + Reset,
+// and the multi-worker EnginePool (shard routing, merge-on-read state
+// invariants, fused concurrent parallel groups).
+//
+// This whole file is the ThreadSanitizer CI target (ci.yml `tsan` job):
+// every test here must stay TSan-clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "compiler/lower.h"
+#include "dsl/parser.h"
+#include "elements/library.h"
+#include "ir/analysis.h"
+#include "mrpc/engine_pool.h"
+#include "mrpc/ring.h"
+#include "obs/metrics.h"
+
+namespace adn {
+namespace {
+
+using mrpc::EnginePool;
+using mrpc::SpscRing;
+using rpc::Value;
+
+// --- SpscRing under two real threads -----------------------------------------
+
+TEST(SpscRingStress, TwoThreadCountAndChecksum) {
+  constexpr uint64_t kItems = 200'000;
+  SpscRing<uint64_t> ring(64);
+
+  uint64_t expected_sum = 0;
+  uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    expected_sum += x;
+  }
+
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+  std::thread consumer([&] {
+    uint64_t count = 0;
+    uint64_t local_sum = 0;
+    while (count < kItems) {
+      if (std::optional<uint64_t> v = ring.TryPop()) {
+        local_sum += *v;
+        ++count;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    popped.store(count, std::memory_order_release);
+    sum.store(local_sum, std::memory_order_release);
+  });
+
+  uint64_t y = 0x9E3779B97F4A7C15ULL;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    y ^= y << 13;
+    y ^= y >> 7;
+    y ^= y << 17;
+    while (!ring.TryPush(y)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(sum.load(), expected_sum);
+  EXPECT_EQ(ring.enqueued(), kItems);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingStress, TwoThreadMoveOnlyOrdered) {
+  constexpr int kItems = 50'000;
+  SpscRing<std::unique_ptr<int>> ring(16);
+
+  std::atomic<bool> ok{true};
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      std::optional<std::unique_ptr<int>> v;
+      while (!(v = ring.TryPop()).has_value()) std::this_thread::yield();
+      if (*v == nullptr || **v != i) {
+        ok.store(false, std::memory_order_release);
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    auto p = std::make_unique<int>(i);
+    while (!ring.TryPush(std::move(p))) {
+      std::this_thread::yield();
+      // TryPush only consumes the value on success.
+    }
+  }
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+}
+
+// --- Metrics registry under writers + snapshots + Reset ----------------------
+
+TEST(RegistryStress, ConcurrentWritersSnapshotsAndReset) {
+  obs::MetricsRegistry registry;  // private instance: no cross-test bleed
+
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 20'000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, t] {
+      const std::string label = "writer=\"" + std::to_string(t) + "\"";
+      for (int i = 0; i < kIterations; ++i) {
+        // Re-resolve every iteration: races Get* against Reset's retirement.
+        registry.GetCounter("stress_ops_total", label).Inc();
+        registry.GetGauge("stress_depth", label).Set(i);
+        registry.GetHistogram("stress_latency_ns", label)
+            .Observe(100.0 + i % 1000);
+      }
+    });
+  }
+  std::thread reader([&registry, &stop] {
+    int resets = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::MetricsSnapshot snap = registry.Snapshot();
+      // Every sample present in a snapshot must be internally consistent.
+      for (const obs::MetricSample& s : snap.samples) {
+        if (s.kind == obs::MetricKind::kHistogram) {
+          uint64_t total = 0;
+          for (uint64_t b : s.bucket_counts) total += b;
+          ASSERT_LE(s.count, total + 0u);  // counts published before buckets?
+        }
+      }
+      if (++resets % 16 == 0) registry.Reset();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Post-reset registrations start fresh and export normally.
+  registry.Reset();
+  registry.GetCounter("stress_ops_total", "writer=\"0\"").Inc(7);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::MetricSample* s =
+      snap.Find("stress_ops_total", "writer=\"0\"");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 7.0);
+}
+
+TEST(RegistryStress, ResetKeepsOutstandingReferencesWritable) {
+  obs::MetricsRegistry registry;
+  obs::Counter& stale = registry.GetCounter("gen0_total");
+  stale.Inc(3);
+  registry.Reset();
+  // The retired instrument stays valid writable memory; it is simply no
+  // longer exported.
+  stale.Inc(2);
+  EXPECT_EQ(stale.Value(), 5u);
+  EXPECT_EQ(registry.Snapshot().Find("gen0_total"), nullptr);
+  // A fresh registration under the same name starts from zero.
+  obs::Counter& fresh = registry.GetCounter("gen0_total");
+  EXPECT_NE(&fresh, &stale);
+  EXPECT_EQ(fresh.Value(), 0u);
+}
+
+// --- EnginePool ---------------------------------------------------------------
+
+constexpr size_t kLoggingIdx = 0;
+constexpr size_t kAclIdx = 1;
+
+std::vector<std::shared_ptr<const ir::ElementIr>> LogAclElements() {
+  auto parsed =
+      dsl::ParseProgram(std::string(elements::AclTableSql()) +
+                        std::string(elements::LogTableSql()) +
+                        std::string(elements::LoggingSql()) +
+                        std::string(elements::AclSql()));
+  auto lowered = compiler::LowerProgram(*parsed);
+  EXPECT_TRUE(lowered.ok());
+  return {lowered->FindElement("Logging"), lowered->FindElement("Acl")};
+}
+
+std::string UserName(int i) { return "user" + std::to_string(i); }
+
+rpc::Message MakeReq(uint64_t id, const std::string& user) {
+  Bytes payload(64, 0xAB);
+  return rpc::Message::MakeRequest(
+      id, "Obj.Put",
+      {{"username", Value(user)}, {"payload", Value(std::move(payload))}});
+}
+
+void SeedUsers(EnginePool& pool, int users) {
+  rpc::Table* acl =
+      pool.FindTemplateInstance("Acl")->FindTable("ac_tab");
+  for (int i = 0; i < users; ++i) {
+    ASSERT_TRUE(acl->Insert({Value(UserName(i)), Value("W")}).ok());
+  }
+}
+
+TEST(EnginePool, SameKeyAlwaysLandsOnTheSameWorker) {
+  EnginePool::Config config;
+  config.workers = 4;
+  config.shard_key_field = "username";
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, 32);
+  ASSERT_TRUE(pool.Start().ok());
+
+  // Routing is a pure function of the key.
+  std::map<std::string, int> routed;
+  for (int i = 0; i < 32; ++i) {
+    const std::string user = UserName(i);
+    const int w = pool.WorkerOfKey(Value(user));
+    EXPECT_EQ(w, pool.WorkerOfKey(Value(user)));
+    routed[user] = w;
+  }
+  uint64_t id = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(pool.Submit(MakeReq(++id, UserName(i))), routed[UserName(i)]);
+    }
+  }
+  pool.Stop();
+
+  // Every log row landed on the worker its username routes to, and each
+  // worker's ACL shard held exactly the rows its routed users needed (no
+  // message was denied).
+  EXPECT_EQ(pool.processed(), 50u * 32u);
+  EXPECT_EQ(pool.dropped(), 0u);
+  for (int w = 0; w < pool.workers(); ++w) {
+    const rpc::Table* log =
+        pool.WorkerInstance(w, kLoggingIdx).FindTable("log_tab");
+    ASSERT_NE(log, nullptr);
+    for (const rpc::Row& row : log->rows()) {
+      EXPECT_EQ(routed[row[1].AsText()], w)
+          << "log row for " << row[1].AsText() << " on wrong worker";
+    }
+  }
+}
+
+TEST(EnginePool, ShardTotalsMergeToTheUnshardedResult) {
+  constexpr int kUsers = 48;     // seeded with W permission
+  constexpr int kStrangers = 8;  // not in ac_tab -> denied
+  constexpr uint64_t kMessages = 4'000;
+
+  auto run = [&](int workers) {
+    EnginePool::Config config;
+    config.workers = workers;
+    config.shard_key_field = "username";
+    auto pool = std::make_unique<EnginePool>(LogAclElements(),
+                                             std::vector<int>{}, config);
+    SeedUsers(*pool, kUsers);
+    EXPECT_TRUE(pool->Start().ok());
+    for (uint64_t id = 1; id <= kMessages; ++id) {
+      pool->Submit(MakeReq(
+          id, UserName(static_cast<int>(id % (kUsers + kStrangers)))));
+    }
+    pool->Stop();
+    return pool;
+  };
+
+  auto one = run(1);
+  auto four = run(4);
+
+  EXPECT_EQ(one->processed(), kMessages);
+  EXPECT_EQ(four->processed(), kMessages);
+  EXPECT_EQ(one->dropped(), four->dropped());
+  EXPECT_GT(four->dropped(), 0u);
+
+  // Merge-on-read: the union of the 4 workers' shards is byte-for-byte the
+  // single-worker state (log rows are keyed by message id + user, so the
+  // content hash is order-insensitive and partition-invariant).
+  for (size_t e : {kLoggingIdx, kAclIdx}) {
+    EXPECT_EQ(four->MergedStateHash(e), one->MergedStateHash(e));
+    auto merged = four->MergedInstance(e);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ((*merged)->StateContentHash(), one->MergedStateHash(e));
+  }
+  // The ACL table is read-only traffic: sharding round-trips it exactly
+  // (the PR 4 migration invariant, live).
+  auto merged_acl = four->MergedInstance(kAclIdx);
+  ASSERT_TRUE(merged_acl.ok());
+  const rpc::Table* acl = (*merged_acl)->FindTable("ac_tab");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->RowCount(), static_cast<size_t>(kUsers));
+  // Log rows partition exactly: per-worker row counts sum to the total.
+  size_t log_rows = 0;
+  for (int w = 0; w < four->workers(); ++w) {
+    log_rows +=
+        four->WorkerInstance(w, kLoggingIdx).FindTable("log_tab")->RowCount();
+  }
+  EXPECT_EQ(log_rows, kMessages);
+}
+
+TEST(EnginePool, StateHashInvariantAfterStart) {
+  EnginePool::Config config;
+  config.workers = 3;
+  config.shard_key_field = "username";
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, 100);
+  const uint64_t seeded_hash =
+      pool.FindTemplateInstance("Acl")->StateContentHash();
+  ASSERT_TRUE(pool.Start().ok());
+  // Sharding the seed state across workers loses nothing.
+  EXPECT_EQ(pool.MergedStateHash(kAclIdx), seeded_hash);
+  pool.Stop();
+}
+
+TEST(EnginePool, MissingShardKeyFallsBackToIdRouting) {
+  EnginePool::Config config;
+  config.workers = 4;
+  config.shard_key_field = "no_such_field";
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, 4);
+  ASSERT_TRUE(pool.Start().ok());
+  std::vector<int> seen(4, 0);
+  for (uint64_t id = 1; id <= 256; ++id) {
+    const int w = pool.Submit(MakeReq(id, UserName(static_cast<int>(id % 4))));
+    EXPECT_EQ(w, pool.WorkerOfKey(Value(static_cast<int64_t>(id))));
+    ++seen[static_cast<size_t>(w)];
+  }
+  pool.Stop();
+  // Id hashing spreads load across every worker.
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+// --- Fused concurrent parallel groups ----------------------------------------
+
+std::vector<std::shared_ptr<const ir::ElementIr>> IndependentElements() {
+  // The bench_parallel chain: three field-disjoint transforms the compiler
+  // proves parallelizable (one group).
+  const char* kProgram = R"(
+ELEMENT Encrypt ON REQUEST {
+  INPUT (payload BYTES);
+  SELECT *, encrypt(payload, 'key') AS payload FROM input;
+}
+ELEMENT CompressBlob ON REQUEST {
+  INPUT (blob BYTES);
+  SELECT *, compress(blob) AS blob FROM input;
+}
+ELEMENT UserDigest ON REQUEST {
+  INPUT (username TEXT);
+  SELECT *, hash(username) AS user_digest FROM input;
+}
+)";
+  auto parsed = dsl::ParseProgram(kProgram);
+  auto lowered = compiler::LowerProgram(*parsed);
+  EXPECT_TRUE(lowered.ok());
+  return {lowered->FindElement("Encrypt"), lowered->FindElement("CompressBlob"),
+          lowered->FindElement("UserDigest")};
+}
+
+rpc::Message MakeIndepReq(uint64_t id) {
+  Bytes payload(256), blob(256);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((id + i) % 251);
+    blob[i] = static_cast<uint8_t>(i % 13);
+  }
+  return rpc::Message::MakeRequest(
+      id, "Indep.Call",
+      {{"username", Value("alice")},
+       {"payload", Value(std::move(payload))},
+       {"blob", Value(std::move(blob))}});
+}
+
+TEST(EnginePoolStress, ConcurrentGroupMatchesSequentialExecution) {
+  auto elements = IndependentElements();
+  std::vector<const ir::ElementIr*> raw;
+  for (const auto& e : elements) raw.push_back(e.get());
+  const std::vector<int> groups = ir::PartitionIntoParallelGroups(raw);
+  ASSERT_EQ(groups, (std::vector<int>{0, 0, 0}))
+      << "effect analysis should prove the chain one parallel group";
+
+  constexpr uint64_t kMessages = 2'000;
+  auto run = [&](EnginePool::GroupMode mode) {
+    EnginePool::Config config;
+    config.workers = 1;
+    config.group_mode = mode;
+    std::map<uint64_t, rpc::Message> outputs;
+    config.on_done = [&outputs](int, const rpc::Message& m,
+                                const ir::ProcessResult&) {
+      outputs.emplace(m.id(), m);  // single worker: no synchronization needed
+    };
+    EnginePool pool(elements, groups, config);
+    EXPECT_EQ(pool.whole_chain_compiled(),
+              mode == EnginePool::GroupMode::kSequential);
+    EXPECT_TRUE(pool.Start().ok());
+    for (uint64_t id = 1; id <= kMessages; ++id) {
+      pool.Submit(MakeIndepReq(id));
+    }
+    pool.Stop();
+    EXPECT_EQ(pool.processed(), kMessages);
+    EXPECT_EQ(pool.dropped(), 0u);
+    return outputs;
+  };
+
+  auto sequential = run(EnginePool::GroupMode::kSequential);
+  auto concurrent = run(EnginePool::GroupMode::kConcurrent);
+  ASSERT_EQ(sequential.size(), concurrent.size());
+  for (const auto& [id, seq_msg] : sequential) {
+    const auto it = concurrent.find(id);
+    ASSERT_NE(it, concurrent.end());
+    const rpc::Message& con_msg = it->second;
+    for (const rpc::Field& f : seq_msg.fields()) {
+      const Value* v = con_msg.FindField(f.name);
+      ASSERT_NE(v, nullptr) << f.name;
+      EXPECT_EQ(f.value.CompareTo(*v), 0)
+          << "field " << f.name << " diverged on message " << id;
+    }
+  }
+}
+
+TEST(EnginePoolStress, ManyWorkersManyMessages) {
+  constexpr uint64_t kMessages = 20'000;
+  EnginePool::Config config;
+  config.workers = 4;
+  config.shard_key_field = "username";
+  config.ring_capacity = 128;
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, 64);
+  ASSERT_TRUE(pool.Start().ok());
+  for (uint64_t id = 1; id <= kMessages; ++id) {
+    pool.Submit(MakeReq(id, UserName(static_cast<int>(id % 64))));
+  }
+  pool.Drain();
+  EXPECT_EQ(pool.processed(), kMessages);
+  pool.Stop();
+  EXPECT_EQ(pool.dropped(), 0u);
+  size_t log_rows = 0;
+  for (int w = 0; w < pool.workers(); ++w) {
+    log_rows +=
+        pool.WorkerInstance(w, kLoggingIdx).FindTable("log_tab")->RowCount();
+  }
+  EXPECT_EQ(log_rows, kMessages);
+}
+
+}  // namespace
+}  // namespace adn
