@@ -139,8 +139,9 @@ std::string ChainProgram::DebugString() const {
 // relational ops derive from CompareTo's three-way result (NaN yields 0, so
 // <= and >= both hold against NaN). Nulls, mixed types, and every other
 // value type fall back to EvalBinaryValue.
-inline bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b,
-                        bool* out) {
+// External (not inline/static): program_burst.cc shares this fast path.
+bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b,
+                 bool* out) {
   const ValueType t = a.type();
   if (t != b.type()) return false;
   int c = 0;
@@ -180,13 +181,6 @@ inline bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b,
   }
 }
 
-struct ChainExecutor::RunState {
-  rpc::Message* msg = nullptr;
-  const Row* joined_row = nullptr;
-  FunctionContext fn_ctx;
-  int cur = -1;  // current element segment (index into instances_)
-};
-
 ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
                              std::vector<ElementInstance*> instances)
     : program_(std::move(program)), instances_(std::move(instances)) {
@@ -199,6 +193,7 @@ ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
     elem_hist_.push_back(&obs::MetricsRegistry::Default().GetHistogram(
         "adn_element_latency_ns", "element=\"" + inst->name() + "\""));
   }
+  AnalyzeBurst();
 }
 
 Value ChainExecutor::TakeReg(uint16_t r) {

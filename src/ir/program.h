@@ -145,10 +145,54 @@ class ChainExecutor {
   // exactly as ElementInstance::Process would.
   ProcessResult Process(rpc::Message& m, int64_t now_ns);
 
+  // Maximum lanes one burst wavefront processes at a time; larger bursts are
+  // chunked. Sized so the SoA register file for a typical chain stays within
+  // L2 while still amortizing dispatch ~64x.
+  static constexpr size_t kMaxBurstLanes = 64;
+
+  // Burst execution: process msgs[0..n) and fill results[0..n) with exactly
+  // the outcomes n sequential Process() calls would produce — same message
+  // mutations, same per-element processed/dropped counters, same nonce/RNG
+  // streams, same table contents (burst ≡ scalar, proven by test_burst).
+  //
+  // When the program is burst-vectorizable (see burst_vectorizable()) and
+  // observability is off, this runs the struct-of-arrays wavefront in
+  // program_burst.cc: one opcode dispatch per instruction for the whole
+  // burst, a live-lane mask for mid-burst drop/abort, and a table-row
+  // prefetch stage ahead of the wavefront. Otherwise it degrades to the
+  // scalar loop — semantics never depend on which path ran.
+  void ProcessBurst(rpc::Message* msgs, size_t n, int64_t now_ns,
+                    ProcessResult* results);
+
+  // True when static analysis proved instruction-major (SoA) execution
+  // reorders no observable effect relative to message-major execution:
+  // forward-only control flow, each element entered at most once, per table
+  // either read-only or exactly one mutation site with no lookups, and at
+  // most one non-deterministic call site per element (RNG draw order).
+  bool burst_vectorizable() const { return burst_safe_; }
+  // Number of kLookupPk sites the prefetch stage covers (fig5: the ACL
+  // join). Exposed for tests/benchmarks.
+  size_t burst_prefetch_site_count() const { return prefetch_sites_.size(); }
+
   const ChainProgram& program() const { return *program_; }
 
  private:
-  struct RunState;
+  struct RunState {
+    rpc::Message* msg = nullptr;
+    const rpc::Row* joined_row = nullptr;
+    FunctionContext fn_ctx;
+    int cur = -1;  // current element segment (index into instances_)
+  };
+  // One kLoadField+kLookupPk pair the burst prefetch stage resolves up
+  // front. `consume` means the cached row may legally substitute for the
+  // lookup (key field provably unmodified between burst start and the
+  // lookup, and no jump lands on the lookup ip).
+  struct PrefetchSite {
+    uint32_t lookup_ip = 0;
+    uint16_t field_id = 0;
+    uint16_t table = 0;
+    bool consume = false;
+  };
   Result<rpc::Value> RunSub(uint32_t entry, RunState& rs);
   Status ExecUpdate(const ChainProgram::UpdateSpec& spec, RunState& rs);
   Status ExecDelete(const ChainProgram::DeleteSpec& spec, RunState& rs);
@@ -157,6 +201,14 @@ class ChainExecutor {
   // Take ownership of register r: move when the register owns its value,
   // copy when it borrows (const pool / message field / join column).
   rpc::Value TakeReg(uint16_t r);
+
+  // --- Burst path (program_burst.cc) --------------------------------------
+  // Static legality analysis + prefetch-site discovery, run at construction.
+  void AnalyzeBurst();
+  // One SoA wavefront over msgs[0..k), k <= kMaxBurstLanes.
+  void RunBurst(rpc::Message* msgs, size_t k, int64_t now_ns,
+                ProcessResult* results);
+  rpc::Value TakeBurstReg(uint16_t r, size_t lane, size_t stride);
 
   std::shared_ptr<const ChainProgram> program_;
   std::vector<ElementInstance*> instances_;
@@ -181,6 +233,27 @@ class ChainExecutor {
   // construction so the hot path never builds a label string. Only touched
   // when obs::Enabled().
   std::vector<obs::Histogram*> elem_hist_;
+
+  // --- Burst (SoA) state. Sized once at construction; RunBurst indexes
+  // registers as [r * k + lane] with k = the live chunk width, so a burst
+  // narrower than kMaxBurstLanes keeps its working set dense. bregs_ never
+  // resizes after construction, so &bregs_[i] is stable (same borrow
+  // contract as regs_). The scalar regs_/slot_ file stays untouched by the
+  // wavefront — subprogram execution (ExecUpdate/ExecDelete/RunSub) uses it
+  // per lane without conflicting with the SoA file.
+  bool burst_safe_ = false;
+  std::vector<PrefetchSite> prefetch_sites_;
+  std::vector<rpc::Value> bregs_;
+  std::vector<const rpc::Value*> bslot_;
+  // Per-lane wavefront state: next instruction pointer (kLaneDone when the
+  // lane has returned), bound join row, current element segment, and the
+  // function-call context (rng/nonce rebound at each kBeginElement).
+  std::vector<uint32_t> lane_ip_;
+  std::vector<const rpc::Row*> lane_join_;
+  std::vector<int> lane_cur_;
+  std::vector<FunctionContext> lane_ctx_;
+  // Prefetch stage results: [site * k + lane] resolved Row* (or nullptr).
+  std::vector<const rpc::Row*> pf_rows_;
 };
 
 }  // namespace adn::ir

@@ -1,0 +1,608 @@
+// Burst (struct-of-arrays) execution tier for ChainProgram.
+//
+// High-speed packet stacks get their throughput from burst processing: the
+// NDN-DPDK RX loop drains its rings in bursts, prefetches the PCCT entries
+// every packet in the burst will touch, and only then processes them, so all
+// per-packet control overhead is amortized across the burst. This file
+// applies the same shape to compiled chain execution. ProcessBurst runs one
+// *wavefront* over the instruction stream: the instruction pointer sweeps
+// forward once, and at each instruction every live lane (message) that has
+// reached it executes together. The opcode switch is therefore dispatched
+// once per instruction per burst instead of once per instruction per
+// message, and the branch predictor sees a stable opcode stream.
+//
+// Why a single forward sweep is legal: the compiler emits forward-only
+// control flow (every jump target is a later ip; subprograms are inlined and
+// jumped over), so per-lane instruction pointers only move forward and the
+// global sweep ip = min over lanes never skips work. Lanes that diverge
+// (kind guards, ACL misses, drops) simply carry a larger lane ip until the
+// sweep catches up — SIMT-style reconvergence without a mask stack.
+//
+// Exact parity with the scalar tier is the contract (burst ≡ scalar ≡
+// interpreter, enforced by tests/test_burst.cc including table state
+// hashes). Message-local effects are trivially order-independent across
+// lanes; the cross-lane shared state is tables, per-instance RNG streams and
+// the nonce/processed/dropped counters. AnalyzeBurst proves at construction
+// that executing instruction-major in lane order produces exactly the
+// scalar message-major effect order:
+//   - each element is entered (kBeginElement) at most once, so its
+//     nonce/processed sequence is assigned in lane order = message order;
+//   - each table is either read-only or mutated at exactly one site with no
+//     lookups, so its row sequence is written in lane order = message order
+//     (and every joined-row borrow stays stable for the whole burst);
+//   - each element has at most one non-deterministic call site, so RNG
+//     draws happen in lane order = message order.
+// Programs that violate any rule (or any run with observability enabled,
+// whose per-message spans/histograms are inherently message-major) fall
+// back to the scalar loop — semantics never depend on which path ran.
+#include <algorithm>
+#include <unordered_map>
+
+#include "ir/expr.h"
+#include "ir/program.h"
+
+namespace adn::ir {
+
+using rpc::Message;
+using rpc::Row;
+using rpc::Table;
+using rpc::Value;
+using rpc::ValueType;
+
+namespace {
+// Lane ip value meaning "lane finished" — larger than any real ip, so it
+// never wins the min-sweep.
+constexpr uint32_t kLaneDone = 0xFFFFFFFFu;
+}  // namespace
+
+// Defined in program.cc (anonymous there would not link); redeclared here to
+// share the scalar comparison fast path.
+bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b, bool* out);
+
+void ChainExecutor::AnalyzeBurst() {
+  const ChainProgram& p = *program_;
+  burst_safe_ = true;
+  prefetch_sites_.clear();
+
+  // Tables are deduplicated by identity (element, table_idx), not by handle,
+  // so two handles to one physical table share one mutation/lookup budget.
+  auto table_key = [&](uint16_t handle) -> uint32_t {
+    const ChainProgram::TableRef& ref = p.tables[handle];
+    return (static_cast<uint32_t>(ref.element) << 16) | ref.table_idx;
+  };
+  std::unordered_map<uint32_t, std::pair<int, int>> tables;  // {mut, lookup}
+  std::vector<int> nondet_sites(instances_.size(), 0);
+  std::vector<int> begin_sites(instances_.size(), 0);
+  std::vector<char> jump_target(p.code.size(), 0);
+  int cur_elem = -1;  // last kBeginElement in code order; subprograms are
+                      // emitted inline inside their element's range.
+
+  for (size_t i = 0; i < p.code.size(); ++i) {
+    const Instr& in = p.code[i];
+    switch (in.op) {
+      case Instr::Op::kJump:
+      case Instr::Op::kJumpIfFalse:
+      case Instr::Op::kJumpIfTrue:
+      case Instr::Op::kLookupPk:
+      case Instr::Op::kLookupScan:
+      case Instr::Op::kSkipUnlessKind:
+        if (in.d <= i) burst_safe_ = false;  // backward jump: no wavefront
+        if (in.d < p.code.size()) jump_target[in.d] = 1;
+        break;
+      default:
+        break;
+    }
+    switch (in.op) {
+      case Instr::Op::kBeginElement:
+        cur_elem = in.b;
+        if (in.b >= begin_sites.size() || ++begin_sites[in.b] > 1) {
+          burst_safe_ = false;
+        }
+        break;
+      case Instr::Op::kLookupPk:
+      case Instr::Op::kLookupScan:
+        tables[table_key(in.b)].second++;
+        break;
+      case Instr::Op::kInsertRow:
+        tables[table_key(in.b)].first++;
+        break;
+      case Instr::Op::kUpdateRows:
+        tables[table_key(p.update_specs[in.b].table)].first++;
+        break;
+      case Instr::Op::kDeleteRows:
+        tables[table_key(p.delete_specs[in.b].table)].first++;
+        break;
+      case Instr::Op::kCall:
+        if (!p.functions[in.b]->deterministic) {
+          if (cur_elem < 0 ||
+              static_cast<size_t>(cur_elem) >= nondet_sites.size() ||
+              ++nondet_sites[cur_elem] > 1) {
+            burst_safe_ = false;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [key, counts] : tables) {
+    (void)key;
+    const auto [mutations, lookups] = counts;
+    if (mutations == 0) continue;               // read-only: any order
+    if (mutations == 1 && lookups == 0) continue;  // one write site, no reads
+    burst_safe_ = false;
+  }
+  if (!burst_safe_) return;
+
+  // Prefetch plan: a kLoadField feeding a kLookupPk directly (the shape the
+  // compiler emits for `JOIN t ON input.f = t.pk`) lets the burst resolve
+  // and prefetch every lane's row before the wavefront starts. The cached
+  // row may *replace* the lookup (consume) only when the key field provably
+  // still holds its burst-start value at the lookup — no earlier store to
+  // that field, no earlier projection that could remove it — and no jump
+  // lands on the lookup ip (every lane arrives via the adjacent load).
+  // Looked-up tables have no mutation sites (rule above), so the cached
+  // Row* itself cannot dangle.
+  for (size_t i = 1; i < p.code.size(); ++i) {
+    const Instr& lookup = p.code[i];
+    if (lookup.op != Instr::Op::kLookupPk) continue;
+    const Instr& load = p.code[i - 1];
+    if (load.op != Instr::Op::kLoadField || load.a != lookup.a) continue;
+    bool consume = jump_target[i] == 0;
+    for (size_t j = 0; j < i && consume; ++j) {
+      const Instr& prior = p.code[j];
+      if (prior.op == Instr::Op::kProject) consume = false;
+      if (prior.op == Instr::Op::kStoreField && prior.b == load.b) {
+        consume = false;
+      }
+    }
+    PrefetchSite site;
+    site.lookup_ip = static_cast<uint32_t>(i);
+    site.field_id = load.b;
+    site.table = lookup.b;
+    site.consume = consume;
+    prefetch_sites_.push_back(site);
+  }
+
+  // Size the SoA register file and lane state once; RunBurst only rebinds
+  // slots. bregs_ never resizes afterwards, so &bregs_[i] is stable.
+  bregs_.resize(static_cast<size_t>(program_->num_registers) *
+                kMaxBurstLanes);
+  bslot_.resize(bregs_.size());
+  lane_ip_.resize(kMaxBurstLanes);
+  lane_join_.resize(kMaxBurstLanes);
+  lane_cur_.resize(kMaxBurstLanes);
+  lane_ctx_.resize(kMaxBurstLanes);
+}
+
+Value ChainExecutor::TakeBurstReg(uint16_t r, size_t lane, size_t stride) {
+  const size_t idx = static_cast<size_t>(r) * stride + lane;
+  if (bslot_[idx] == &bregs_[idx]) return std::move(bregs_[idx]);
+  return *bslot_[idx];
+}
+
+void ChainExecutor::ProcessBurst(Message* msgs, size_t n, int64_t now_ns,
+                                 ProcessResult* results) {
+  // Scalar fallback: analysis said no, a single message (nothing to
+  // amortize), or observability on (per-message spans/histograms are
+  // message-major by definition). Identical outcomes either way.
+  if (!burst_safe_ || n < 2 || obs::Enabled()) {
+    for (size_t i = 0; i < n; ++i) results[i] = Process(msgs[i], now_ns);
+    return;
+  }
+  size_t off = 0;
+  while (off < n) {
+    const size_t k = std::min(n - off, kMaxBurstLanes);
+    if (k < 2) {
+      results[off] = Process(msgs[off], now_ns);
+    } else {
+      RunBurst(msgs + off, k, now_ns, results + off);
+    }
+    off += k;
+  }
+}
+
+void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
+                             ProcessResult* results) {
+  const ChainProgram& p = *program_;
+  const Instr* code = p.code.data();
+
+  // Registers index as [r * k + lane]: a narrow burst keeps its SoA working
+  // set dense instead of striding at kMaxBurstLanes.
+  const size_t w = k;
+  for (size_t r = 0; r < p.num_registers; ++r) {
+    for (size_t l = 0; l < k; ++l) {
+      bslot_[r * w + l] = &bregs_[r * w + l];
+    }
+  }
+  for (size_t l = 0; l < k; ++l) {
+    lane_ip_[l] = 0;
+    lane_join_[l] = nullptr;
+    lane_cur_[l] = -1;
+    lane_ctx_[l] = FunctionContext{};
+    lane_ctx_[l].message = &msgs[l];
+    lane_ctx_[l].now_ns = now_ns;
+    results[l] = ProcessResult::Pass();
+  }
+
+  // Prefetch stage (NDN-DPDK PCCT shape): resolve every lane's join row for
+  // every prefetch site before executing anything, issuing a read prefetch
+  // for each row's storage. By the time the wavefront reaches the lookup the
+  // lines are warm; at consume-eligible sites the cached row also replaces
+  // the second hash probe entirely.
+  if (!prefetch_sites_.empty()) {
+    pf_rows_.assign(prefetch_sites_.size() * k, nullptr);
+    for (size_t s = 0; s < prefetch_sites_.size(); ++s) {
+      const Table* table = TableAt(prefetch_sites_[s].table);
+      const uint16_t fid = prefetch_sites_[s].field_id;
+      for (size_t l = 0; l < k; ++l) {
+        pf_rows_[s * k + l] =
+            table->PrefetchSingleKey(FieldOrNull(msgs[l], fid));
+      }
+    }
+  }
+
+  // Drop/abort bookkeeping identical to the scalar tier: any non-pass
+  // outcome counts as a drop on the element that produced it.
+  auto abort_lane = [&](size_t l, std::string message) {
+    if (lane_cur_[l] >= 0) instances_[lane_cur_[l]]->NoteDropped();
+    results[l].outcome = ProcessOutcome::kDropAbort;
+    results[l].abort_message = std::move(message);
+    lane_ip_[l] = kLaneDone;
+  };
+
+  // The wavefront: ip sweeps forward; at each step every lane that has
+  // reached ip executes the instruction (in lane order — this is what makes
+  // cross-lane effect order equal scalar message order), then ip advances to
+  // the minimum lane ip. Forward-only jumps guarantee progress; kLaneDone
+  // falls out of the min when every lane has returned.
+  uint32_t ip = 0;
+  while (ip != kLaneDone) {
+    const Instr& in = code[ip];
+    const uint32_t next = ip + 1;
+    switch (in.op) {
+      case Instr::Op::kLoadConst:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          bslot_[in.a * w + l] = &p.consts[in.b];
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kLoadField:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          bslot_[in.a * w + l] = &FieldOrNull(msgs[l], in.b);
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kLoadJoin:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          if (lane_join_[l] == nullptr) {
+            abort_lane(l, Status(ErrorCode::kFailedPrecondition,
+                                 "join field read outside a JOIN context")
+                              .ToString());
+            continue;
+          }
+          if (in.b >= lane_join_[l]->size()) {
+            abort_lane(l, Status(ErrorCode::kInternal,
+                                 "join column out of range")
+                              .ToString());
+            continue;
+          }
+          bslot_[in.a * w + l] = &(*lane_join_[l])[in.b];
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kMaterialize:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const size_t idx = in.a * w + l;
+          if (bslot_[idx] != &bregs_[idx]) {
+            bregs_[idx] = *bslot_[idx];
+            bslot_[idx] = &bregs_[idx];
+          }
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kCoerceBool:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const size_t idx = in.a * w + l;
+          bregs_[idx] = Value(ValueTruthy(*bslot_[idx]));
+          bslot_[idx] = &bregs_[idx];
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kUnary:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          auto v = EvalUnaryValue(static_cast<dsl::UnaryOp>(in.aux),
+                                  *bslot_[in.b * w + l]);
+          if (!v.ok()) {
+            abort_lane(l, v.error().ToString());
+            continue;
+          }
+          const size_t idx = in.a * w + l;
+          bregs_[idx] = std::move(v).value();
+          bslot_[idx] = &bregs_[idx];
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kBinary: {
+        const dsl::BinaryOp op = static_cast<dsl::BinaryOp>(in.aux);
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const size_t idx = in.a * w + l;
+          bool fast = false;
+          if (FastCompare(op, *bslot_[in.b * w + l], *bslot_[in.c * w + l],
+                          &fast)) {
+            bregs_[idx] = Value(fast);
+            bslot_[idx] = &bregs_[idx];
+            lane_ip_[l] = next;
+            continue;
+          }
+          auto v = EvalBinaryValue(op, *bslot_[in.b * w + l],
+                                   *bslot_[in.c * w + l]);
+          if (!v.ok()) {
+            abort_lane(l, v.error().ToString());
+            continue;
+          }
+          bregs_[idx] = std::move(v).value();
+          bslot_[idx] = &bregs_[idx];
+          lane_ip_[l] = next;
+        }
+        break;
+      }
+      case Instr::Op::kCall:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          if (in.aux != 0) {  // len() reads the size in place
+            const Value& v0 = *bslot_[in.c * w + l];
+            if (v0.type() == ValueType::kText) {
+              const size_t idx = in.a * w + l;
+              bregs_[idx] = Value(static_cast<int64_t>(v0.AsText().size()));
+              bslot_[idx] = &bregs_[idx];
+              lane_ip_[l] = next;
+              continue;
+            }
+            if (v0.type() == ValueType::kBytes) {
+              const size_t idx = in.a * w + l;
+              bregs_[idx] = Value(static_cast<int64_t>(v0.AsBytes().size()));
+              bslot_[idx] = &bregs_[idx];
+              lane_ip_[l] = next;
+              continue;
+            }
+          }
+          call_args_.clear();
+          for (uint32_t i = 0; i < in.d; ++i) {
+            call_args_.push_back(
+                TakeBurstReg(static_cast<uint16_t>(in.c + i), l, w));
+          }
+          auto v = p.functions[in.b]->eval(lane_ctx_[l], call_args_);
+          if (!v.ok()) {
+            abort_lane(l, v.error().ToString());
+            continue;
+          }
+          const size_t idx = in.a * w + l;
+          bregs_[idx] = std::move(v).value();
+          bslot_[idx] = &bregs_[idx];
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kJump:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] == ip) lane_ip_[l] = in.d;
+        }
+        break;
+      case Instr::Op::kJumpIfFalse:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          lane_ip_[l] = ValueTruthy(*bslot_[in.a * w + l]) ? next : in.d;
+        }
+        break;
+      case Instr::Op::kJumpIfTrue:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          lane_ip_[l] = ValueTruthy(*bslot_[in.a * w + l]) ? in.d : next;
+        }
+        break;
+      case Instr::Op::kLookupPk: {
+        // Consume-eligible prefetch site: the cached row IS the lookup
+        // result (key unchanged since the prefetch stage, table immutable
+        // for the burst). Otherwise probe normally — rows are still warm
+        // from the prefetch stage.
+        const PrefetchSite* site = nullptr;
+        size_t site_idx = 0;
+        for (size_t s = 0; s < prefetch_sites_.size(); ++s) {
+          if (prefetch_sites_[s].lookup_ip == ip) {
+            site = &prefetch_sites_[s];
+            site_idx = s;
+            break;
+          }
+        }
+        Table* table = TableAt(in.b);
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const Row* match =
+              (site != nullptr && site->consume)
+                  ? pf_rows_[site_idx * k + l]
+                  : table->LookupSingleKey(*bslot_[in.a * w + l]);
+          if (match == nullptr) {
+            lane_ip_[l] = in.d;
+          } else {
+            lane_join_[l] = match;
+            lane_ip_[l] = next;
+          }
+        }
+        break;
+      }
+      case Instr::Op::kLookupScan: {
+        Table* table = TableAt(in.b);
+        const size_t col = in.c;
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const Value& key = *bslot_[in.a * w + l];
+          const Row* match = table->FindFirst(
+              [&](const Row& row) { return row[col].EqualsValue(key); });
+          if (match == nullptr) {
+            lane_ip_[l] = in.d;
+          } else {
+            lane_join_[l] = match;
+            lane_ip_[l] = next;
+          }
+        }
+        break;
+      }
+      case Instr::Op::kClearJoin:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          lane_join_[l] = nullptr;
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kStoreField:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          msgs[l].SetField(p.field_names[in.b], TakeBurstReg(in.a, l, w));
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kProject: {
+        const std::vector<uint16_t>& keep = p.keep_lists[in.b];
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          Message& m = msgs[l];
+          std::vector<std::string> to_remove;
+          for (const auto& f : m.fields()) {
+            bool kept = false;
+            for (uint16_t fid : keep) {
+              if (f.name == p.field_names[fid]) {
+                kept = true;
+                break;
+              }
+            }
+            if (!kept) to_remove.push_back(f.name);
+          }
+          for (const auto& f : to_remove) m.RemoveField(f);
+          lane_ip_[l] = next;
+        }
+        break;
+      }
+      case Instr::Op::kRouteDest:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          if (const Value* dest = msgs[l].FindField(kDestinationField);
+              dest != nullptr && dest->type() == ValueType::kInt) {
+            msgs[l].set_destination(
+                static_cast<rpc::EndpointId>(dest->AsInt()));
+          }
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kInsertRow: {
+        // Lanes insert in lane order == the order scalar execution would
+        // have visited the messages: identical row sequence.
+        Table* table = TableAt(in.b);
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          Row row;
+          row.reserve(in.d);
+          for (uint32_t i = 0; i < in.d; ++i) {
+            row.push_back(TakeBurstReg(static_cast<uint16_t>(in.a + i), l, w));
+          }
+          if (Status s = table->Insert(std::move(row)); !s.ok()) {
+            abort_lane(l, s.ToString());
+            continue;
+          }
+          lane_ip_[l] = next;
+        }
+        break;
+      }
+      case Instr::Op::kUpdateRows:
+        // Row-loop subprograms run per lane (in lane order) on the scalar
+        // register file — exactly one mutation site per table, so lane
+        // order here is scalar message order for that table.
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          RunState rs;
+          rs.msg = &msgs[l];
+          rs.fn_ctx = lane_ctx_[l];
+          rs.cur = lane_cur_[l];
+          if (Status s = ExecUpdate(p.update_specs[in.b], rs); !s.ok()) {
+            abort_lane(l, s.ToString());
+            continue;
+          }
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kDeleteRows:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          RunState rs;
+          rs.msg = &msgs[l];
+          rs.fn_ctx = lane_ctx_[l];
+          rs.cur = lane_cur_[l];
+          if (Status s = ExecDelete(p.delete_specs[in.b], rs); !s.ok()) {
+            abort_lane(l, s.ToString());
+            continue;
+          }
+          lane_ip_[l] = next;
+        }
+        break;
+      case Instr::Op::kDrop:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          if (lane_cur_[l] >= 0) instances_[lane_cur_[l]]->NoteDropped();
+          results[l].outcome = in.aux != 0 ? ProcessOutcome::kDropSilent
+                                           : ProcessOutcome::kDropAbort;
+          results[l].abort_message = p.strings[in.b];
+          lane_ip_[l] = kLaneDone;
+        }
+        break;
+      case Instr::Op::kBeginElement: {
+        // Lane order == message order, so this element's processed count
+        // and nonce sequence advance exactly as n scalar calls would.
+        ElementInstance* inst = instances_[in.b];
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          inst->NoteProcessed();
+          lane_ctx_[l].rng = &inst->rng();
+          lane_ctx_[l].nonce = inst->BumpNonce();
+          lane_cur_[l] = in.b;
+          lane_join_[l] = nullptr;
+          lane_ip_[l] = next;
+        }
+        break;
+      }
+      case Instr::Op::kSkipUnlessKind:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          const bool hit =
+              (in.aux & (1u << static_cast<uint8_t>(msgs[l].kind()))) != 0;
+          lane_ip_[l] = hit ? next : in.d;
+        }
+        break;
+      case Instr::Op::kReturnPass:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          results[l] = ProcessResult::Pass();
+          lane_ip_[l] = kLaneDone;
+        }
+        break;
+      case Instr::Op::kReturnValue:
+        for (size_t l = 0; l < k; ++l) {
+          if (lane_ip_[l] != ip) continue;
+          abort_lane(l, Status(ErrorCode::kInternal,
+                               "return_value reached outside a subprogram")
+                            .ToString());
+        }
+        break;
+    }
+    uint32_t min_ip = kLaneDone;
+    for (size_t l = 0; l < k; ++l) min_ip = std::min(min_ip, lane_ip_[l]);
+    ip = min_ip;
+  }
+}
+
+}  // namespace adn::ir

@@ -61,6 +61,38 @@ ir::ProcessResult EngineChain::Process(rpc::Message& message,
   return ir::ProcessResult::Pass();
 }
 
+void EngineChain::ProcessBurst(rpc::Message* messages, size_t n,
+                               int64_t now_ns, ir::ProcessResult* results) {
+  if (obs::Enabled() || n < 2) {
+    for (size_t i = 0; i < n; ++i) results[i] = Process(messages[i], now_ns);
+    return;
+  }
+  processed_ += n;
+  for (size_t i = 0; i < n; ++i) results[i] = ir::ProcessResult::Pass();
+  for (const auto& stage : stages_) {
+    // Hand the stage maximal contiguous runs of lanes that are still live
+    // and whose kind the stage applies to; dropped lanes stay masked out.
+    size_t i = 0;
+    while (i < n) {
+      if (results[i].outcome != ir::ProcessOutcome::kPass ||
+          !stage->AppliesTo(messages[i].kind())) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && results[j].outcome == ir::ProcessOutcome::kPass &&
+             stage->AppliesTo(messages[j].kind())) {
+        ++j;
+      }
+      stage->ProcessBurst(messages + i, j - i, now_ns, results + i);
+      i = j;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (results[i].outcome != ir::ProcessOutcome::kPass) ++dropped_;
+  }
+}
+
 EngineChain::Outcome EngineChain::ProcessWithCost(
     rpc::Message& message, int64_t now_ns, const sim::CostModel& model) {
   ++processed_;

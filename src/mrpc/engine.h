@@ -34,6 +34,13 @@ class EngineStage {
   virtual bool AppliesTo(rpc::MessageKind kind) const = 0;
   // Process in place.
   virtual ir::ProcessResult Process(rpc::Message& message, int64_t now_ns) = 0;
+  // Process messages[0..n) in place, filling results[0..n) with exactly the
+  // outcomes n sequential Process calls would produce. The default is that
+  // scalar loop; compiled stages override with the SoA burst executor.
+  virtual void ProcessBurst(rpc::Message* messages, size_t n, int64_t now_ns,
+                            ir::ProcessResult* results) {
+    for (size_t i = 0; i < n; ++i) results[i] = Process(messages[i], now_ns);
+  }
   // Simulated CPU per message on a host core.
   virtual double CostNs(const sim::CostModel& model,
                         size_t payload_bytes) const = 0;
@@ -57,6 +64,16 @@ class GeneratedStage : public EngineStage {
   ir::ProcessResult Process(rpc::Message& message, int64_t now_ns) override {
     if (executor_.has_value()) return executor_->Process(message, now_ns);
     return instance_.Process(message, now_ns);
+  }
+  void ProcessBurst(rpc::Message* messages, size_t n, int64_t now_ns,
+                    ir::ProcessResult* results) override {
+    if (executor_.has_value()) {
+      executor_->ProcessBurst(messages, n, now_ns, results);
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = instance_.Process(messages[i], now_ns);
+    }
   }
   double CostNs(const sim::CostModel& model,
                 size_t payload_bytes) const override;
@@ -101,6 +118,19 @@ class EngineChain {
 
   // Run all applicable stages; stops at the first drop.
   ir::ProcessResult Process(rpc::Message& message, int64_t now_ns);
+
+  // Burst-process messages[0..n): stage-major — each stage runs across the
+  // whole burst (compiled stages via the SoA burst executor) before the next
+  // stage starts, with dropped lanes masked out. Outcomes, per-stage state
+  // and counters match n sequential Process calls exactly: every stage owns
+  // disjoint state and processes live lanes in lane order, which is the
+  // order message-major execution would have visited them. Falls back to the
+  // scalar loop when observability is on (per-RPC scopes are message-major).
+  // The sim/mesh tiers deliberately stay on scalar Process: they charge
+  // per-message simulated cost (ProcessWithCost) and model per-hop latency,
+  // which burst coalescing would distort.
+  void ProcessBurst(rpc::Message* messages, size_t n, int64_t now_ns,
+                    ir::ProcessResult* results);
 
   // Run the chain AND account the simulated CPU actually consumed: stages
   // after a drop cost nothing (this is what makes drop-early reordering

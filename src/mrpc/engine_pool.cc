@@ -3,6 +3,7 @@
 #include <time.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
 #include "compiler/chain_compile.h"
@@ -310,55 +311,46 @@ void EnginePool::WorkerLoop(int index) {
   Worker& w = *workers_[static_cast<size_t>(index)];
   const int64_t cpu_start = ThreadCpuNs();
   int64_t exec_acc = 0;
-  // measure_exec drains in small batches with a CLOCK_THREAD_CPUTIME_ID
-  // window around the Process calls only: thread CPU time excludes
-  // preemption (wall clocks lie on oversubscribed hosts) and batching
-  // amortizes the two clock syscalls to ~nothing per message. Dequeue,
-  // message destruction, and parking stay outside the window, so
-  // exec_ns measures the same thing bench_breakdown's timed loop does.
-  constexpr size_t kExecBatch = 64;
-  std::vector<rpc::Message> batch;
-  if (config_.measure_exec) batch.reserve(kExecBatch);
+  // One unified burst drain for both the measuring and non-measuring modes:
+  // TryPopBurst moves up to burst_size messages per head/tail round trip
+  // into a fixed worker-local array (no per-batch heap traffic), then
+  // ProcessBatch runs the burst executor (or the per-message path when the
+  // chain is not burst-compiled / observability is on).
+  //
+  // measure_exec wraps only the ProcessBatch call in a
+  // CLOCK_THREAD_CPUTIME_ID window: thread CPU time excludes preemption
+  // (wall clocks lie on oversubscribed hosts) and the burst amortizes the
+  // two clock syscalls to ~nothing per message. Dequeue, on_done, message
+  // destruction, and parking stay outside the window, so exec_ns measures
+  // the same thing bench_breakdown's timed loop does.
+  const size_t burst_max =
+      std::clamp<size_t>(config_.burst_size, 1, ir::ChainExecutor::kMaxBurstLanes);
+  std::array<rpc::Message, ir::ChainExecutor::kMaxBurstLanes> burst;
+  std::array<ir::ProcessResult, ir::ChainExecutor::kMaxBurstLanes> results;
   int spins = 0;
   for (;;) {
-    if (config_.measure_exec) {
-      batch.clear();
-      while (batch.size() < kExecBatch) {
-        std::optional<rpc::Message> m = w.ring.TryPop();
-        if (!m.has_value()) break;
-        batch.push_back(std::move(*m));
-      }
-      if (!batch.empty()) {
-        spins = 0;
-        const int64_t now_ns = config_.clock ? config_.clock() : 0;
-        uint64_t drops = 0;
+    const size_t got = w.ring.TryPopBurst(burst.data(), burst_max);
+    if (got > 0) {
+      spins = 0;
+      const int64_t now_ns = config_.clock ? config_.clock() : 0;
+      if (config_.measure_exec) {
         const int64_t exec_start = ThreadCpuNs();
-        for (rpc::Message& msg : batch) {
-          const ir::ProcessResult result = ProcessMessage(w, msg, now_ns);
-          if (result.outcome != ir::ProcessOutcome::kPass) ++drops;
-          if (config_.on_done) config_.on_done(index, msg, result);
-        }
+        ProcessBatch(w, burst.data(), got, now_ns, results.data());
         exec_acc += ThreadCpuNs() - exec_start;
-        if (drops > 0) w.dropped.fetch_add(drops, std::memory_order_relaxed);
         // Publish exec before done: after Drain() observes done==submitted,
         // worker_exec_ns() is exact for everything processed so far.
         w.exec_ns.store(exec_acc, std::memory_order_release);
-        w.done.fetch_add(batch.size(), std::memory_order_release);
-        continue;
+      } else {
+        ProcessBatch(w, burst.data(), got, now_ns, results.data());
       }
-    } else {
-      std::optional<rpc::Message> m = w.ring.TryPop();
-      if (m.has_value()) {
-        spins = 0;
-        const int64_t now_ns = config_.clock ? config_.clock() : 0;
-        const ir::ProcessResult result = ProcessMessage(w, *m, now_ns);
-        if (result.outcome != ir::ProcessOutcome::kPass) {
-          w.dropped.fetch_add(1, std::memory_order_relaxed);
-        }
-        if (config_.on_done) config_.on_done(index, *m, result);
-        w.done.fetch_add(1, std::memory_order_release);
-        continue;
+      uint64_t drops = 0;
+      for (size_t i = 0; i < got; ++i) {
+        if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
+        if (config_.on_done) config_.on_done(index, burst[i], results[i]);
       }
+      if (drops > 0) w.dropped.fetch_add(drops, std::memory_order_relaxed);
+      w.done.fetch_add(got, std::memory_order_release);
+      continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
     if (++spins < 64) {
@@ -378,6 +370,21 @@ void EnginePool::WorkerLoop(int index) {
   }
   w.cpu_ns.store(ThreadCpuNs() - cpu_start, std::memory_order_release);
   w.exec_ns.store(exec_acc, std::memory_order_release);
+}
+
+void EnginePool::ProcessBatch(Worker& w, rpc::Message* msgs, size_t n,
+                              int64_t now_ns, ir::ProcessResult* results) {
+  // Burst path only when the whole chain compiled and observability is off:
+  // per-RPC trace scopes and the rpcs/drops counters are message-major, so
+  // an obs-on run takes ProcessMessage per lane (ProcessBurst would fall
+  // back to scalar internally anyway, but would skip the pool counters).
+  if (w.chain_exec != nullptr && !obs::Enabled()) {
+    w.chain_exec->ProcessBurst(msgs, n, now_ns, results);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    results[i] = ProcessMessage(w, msgs[i], now_ns);
+  }
 }
 
 ir::ProcessResult EnginePool::ProcessMessage(Worker& w, rpc::Message& m,

@@ -105,6 +105,13 @@ class EnginePool {
     // executor, excluding ring transport and dequeue): worker_exec_ns().
     // Costs ~2 clock reads per message; off by default.
     bool measure_exec = false;
+    // Messages drained and processed per burst (1 = per-message drain).
+    // Each burst pays the ring's acquire/release pair once and, when the
+    // chain is burst-vectorizable, one instruction-dispatch pass for the
+    // whole burst (ChainExecutor::ProcessBurst). Clamped to
+    // [1, ir::ChainExecutor::kMaxBurstLanes]. The default is the measured
+    // knee on the fig5 chain — see bench_burst / BENCH_burst.json.
+    size_t burst_size = 32;
     // Invoked on the WORKER thread after each message (any mode). Must be
     // thread-safe across workers; keep it cheap.
     std::function<void(int worker, const rpc::Message&,
@@ -219,6 +226,11 @@ class EnginePool {
   };
 
   void WorkerLoop(int index);
+  // Process msgs[0..n) on worker w, filling results[0..n). Takes the burst
+  // executor when the whole chain is compiled and observability is off;
+  // otherwise the per-message path (which owns trace scopes / counters).
+  void ProcessBatch(Worker& w, rpc::Message* msgs, size_t n, int64_t now_ns,
+                    ir::ProcessResult* results);
   ir::ProcessResult ProcessMessage(Worker& w, rpc::Message& m, int64_t now_ns);
   ir::ProcessResult RunElement(Worker& w, size_t element, rpc::Message& m,
                                int64_t now_ns);

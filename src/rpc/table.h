@@ -48,6 +48,14 @@ class Table {
   // data-plane hot path (one call per message for every keyed join).
   const Row* LookupSingleKey(const Value& key) const;
 
+  // Burst-mode lookup+prefetch: resolves the row like LookupSingleKey and
+  // additionally issues a read prefetch for the row's value storage, so that
+  // by the time the burst executor's lookup instruction touches the row its
+  // cache lines are warm (the NDN-DPDK PCCT pattern: resolve+prefetch every
+  // entry for a burst before processing any of it). The returned pointer is
+  // only stable until the next mutation of this table.
+  const Row* PrefetchSingleKey(const Value& key) const;
+
   // Linear scan helpers.
   const Row* FindFirst(const std::function<bool(const Row&)>& pred) const;
   size_t EraseWhere(const std::function<bool(const Row&)>& pred);

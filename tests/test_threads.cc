@@ -101,6 +101,83 @@ TEST(SpscRingStress, TwoThreadMoveOnlyOrdered) {
   EXPECT_TRUE(ok.load());
 }
 
+TEST(SpscRingStress, TwoThreadBurstPopAgainstScalarProducer) {
+  // Consumer drains with TryPopBurst while the producer pushes one at a
+  // time: the burst drain's single acquire must still see fully published
+  // slot contents (this is the exact shape the EnginePool worker loop runs).
+  constexpr uint64_t kItems = 200'000;
+  SpscRing<uint64_t> ring(64);
+
+  std::atomic<bool> ok{true};
+  std::thread consumer([&] {
+    uint64_t out[48];
+    uint64_t expect = 0;
+    while (expect < kItems) {
+      const size_t got = ring.TryPopBurst(out, 48);
+      if (got == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (size_t i = 0; i < got; ++i) {
+        if (out[i] != expect++) {
+          ok.store(false, std::memory_order_release);
+          return;
+        }
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kItems; ++i) {
+    while (!ring.TryPush(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(SpscRingStress, TwoThreadBurstPushBurstPopMoveOnly) {
+  // Both ends bursty, move-only payloads: TryPushBurst's single release
+  // must publish every slot it filled, and partially accepted bursts must
+  // leave the rejected tail intact for retry.
+  constexpr int kItems = 50'000;
+  SpscRing<std::unique_ptr<int>> ring(16);
+
+  std::atomic<bool> ok{true};
+  std::thread consumer([&] {
+    std::unique_ptr<int> out[8];
+    int expect = 0;
+    while (expect < kItems) {
+      const size_t got = ring.TryPopBurst(out, 8);
+      if (got == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (size_t i = 0; i < got; ++i) {
+        if (out[i] == nullptr || *out[i] != expect++) {
+          ok.store(false, std::memory_order_release);
+          return;
+        }
+      }
+    }
+  });
+  std::unique_ptr<int> in[8];
+  int next = 0;
+  while (next < kItems) {
+    size_t n = 0;
+    while (n < 8 && next + static_cast<int>(n) < kItems) {
+      in[n] = std::make_unique<int>(next + static_cast<int>(n));
+      ++n;
+    }
+    size_t sent = 0;
+    while (sent < n) {
+      const size_t accepted = ring.TryPushBurst(in + sent, n - sent);
+      sent += accepted;
+      if (accepted == 0) std::this_thread::yield();
+    }
+    next += static_cast<int>(n);
+  }
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+}
+
 // --- Metrics registry under writers + snapshots + Reset ----------------------
 
 TEST(RegistryStress, ConcurrentWritersSnapshotsAndReset) {
@@ -436,6 +513,45 @@ TEST(EnginePoolStress, ManyWorkersManyMessages) {
         pool.WorkerInstance(w, kLoggingIdx).FindTable("log_tab")->RowCount();
   }
   EXPECT_EQ(log_rows, kMessages);
+}
+
+TEST(EnginePoolStress, BurstDrainUnderConcurrentProducer) {
+  // The burst drain (TryPopBurst + ChainExecutor::ProcessBurst) racing a
+  // live producer, across burst sizes including the kMaxBurstLanes maximum
+  // and a deliberately tiny ring that forces constant partial bursts and
+  // producer backpressure. Totals and per-worker log shards must come out
+  // exact; the TSan job proves the drain publishes done/dropped/exec_ns
+  // without races.
+  for (const size_t burst_size : {4u, 32u, 64u}) {
+    SCOPED_TRACE("burst_size=" + std::to_string(burst_size));
+    constexpr uint64_t kMessages = 20'000;
+    EnginePool::Config config;
+    config.workers = 4;
+    config.shard_key_field = "username";
+    config.ring_capacity = 64;  // smaller than 2 full bursts: partial drains
+    config.burst_size = burst_size;
+    config.measure_exec = true;  // timed window around the burst path
+    EnginePool pool(LogAclElements(), {}, config);
+    SeedUsers(pool, 64);
+    ASSERT_TRUE(pool.Start().ok());
+    ASSERT_TRUE(pool.whole_chain_compiled());
+    for (uint64_t id = 1; id <= kMessages; ++id) {
+      pool.Submit(MakeReq(id, UserName(static_cast<int>(id % 64))));
+    }
+    pool.Drain();
+    EXPECT_EQ(pool.processed(), kMessages);
+    pool.Stop();
+    EXPECT_EQ(pool.dropped(), 0u);
+    size_t log_rows = 0;
+    int64_t exec_ns = 0;
+    for (int w = 0; w < pool.workers(); ++w) {
+      log_rows +=
+          pool.WorkerInstance(w, kLoggingIdx).FindTable("log_tab")->RowCount();
+      exec_ns += pool.worker_exec_ns(w);
+    }
+    EXPECT_EQ(log_rows, kMessages);
+    EXPECT_GT(exec_ns, 0);
+  }
 }
 
 }  // namespace

@@ -12,7 +12,15 @@ generous threshold absorbs shared-runner noise while still catching the
 kill-switch requirement breaking (observability or control-loop overhead
 leaking into the obs-off hot path).
 
+The same gate guards BENCH_burst.json (written by bench_burst) against
+bench/baselines/burst_baseline.json — there ``compiled_ns_per_msg`` is the
+default-burst-size 1-worker in-pool executor cost. Pass ``--min-speedup``
+to additionally require the fresh file's ``burst_speedup`` (scalar ns/msg
+over default-burst ns/msg, measured on the same host in the same run, so
+immune to runner-speed variance) to stay above a floor.
+
 Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
+                     [--min-speedup RATIO]
 Exits 0 when within bounds, 1 with a one-line verdict otherwise.
 """
 
@@ -42,6 +50,8 @@ def main():
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
     parser.add_argument("--max-regress", type=float, default=0.20,
                         help="allowed fractional throughput drop (0.20 = 20%%)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="require fresh burst_speedup >= this ratio")
     args = parser.parse_args()
 
     base_data, base_ns = load(args.baseline)
@@ -59,6 +69,16 @@ def main():
         print(f"check_perf: FAIL — obs-off compiled throughput regressed "
               f"{drop * 100:.1f}% (> {args.max_regress * 100:.0f}% allowed)")
         return 1
+    if args.min_speedup is not None:
+        speedup = fresh_data.get("burst_speedup")
+        if not isinstance(speedup, (int, float)):
+            print("check_perf: FAIL — fresh file has no burst_speedup field")
+            return 1
+        print(f"burst_speedup: {speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+        if speedup < args.min_speedup:
+            print(f"check_perf: FAIL — burst speedup {speedup:.2f}x below "
+                  f"{args.min_speedup:.2f}x floor")
+            return 1
     verb = "regressed" if drop > 0 else "improved"
     print(f"check_perf: OK — throughput {verb} {abs(drop) * 100:.1f}% "
           f"(limit {args.max_regress * 100:.0f}%)")
