@@ -1,0 +1,90 @@
+// Counting operator-new replacement; see alloc_stats.h. Built only into the
+// adn_alloc_hooks object library (with ADN_COUNT_ALLOCS defined) so that
+// regular binaries keep the stock allocator. Replacement functions must have
+// external linkage and must not be inline — they replace the C++ runtime's
+// definitions binary-wide.
+#include "common/alloc_stats.h"
+
+#ifdef ADN_COUNT_ALLOCS
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+struct HooksRegistrar {
+  HooksRegistrar() {
+    adn::common::alloc_stats::internal::HooksLive().store(
+        true, std::memory_order_relaxed);
+  }
+};
+HooksRegistrar hooks_registrar;
+
+void* CountedAlloc(std::size_t size) {
+  adn::common::alloc_stats::internal::AllocCount().fetch_add(
+      1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  adn::common::alloc_stats::internal::AllocCount().fetch_add(
+      1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of alignment.
+  size = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, size);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // ADN_COUNT_ALLOCS

@@ -1,0 +1,42 @@
+// Debug allocation counter for the zero-allocation gate (bench_alloc).
+//
+// When a binary links the adn_alloc_hooks object library (compiled with
+// ADN_COUNT_ALLOCS), the global operator new/new[] are replaced with
+// counting versions, so alloc_stats::TotalAllocs() observes every heap
+// allocation anywhere in the process — libraries included — with one
+// relaxed atomic increment of overhead. Binaries that do not link the hooks
+// see the same API but the counter stays at zero (Counting() reports
+// whether hooks are live).
+//
+// This is a measurement tool, not production instrumentation: only
+// bench_alloc links the hooks, and CI gates allocations/msg == 0 on the
+// engine burst path with it (tools/check_perf.py --max-allocs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace adn::common::alloc_stats {
+
+namespace internal {
+inline std::atomic<uint64_t>& AllocCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+inline std::atomic<bool>& HooksLive() {
+  static std::atomic<bool> live{false};
+  return live;
+}
+}  // namespace internal
+
+// Total operator-new calls since process start (0 when hooks not linked).
+inline uint64_t TotalAllocs() {
+  return internal::AllocCount().load(std::memory_order_relaxed);
+}
+
+// True when the counting operator-new replacement is linked in.
+inline bool Counting() {
+  return internal::HooksLive().load(std::memory_order_relaxed);
+}
+
+}  // namespace adn::common::alloc_stats

@@ -20,6 +20,43 @@ namespace adn {
 
 using Bytes = std::vector<uint8_t>;
 
+// Non-owning view over a byte run — what Value::AsBytes() returns so that
+// arena-slice values (zero-allocation message path) and owned Bytes read
+// identically at call sites. Converts to std::span for codec helpers and
+// compares against Bytes for tests.
+class BytesView {
+ public:
+  constexpr BytesView() = default;
+  constexpr BytesView(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  BytesView(const Bytes& b) : data_(b.data()), size_(b.size()) {}  // NOLINT
+
+  constexpr const uint8_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const uint8_t* begin() const { return data_; }
+  constexpr const uint8_t* end() const { return data_ + size_; }
+  constexpr uint8_t operator[](size_t i) const { return data_[i]; }
+
+  constexpr operator std::span<const uint8_t>() const {  // NOLINT
+    return {data_, size_};
+  }
+
+  Bytes ToBytes() const { return Bytes(begin(), end()); }
+
+  friend bool operator==(const BytesView& a, const BytesView& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator==(const BytesView& a, const Bytes& b) {
+    return a == BytesView(b);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 class ByteWriter {
  public:
   explicit ByteWriter(Bytes& out) : out_(out) {}

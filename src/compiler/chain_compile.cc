@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "rpc/intern.h"
+
 namespace adn::compiler {
 
 using ir::ChainProgram;
@@ -60,6 +62,9 @@ class ProgramBuilder {
       if (p_.field_names[i] == name) return static_cast<uint16_t>(i);
     }
     p_.field_names.push_back(name);
+    // Resolve the process-global id now so ChainExecutor never has to scan
+    // names at run time (field_gids stays parallel to field_names).
+    p_.field_gids.push_back(rpc::InternFieldName(name));
     return static_cast<uint16_t>(p_.field_names.size() - 1);
   }
 

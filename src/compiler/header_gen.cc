@@ -117,6 +117,9 @@ Result<ChainHeaders> ComputeChainHeaders(
     }
     for (const Column& c : schema.columns()) add_if_needed(c);
     out.link_specs[i].fields = std::move(fields);
+    // Pin the interned ids at generation time so codecs built from this spec
+    // never intern (or scan) on the wire path.
+    out.link_specs[i].ResolveFieldIds();
   }
   return out;
 }

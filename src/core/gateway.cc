@@ -57,7 +57,7 @@ Result<rpc::Message> IngressGateway::DecodeExternal(
 
   // Body fields (renamed per mapping).
   for (const auto& field : body.fields()) {
-    out.SetField(MappedName(mapping_.body_fields, field.name), field.value);
+    out.SetField(MappedName(mapping_.body_fields, field.name()), field.value);
   }
   // Header-carried fields.
   for (const auto& [header, field] : mapping_.header_fields) {
@@ -95,7 +95,7 @@ Result<Bytes> EgressGateway::TranslateOut(std::span<const uint8_t> adn_wire,
   // Rename ADN fields back to the external schema's names (reverse map).
   rpc::Message external;
   for (const auto& field : m.fields()) {
-    std::string_view name = field.name;
+    std::string_view name = field.name();
     for (const auto& [ext, adn_name] : mapping_.body_fields) {
       if (adn_name == name) {
         name = ext;
@@ -147,7 +147,7 @@ Result<Bytes> PeeringTranslator::Translate(std::span<const uint8_t> wire_a) {
   }
   out.set_method(method);
   for (const auto& field : m.fields()) {
-    std::string_view name = field.name;
+    std::string_view name = field.name();
     for (const FieldMap& fm : field_map_) {
       if (fm.from == name) {
         name = fm.to;

@@ -36,7 +36,8 @@ ProcessResult HandLogging::Process(Message& m, int64_t) {
   const Value& payload = m.GetFieldOrNull("payload");
   records_.push_back(LogRecord{
       static_cast<int64_t>(m.id()),
-      user.type() == ValueType::kText ? user.AsText() : std::string(),
+      user.type() == ValueType::kText ? std::string(user.AsText())
+                                      : std::string(),
       payload.type() == ValueType::kBytes
           ? static_cast<int64_t>(payload.AsBytes().size())
           : 0,
@@ -54,7 +55,7 @@ ProcessResult HandAcl::Process(Message& m, int64_t) {
   if (user.type() != ValueType::kText) {
     return Abort("permission denied");
   }
-  auto it = rules_.find(user.AsText());
+  auto it = rules_.find(std::string(user.AsText()));
   if (it == rules_.end() || it->second != 'W') {
     return Abort("permission denied");
   }

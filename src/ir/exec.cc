@@ -156,20 +156,12 @@ ProcessResult ElementInstance::RunStatement(const StmtIr& stmt, Message& m,
       }
       if (!sel.passthrough) {
         // Strict projection: keep only the listed output fields.
-        std::vector<std::string> keep;
-        for (const auto& out : sel.outputs) keep.push_back(out.name);
-        std::vector<std::string> to_remove;
-        for (const auto& f : m.fields()) {
-          bool kept = false;
-          for (const auto& k : keep) {
-            if (f.name == k) {
-              kept = true;
-              break;
-            }
-          }
-          if (!kept) to_remove.push_back(f.name);
+        std::vector<rpc::FieldId> keep;
+        keep.reserve(sel.outputs.size());
+        for (const auto& out : sel.outputs) {
+          keep.push_back(rpc::InternFieldName(out.name));
         }
-        for (const auto& f : to_remove) m.RemoveField(f);
+        m.ProjectFields(keep);
       }
       for (auto& [name, value] : computed) {
         m.SetField(name, std::move(value));

@@ -81,11 +81,19 @@ namespace {
 Result<Value> EvalArithmetic(BinaryOp op, const Value& a, const Value& b) {
   if (op == BinaryOp::kConcat) {
     if (a.type() == ValueType::kText && b.type() == ValueType::kText) {
-      return Value(a.AsText() + b.AsText());
+      std::string out;
+      out.reserve(a.AsText().size() + b.AsText().size());
+      out.append(a.AsText());
+      out.append(b.AsText());
+      return Value(std::move(out));
     }
     if (a.type() == ValueType::kBytes && b.type() == ValueType::kBytes) {
-      Bytes out = a.AsBytes();
-      out.insert(out.end(), b.AsBytes().begin(), b.AsBytes().end());
+      const BytesView av = a.AsBytes();
+      const BytesView bv = b.AsBytes();
+      Bytes out;
+      out.reserve(av.size() + bv.size());
+      out.insert(out.end(), av.begin(), av.end());
+      out.insert(out.end(), bv.begin(), bv.end());
       return Value(std::move(out));
     }
     return Error(ErrorCode::kTypeError, "'||' wants TEXT or BYTES operands");

@@ -176,7 +176,7 @@ std::shared_ptr<FunctionRegistry> BuildBuiltins() {
                  case ValueType::kText: {
                    errno = 0;
                    char* end = nullptr;
-                   const std::string& s = args[0].AsText();
+                   const std::string s(args[0].AsText());
                    long long v = std::strtoll(s.c_str(), &end, 10);
                    if (end != s.c_str() + s.size() || errno != 0) {
                      return Error(ErrorCode::kInvalidArgument,

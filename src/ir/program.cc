@@ -161,8 +161,8 @@ bool FastCompare(dsl::BinaryOp op, const Value& a, const Value& b,
       break;
     }
     case ValueType::kText: {
-      const std::string& x = a.AsText();
-      const std::string& y = b.AsText();
+      const std::string_view x = a.AsText();
+      const std::string_view y = b.AsText();
       if (op == dsl::BinaryOp::kEq) { *out = x == y; return true; }
       if (op == dsl::BinaryOp::kNe) { *out = x != y; return true; }
       const int r = x.compare(y);
@@ -187,7 +187,24 @@ ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
   regs_.resize(program_->num_registers);
   slot_.resize(program_->num_registers);
   for (size_t i = 0; i < regs_.size(); ++i) slot_[i] = &regs_[i];
-  field_cache_.assign(program_->field_names.size(), 0);
+  // Field-name resolution happens here, once: compiled programs carry their
+  // global ids; hand-built programs get them interned now.
+  if (program_->field_gids.size() == program_->field_names.size()) {
+    field_gids_ = program_->field_gids;
+  } else {
+    field_gids_.reserve(program_->field_names.size());
+    for (const std::string& name : program_->field_names) {
+      field_gids_.push_back(rpc::InternFieldName(name));
+    }
+  }
+  keep_gids_.reserve(program_->keep_lists.size());
+  for (const std::vector<uint16_t>& keep : program_->keep_lists) {
+    std::vector<rpc::FieldId> gids;
+    gids.reserve(keep.size());
+    for (uint16_t fid : keep) gids.push_back(field_gids_[fid]);
+    keep_gids_.push_back(std::move(gids));
+  }
+  dest_fid_ = rpc::InternFieldName(kDestinationField);
   elem_hist_.reserve(instances_.size());
   for (const ElementInstance* inst : instances_) {
     elem_hist_.push_back(&obs::MetricsRegistry::Default().GetHistogram(
@@ -204,23 +221,6 @@ Value ChainExecutor::TakeReg(uint16_t r) {
 Table* ChainExecutor::TableAt(uint16_t handle) {
   const ChainProgram::TableRef& ref = program_->tables[handle];
   return &instances_[ref.element]->TableAt(ref.table_idx);
-}
-
-const Value& ChainExecutor::FieldOrNull(const Message& m, uint16_t fid) {
-  static const Value kNullValue = Value::Null();
-  const auto& fields = m.fields();
-  const std::string& name = program_->field_names[fid];
-  uint32_t cached = field_cache_[fid];
-  if (cached < fields.size() && fields[cached].name == name) {
-    return fields[cached].value;
-  }
-  for (uint32_t i = 0; i < fields.size(); ++i) {
-    if (fields[i].name == name) {
-      field_cache_[fid] = i;
-      return fields[i].value;
-    }
-  }
-  return kNullValue;
 }
 
 // Evaluate a subprogram (an UPDATE/DELETE WHERE clause or assignment value)
@@ -337,7 +337,8 @@ Result<Value> ChainExecutor::RunSub(uint32_t entry, RunState& rs) {
 Status ChainExecutor::ExecUpdate(const ChainProgram::UpdateSpec& spec,
                                  RunState& rs) {
   Table* table = TableAt(spec.table);
-  std::vector<Row> updated;
+  std::vector<Row>& updated = upd_scratch_;
+  updated.clear();
   for (const Row& row : table->rows()) {
     rs.joined_row = &row;
     bool hit = true;
@@ -350,7 +351,10 @@ Status ChainExecutor::ExecUpdate(const ChainProgram::UpdateSpec& spec,
       hit = ValueTruthy(pass.value());
     }
     if (!hit) continue;
-    Row next = row;
+    // Copy into a recycled row (capacity from an earlier upsert
+    // displacement) so steady-state UPDATE allocates nothing.
+    Row next = table->TakeSpareRow();
+    next.assign(row.begin(), row.end());
     for (const auto& [col, entry] : spec.assignments) {
       auto v = RunSub(entry, rs);
       if (!v.ok()) {
@@ -365,6 +369,7 @@ Status ChainExecutor::ExecUpdate(const ChainProgram::UpdateSpec& spec,
   for (Row& row : updated) {
     ADN_RETURN_IF_ERROR(table->Insert(std::move(row)));
   }
+  updated.clear();
   return Status::Ok();
 }
 
@@ -549,38 +554,26 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
         rs.joined_row = nullptr;
         break;
       case Instr::Op::kStoreField:
-        m.SetField(p.field_names[in.b], TakeReg(in.a));
+        m.SetField(field_gids_[in.b], TakeReg(in.a));
         break;
-      case Instr::Op::kProject: {
-        const std::vector<uint16_t>& keep = p.keep_lists[in.b];
-        std::vector<std::string> to_remove;
-        for (const auto& f : m.fields()) {
-          bool kept = false;
-          for (uint16_t fid : keep) {
-            if (f.name == p.field_names[fid]) {
-              kept = true;
-              break;
-            }
-          }
-          if (!kept) to_remove.push_back(f.name);
-        }
-        for (const auto& f : to_remove) m.RemoveField(f);
+      case Instr::Op::kProject:
+        m.ProjectFields(keep_gids_[in.b]);
         break;
-      }
       case Instr::Op::kRouteDest: {
-        if (const Value* dest = m.FindField(kDestinationField);
+        if (const Value* dest = m.FindField(dest_fid_);
             dest != nullptr && dest->type() == ValueType::kInt) {
           m.set_destination(static_cast<rpc::EndpointId>(dest->AsInt()));
         }
         break;
       }
       case Instr::Op::kInsertRow: {
-        Row row;
+        Table* table = TableAt(in.b);
+        Row row = table->TakeSpareRow();
         row.reserve(in.d);
         for (uint32_t i = 0; i < in.d; ++i) {
           row.push_back(TakeReg(static_cast<uint16_t>(in.a + i)));
         }
-        if (Status s = TableAt(in.b)->Insert(std::move(row)); !s.ok()) {
+        if (Status s = table->Insert(std::move(row)); !s.ok()) {
           return abort_with(s.ToString());
         }
         break;

@@ -9,8 +9,9 @@
 // instruction stream for an entire optimized chain, with
 //
 //   - a constant pool (literals materialized once at compile time),
-//   - interned field IDs (field-name resolution done once by the compiler;
-//     the executor keeps a per-field index cache into the message tuple),
+//   - interned field IDs (field-name resolution done once by the compiler,
+//     down to the process-global ids of rpc/intern.h — the executor reads
+//     message fields by integer compare, never by string scan),
 //   - table handles (element index, table index) bound to the deployed
 //     ElementInstances at deploy time — by index, so a state restore that
 //     swaps the table vector never invalidates the program.
@@ -113,7 +114,12 @@ struct ChainProgram {
   std::vector<Instr> code;
   std::vector<rpc::Value> consts;
   std::vector<std::string> strings;      // drop/abort messages
-  std::vector<std::string> field_names;  // interned field-ID table
+  std::vector<std::string> field_names;  // program-local field-ID table
+  // Global interned id (rpc/intern.h) for each program-local field id,
+  // resolved by the compiler so executors access message fields with an
+  // integer compare instead of a string scan. Parallel to field_names;
+  // ChainExecutor re-derives it when a hand-built program leaves it empty.
+  std::vector<rpc::FieldId> field_gids;
   std::vector<const FunctionDef*> functions;
   std::vector<TableRef> tables;
   std::vector<std::vector<uint16_t>> keep_lists;  // projection keep sets
@@ -197,7 +203,9 @@ class ChainExecutor {
   Status ExecUpdate(const ChainProgram::UpdateSpec& spec, RunState& rs);
   Status ExecDelete(const ChainProgram::DeleteSpec& spec, RunState& rs);
   rpc::Table* TableAt(uint16_t handle);
-  const rpc::Value& FieldOrNull(const rpc::Message& m, uint16_t fid);
+  const rpc::Value& FieldOrNull(const rpc::Message& m, uint16_t fid) const {
+    return m.GetFieldOrNull(field_gids_[fid]);
+  }
   // Take ownership of register r: move when the register owns its value,
   // copy when it borrows (const pool / message field / join column).
   rpc::Value TakeReg(uint16_t r);
@@ -221,10 +229,18 @@ class ChainExecutor {
   // vector. regs_ never resizes after construction, so &regs_[r] is stable.
   std::vector<rpc::Value> regs_;
   std::vector<const rpc::Value*> slot_;
-  // Per-field-ID cached index into the message field vector, validated by a
-  // single name compare per access (messages stream through one executor, so
-  // the layout repeats and the cache almost always hits).
-  std::vector<uint32_t> field_cache_;
+  // Program-local field id -> global interned FieldId (from the program's
+  // field_gids, re-interned from field_names when a hand-built program
+  // leaves them empty). Field access is then an integer scan of the
+  // message's flat field buffer — no string compares on the hot path.
+  std::vector<rpc::FieldId> field_gids_;
+  // kProject keep set per keep_list, as global ids (allocation-free
+  // in-place projection).
+  std::vector<std::vector<rpc::FieldId>> keep_gids_;
+  rpc::FieldId dest_fid_ = 0;  // interned __destination
+  // UPDATE row scratch, reused across calls so the row loop never grows a
+  // fresh vector per message.
+  std::vector<rpc::Row> upd_scratch_;
   // Reused across calls/messages so the hot loop never reallocates. Safe to
   // share between the main loop and subprograms: each kCall fills and
   // consumes it within one instruction.

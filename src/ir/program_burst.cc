@@ -464,27 +464,15 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
       case Instr::Op::kStoreField:
         for (size_t l = 0; l < k; ++l) {
           if (lane_ip_[l] != ip) continue;
-          msgs[l].SetField(p.field_names[in.b], TakeBurstReg(in.a, l, w));
+          msgs[l].SetField(field_gids_[in.b], TakeBurstReg(in.a, l, w));
           lane_ip_[l] = next;
         }
         break;
       case Instr::Op::kProject: {
-        const std::vector<uint16_t>& keep = p.keep_lists[in.b];
+        const std::vector<rpc::FieldId>& keep = keep_gids_[in.b];
         for (size_t l = 0; l < k; ++l) {
           if (lane_ip_[l] != ip) continue;
-          Message& m = msgs[l];
-          std::vector<std::string> to_remove;
-          for (const auto& f : m.fields()) {
-            bool kept = false;
-            for (uint16_t fid : keep) {
-              if (f.name == p.field_names[fid]) {
-                kept = true;
-                break;
-              }
-            }
-            if (!kept) to_remove.push_back(f.name);
-          }
-          for (const auto& f : to_remove) m.RemoveField(f);
+          msgs[l].ProjectFields(keep);
           lane_ip_[l] = next;
         }
         break;
@@ -492,7 +480,7 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
       case Instr::Op::kRouteDest:
         for (size_t l = 0; l < k; ++l) {
           if (lane_ip_[l] != ip) continue;
-          if (const Value* dest = msgs[l].FindField(kDestinationField);
+          if (const Value* dest = msgs[l].FindField(dest_fid_);
               dest != nullptr && dest->type() == ValueType::kInt) {
             msgs[l].set_destination(
                 static_cast<rpc::EndpointId>(dest->AsInt()));
@@ -506,7 +494,7 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
         Table* table = TableAt(in.b);
         for (size_t l = 0; l < k; ++l) {
           if (lane_ip_[l] != ip) continue;
-          Row row;
+          Row row = table->TakeSpareRow();
           row.reserve(in.d);
           for (uint32_t i = 0; i < in.d; ++i) {
             row.push_back(TakeBurstReg(static_cast<uint16_t>(in.a + i), l, w));

@@ -96,6 +96,10 @@ EnginePool::EnginePool(
       parallel_groups_(std::move(parallel_groups)),
       config_(std::move(config)) {
   if (config_.workers < 1) config_.workers = 1;
+  if (!config_.shard_key_field.empty()) {
+    shard_key_fid_ = rpc::InternFieldName(config_.shard_key_field);
+    has_shard_key_ = true;
+  }
   template_instances_.reserve(elements_.size());
   for (size_t i = 0; i < elements_.size(); ++i) {
     template_instances_.push_back(std::make_unique<ir::ElementInstance>(
@@ -157,7 +161,8 @@ void EnginePool::BuildSegments() {
             break;
           }
           if (instr.op == ir::Instr::Op::kStoreField) {
-            seg.precreate_fields.push_back(program->field_names[instr.b]);
+            seg.precreate_fields.push_back(
+                rpc::InternFieldName(program->field_names[instr.b]));
           }
         }
       }
@@ -256,8 +261,8 @@ int EnginePool::WorkerOfKey(const rpc::Value& key) const {
 }
 
 int EnginePool::WorkerOfMessage(const rpc::Message& message) const {
-  if (!config_.shard_key_field.empty()) {
-    if (const rpc::Value* v = message.FindField(config_.shard_key_field)) {
+  if (has_shard_key_) {
+    if (const rpc::Value* v = message.FindField(shard_key_fid_)) {
       return WorkerOfKey(*v);
     }
   }
@@ -444,7 +449,7 @@ ir::ProcessResult EnginePool::RunFusedSegment(Worker& w, const Segment& seg,
   // overwrite existing slots in place and the field vector never moves while
   // the helpers run. The effect analysis already guarantees the members'
   // read/write field sets are pairwise disjoint.
-  for (const std::string& field : seg.precreate_fields) {
+  for (const rpc::FieldId field : seg.precreate_fields) {
     if (!m.HasField(field)) m.SetField(field, rpc::Value());
   }
 

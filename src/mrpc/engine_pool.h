@@ -49,6 +49,7 @@
 #include "ir/program.h"
 #include "mrpc/ring.h"
 #include "obs/metrics.h"
+#include "rpc/intern.h"
 #include "rpc/message.h"
 
 namespace adn::mrpc {
@@ -193,9 +194,10 @@ class EnginePool {
     size_t begin = 0;  // element index range [begin, end)
     size_t end = 0;
     bool fused = false;  // safe to run concurrently in kConcurrent mode
-    // Fields kStoreField writes anywhere in the segment: pre-created on the
-    // message before forking so no member's store reallocates the vector.
-    std::vector<std::string> precreate_fields;
+    // Interned ids of fields kStoreField writes anywhere in the segment:
+    // pre-created on the message before forking so no member's store
+    // reallocates the field buffer.
+    std::vector<rpc::FieldId> precreate_fields;
   };
 
   struct Worker {
@@ -241,6 +243,10 @@ class EnginePool {
   std::vector<std::shared_ptr<const ir::ElementIr>> elements_;
   std::vector<int> parallel_groups_;
   Config config_;
+  // Interned once at construction so the Submit hot path routes by integer
+  // field-id compare instead of a name scan. 0-and-false when no shard key.
+  rpc::FieldId shard_key_fid_ = 0;
+  bool has_shard_key_ = false;
 
   // Unsharded reference state (seeded pre-Start, sharded at Start).
   std::vector<std::unique_ptr<ir::ElementInstance>> template_instances_;

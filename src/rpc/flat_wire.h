@@ -1,0 +1,57 @@
+// Flat wire format: the on-the-wire twin of the flat in-memory Message.
+//
+// Where AdnWireCodec encodes a compiler-chosen HeaderSpec positionally
+// (per-link minimal headers, variable-width cells), the flat format is the
+// *memory layout* serialized: a fixed base header, one fixed-width 16-byte
+// record per field carrying the interned FieldId + type + an inline payload
+// (numerics) or an (offset, length) slice into a trailing variable section
+// (TEXT/BYTES) — exactly how an arena-backed Message lays fields out. That
+// makes encode a sequence of bulk copies with no per-field heap traffic, and
+// decode — given an arena — ONE memcpy of the variable section plus slice
+// binding: the decoded message borrows its TEXT/BYTES payloads straight from
+// the arena copy (zero per-field allocations).
+//
+//   [u8 kind][u64 id][u32 method_id][u32 src][u32 dst]    <- 21-byte base
+//   [u16 nfields][u32 var_len]                            <- 6 bytes
+//   nfields x [u16 fid][u8 type][u8 0][u32 len][u64 payload]
+//   [var_len bytes of TEXT/BYTES payloads]
+//   [u32 err_len][err_len bytes]                          <- error detail
+//
+// FieldIds on the wire are the process-global interned ids — the flat format
+// is an intra-deployment format where both ends share the compiler's intern
+// table (the paper's premise: the controller distributes the chain and its
+// schemas). Cross-process use without a shared table must exchange the
+// interner contents out of band.
+#pragma once
+
+#include <span>
+
+#include "common/arena.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "rpc/message.h"
+#include "rpc/wire.h"
+
+namespace adn::rpc {
+
+// Bytes before the per-field records.
+inline constexpr size_t kFlatBaseBytes = HeaderSpec::kBaseHeaderBytes + 2 + 4;
+// Fixed bytes per field record.
+inline constexpr size_t kFlatRecordBytes = 16;
+
+// Appends the flat encoding of `m` to `out`. `methods` may be null (method
+// id 0 is written and the method name is dropped, mirroring AdnWireCodec).
+Status EncodeFlat(const Message& m, const MethodRegistry* methods, Bytes& out);
+
+// Decodes a flat frame. With `arena` non-null the variable section is copied
+// into the arena once and TEXT/BYTES fields are bound as slices (the decoded
+// message is arena-backed and must not outlive the arena's next Reset);
+// with a null arena every payload is an owned heap copy.
+Result<Message> DecodeFlat(std::span<const uint8_t> wire,
+                           const MethodRegistry* methods,
+                           common::Arena* arena = nullptr);
+
+// Exact encoded size of `m` in the flat format (frame sizing / cost models).
+size_t FlatEncodedSize(const Message& m);
+
+}  // namespace adn::rpc

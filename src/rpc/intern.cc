@@ -1,0 +1,71 @@
+#include "rpc/intern.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace adn::rpc {
+
+// Storage layout: names_ is a fixed array of std::string slots so that a
+// concurrent Intern() never moves memory a lock-free NameOf() is reading.
+// The slot is fully written BEFORE count_ is released, so any id <= a
+// count_ an observer has seen refers to an immutable, completed slot.
+struct FieldInterner::Impl {
+  std::mutex mu;
+  std::unordered_map<std::string, FieldId> by_name;  // guarded by mu
+  std::array<std::string, kMaxInternedFields> names;
+  std::atomic<size_t> count{0};
+};
+
+FieldInterner::Impl& FieldInterner::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+FieldInterner& FieldInterner::Global() {
+  static FieldInterner interner;
+  return interner;
+}
+
+FieldId FieldInterner::Intern(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.by_name.find(std::string(name));
+  if (it != im.by_name.end()) return it->second;
+  size_t id = im.count.load(std::memory_order_relaxed);
+  if (id >= kMaxInternedFields) {
+    std::fprintf(stderr,
+                 "FieldInterner: exceeded %zu distinct field names "
+                 "(interning '%.*s')\n",
+                 kMaxInternedFields, static_cast<int>(name.size()),
+                 name.data());
+    std::abort();
+  }
+  im.names[id] = std::string(name);
+  im.by_name.emplace(im.names[id], static_cast<FieldId>(id));
+  im.count.store(id + 1, std::memory_order_release);
+  return static_cast<FieldId>(id);
+}
+
+std::optional<FieldId> FieldInterner::Find(std::string_view name) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.by_name.find(std::string(name));
+  if (it == im.by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view FieldInterner::NameOf(FieldId id) const {
+  Impl& im = impl();
+  if (id >= im.count.load(std::memory_order_acquire)) return "<unknown-field>";
+  return im.names[id];
+}
+
+size_t FieldInterner::size() const {
+  return impl().count.load(std::memory_order_acquire);
+}
+
+}  // namespace adn::rpc

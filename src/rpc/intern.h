@@ -1,0 +1,65 @@
+// Field-name interning: the compile-time half of the zero-allocation
+// message path.
+//
+// The paper's minimal-header story (§5) assumes the compiler knows every
+// field a chain reads or writes; there is no reason for the data plane to
+// carry or compare field names as strings. FieldInterner maps each distinct
+// field name to a small dense FieldId once — at compile/setup time — and the
+// hot path (Message field access, ChainExecutor/ProcessBurst, the flat wire
+// codec) works exclusively in integer ids.
+//
+// Lifetime and concurrency:
+//  - The table is process-global and append-only; ids are stable for the
+//    life of the process and never reused.
+//  - Intern()/Find() take a mutex (setup-time paths only).
+//  - NameOf() is lock-free: id -> name slots are written before the size
+//    counter is released, so any id an observer legitimately holds resolves
+//    without synchronization. Names live in fixed storage, so returned
+//    views never dangle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adn::rpc {
+
+using FieldId = uint16_t;
+
+// Distinct field names a process may intern. Generous: real chains use a
+// few dozen names; hitting this cap aborts with a diagnostic.
+inline constexpr size_t kMaxInternedFields = 4096;
+
+class FieldInterner {
+ public:
+  static FieldInterner& Global();
+
+  // Id for `name`, interning it on first sight. Thread-safe.
+  FieldId Intern(std::string_view name);
+
+  // Id for `name` if already interned. Thread-safe.
+  std::optional<FieldId> Find(std::string_view name) const;
+
+  // Name for an id previously returned by Intern(). Lock-free.
+  std::string_view NameOf(FieldId id) const;
+
+  // Number of interned names. Lock-free (monotonic snapshot).
+  size_t size() const;
+
+ private:
+  FieldInterner() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Convenience wrappers for the common global-table calls.
+inline FieldId InternFieldName(std::string_view name) {
+  return FieldInterner::Global().Intern(name);
+}
+inline std::string_view FieldNameOf(FieldId id) {
+  return FieldInterner::Global().NameOf(id);
+}
+
+}  // namespace adn::rpc

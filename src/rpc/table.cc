@@ -68,14 +68,21 @@ Status Table::Insert(Row row) {
                         ", got " + std::string(ValueTypeName(row[i].type())));
     }
   }
+  // Keyless tables are append-only logs: nothing ever consults the key
+  // index, so skip both the key hash and the index node (the hot-path
+  // allocation the zero-alloc gate measures).
+  if (pk_indexes_.empty()) {
+    rows_.push_back(std::move(row));
+    return Status::Ok();
+  }
   const uint64_t h = KeyHashOf(row);
-  if (!pk_indexes_.empty()) {
-    auto [begin, end] = key_index_.equal_range(h);
-    for (auto it = begin; it != end; ++it) {
-      if (KeysEqual(rows_[it->second], row)) {
-        rows_[it->second] = std::move(row);  // upsert
-        return Status::Ok();
-      }
+  auto [begin, end] = key_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (KeysEqual(rows_[it->second], row)) {
+      Row displaced = std::move(rows_[it->second]);
+      rows_[it->second] = std::move(row);  // upsert
+      StashSpare(std::move(displaced));
+      return Status::Ok();
     }
   }
   rows_.push_back(std::move(row));
@@ -148,12 +155,33 @@ size_t Table::EraseWhere(const std::function<bool(const Row&)>& pred) {
 }
 
 void Table::Clear() {
+  for (Row& row : rows_) StashSpare(std::move(row));
   rows_.clear();
   key_index_.clear();
 }
 
+namespace {
+// Upper bound on parked spare rows per table; beyond this, displaced rows
+// are simply freed.
+constexpr size_t kMaxSpareRows = 1 << 16;
+}  // namespace
+
+Row Table::TakeSpareRow() {
+  if (spares_.empty()) return Row();
+  Row row = std::move(spares_.back());
+  spares_.pop_back();
+  return row;
+}
+
+void Table::StashSpare(Row&& row) {
+  if (spares_.size() >= kMaxSpareRows) return;
+  row.clear();  // destroy values, keep capacity
+  spares_.push_back(std::move(row));
+}
+
 void Table::ReindexAll() {
   key_index_.clear();
+  if (pk_indexes_.empty()) return;
   for (size_t i = 0; i < rows_.size(); ++i) {
     key_index_.emplace(KeyHashOf(rows_[i]), i);
   }

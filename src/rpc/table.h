@@ -61,6 +61,14 @@ class Table {
   size_t EraseWhere(const std::function<bool(const Row&)>& pred);
   void Clear();
 
+  // Row-capacity recycling (zero-allocation insert path). Rows displaced by
+  // Clear() or an upsert are emptied (values destroyed) and parked; a later
+  // TakeSpareRow() returns one with its vector capacity intact, so a
+  // steady-state INSERT costs no heap allocation. Returns an empty fresh Row
+  // when no spare is available.
+  Row TakeSpareRow();
+  size_t spare_rows() const { return spares_.size(); }
+
   // --- State migration support (paper §5.2) -------------------------------
   // Snapshot the full table (schema + rows) to a portable byte string.
   Bytes Snapshot() const;
@@ -85,13 +93,17 @@ class Table {
   uint64_t KeyHashOf(const Row& row) const;
   bool KeysEqual(const Row& a, const Row& b) const;
   void ReindexAll();
+  void StashSpare(Row&& row);
 
   std::string name_;
   Schema schema_;
   std::vector<size_t> pk_indexes_;
   std::vector<Row> rows_;
   // key hash -> row indexes (collision chains resolved by KeysEqual).
+  // Maintained only for keyed tables: keyless tables (append-only logs)
+  // never consult it, so they skip the per-insert index node entirely.
   std::unordered_multimap<uint64_t, size_t> key_index_;
+  std::vector<Row> spares_;
 };
 
 uint64_t HashRow(const Row& row);

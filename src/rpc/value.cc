@@ -35,6 +35,17 @@ Result<ValueType> ParseValueType(std::string_view name) {
                "unknown type name '" + std::string(name) + "'");
 }
 
+void Value::CopyFrom(const Value& other) {
+  // Materialize borrowed slices into owned storage; plain copy otherwise.
+  if (const auto* t = std::get_if<TextSlice>(&other.repr_)) {
+    repr_.emplace<std::string>(t->data, t->size);
+  } else if (const auto* b = std::get_if<BytesSlice>(&other.repr_)) {
+    repr_.emplace<Bytes>(b->data, b->data + b->size);
+  } else {
+    repr_ = other.repr_;
+  }
+}
+
 bool Value::EqualsValue(const Value& other) const {
   if (is_null() || other.is_null()) return false;
   if (IsNumeric() && other.IsNumeric()) {
@@ -44,7 +55,14 @@ bool Value::EqualsValue(const Value& other) const {
     return NumericAsDouble() == other.NumericAsDouble();
   }
   if (type() != other.type()) return false;
-  return repr_ == other.repr_;
+  // Compare through the type()-level views so owned values and arena slices
+  // of equal content are equal regardless of representation.
+  switch (type()) {
+    case ValueType::kBool: return AsBool() == other.AsBool();
+    case ValueType::kText: return AsText() == other.AsText();
+    case ValueType::kBytes: return AsBytes() == other.AsBytes();
+    default: return false;
+  }
 }
 
 int Value::CompareTo(const Value& other) const {
@@ -74,8 +92,8 @@ int Value::CompareTo(const Value& other) const {
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
     case ValueType::kBytes: {
-      const Bytes& a = AsBytes();
-      const Bytes& b = other.AsBytes();
+      const BytesView a = AsBytes();
+      const BytesView b = other.AsBytes();
       if (auto c = std::lexicographical_compare_three_way(
               a.begin(), a.end(), b.begin(), b.end());
           c != 0) {
@@ -94,7 +112,7 @@ std::string Value::ToDisplayString() const {
     case ValueType::kBool: return AsBool() ? "true" : "false";
     case ValueType::kInt: return std::to_string(AsInt());
     case ValueType::kFloat: return std::to_string(AsFloat());
-    case ValueType::kText: return "'" + AsText() + "'";
+    case ValueType::kText: return "'" + std::string(AsText()) + "'";
     case ValueType::kBytes:
       return "<" + std::to_string(AsBytes().size()) + " bytes>";
   }

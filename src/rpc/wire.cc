@@ -8,6 +8,15 @@ constexpr uint8_t kCellNull = 0;
 constexpr uint8_t kCellPresent = 1;
 }  // namespace
 
+void HeaderSpec::ResolveFieldIds() {
+  if (field_ids.size() == fields.size()) return;
+  field_ids.clear();
+  field_ids.reserve(fields.size());
+  for (const Column& c : fields) {
+    field_ids.push_back(InternFieldName(c.name));
+  }
+}
+
 size_t HeaderSpec::MaxEncodedSize(const Message& m) const {
   size_t total = kBaseHeaderBytes;
   for (const Column& c : fields) {
@@ -127,8 +136,9 @@ Status AdnWireCodec::Encode(const Message& m, Bytes& out) const {
   w.WriteU32(method_id);
   w.WriteU32(m.source());
   w.WriteU32(m.destination());
-  for (const Column& c : spec_.fields) {
-    const Value& v = m.GetFieldOrNull(c.name);
+  for (size_t i = 0; i < spec_.fields.size(); ++i) {
+    const Column& c = spec_.fields[i];
+    const Value& v = m.GetFieldOrNull(spec_.field_ids[i]);
     if (!v.is_null() && v.type() != c.type) {
       return Status(ErrorCode::kTypeError,
                     "field '" + c.name + "' has type " +
@@ -164,9 +174,9 @@ Result<Message> AdnWireCodec::Decode(std::span<const uint8_t> wire) const {
   m.set_source(src);
   ADN_ASSIGN_OR_RETURN(uint32_t dst, r.ReadU32());
   m.set_destination(dst);
-  for (const Column& c : spec_.fields) {
-    ADN_ASSIGN_OR_RETURN(Value v, DecodeValue(c.type, r));
-    if (!v.is_null()) m.SetField(c.name, std::move(v));
+  for (size_t i = 0; i < spec_.fields.size(); ++i) {
+    ADN_ASSIGN_OR_RETURN(Value v, DecodeValue(spec_.fields[i].type, r));
+    if (!v.is_null()) m.SetField(spec_.field_ids[i], std::move(v));
   }
   if (m.kind() == MessageKind::kError) {
     ADN_ASSIGN_OR_RETURN(std::string detail, r.ReadString());

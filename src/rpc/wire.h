@@ -30,6 +30,14 @@ namespace adn::rpc {
 // synthesis pass (see compiler/header_gen.h); hand-writable for tests.
 struct HeaderSpec {
   std::vector<Column> fields;
+  // Interned id per column (parallel to `fields`), resolved once at
+  // compile/spec-construction time so codecs access message fields by
+  // integer id instead of scanning names. Filled by ResolveFieldIds();
+  // header_gen calls it on every spec it emits.
+  std::vector<FieldId> field_ids;
+
+  // Intern every column name into `field_ids`. Idempotent; cheap.
+  void ResolveFieldIds();
 
   // Fixed bytes before the field section.
   static constexpr size_t kBaseHeaderBytes = 1 + 8 + 4 + 4 + 4;
@@ -58,7 +66,9 @@ class MethodRegistry {
 class AdnWireCodec {
  public:
   AdnWireCodec(HeaderSpec spec, const MethodRegistry* methods)
-      : spec_(std::move(spec)), methods_(methods) {}
+      : spec_(std::move(spec)), methods_(methods) {
+    spec_.ResolveFieldIds();
+  }
 
   const HeaderSpec& spec() const { return spec_; }
 

@@ -19,8 +19,15 @@ to additionally require the fresh file's ``burst_speedup`` (scalar ns/msg
 over default-burst ns/msg, measured on the same host in the same run, so
 immune to runner-speed variance) to stay above a floor.
 
+A third mode gates BENCH_alloc.json (written by bench_alloc): pass
+``--max-allocs`` to require the fresh file's ``allocs_per_msg`` (heap
+allocations per message on the arena-backed engine burst path, counted by
+the operator-new hooks) to stay at or below the bound. The zero-allocation
+invariant is deterministic — not timing-dependent — so CI pins it at 0.
+No baseline file is involved in this mode.
+
 Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
-                     [--min-speedup RATIO]
+                     [--min-speedup RATIO] [--max-allocs N]
 Exits 0 when within bounds, 1 with a one-line verdict otherwise.
 """
 
@@ -52,7 +59,32 @@ def main():
                         help="allowed fractional throughput drop (0.20 = 20%%)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="require fresh burst_speedup >= this ratio")
+    parser.add_argument("--max-allocs", type=float, default=None,
+                        help="gate a BENCH_alloc.json: require allocs_per_msg "
+                             "<= this bound (no baseline used)")
     args = parser.parse_args()
+
+    if args.max_allocs is not None:
+        try:
+            data = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"check_perf: cannot read {args.fresh}: {e}")
+        allocs = data.get("allocs_per_msg")
+        if not isinstance(allocs, (int, float)):
+            print("check_perf: FAIL — fresh file has no allocs_per_msg field")
+            return 1
+        legacy = data.get("legacy_allocs_per_msg")
+        legacy_txt = f" (legacy path: {legacy:.2f})" if isinstance(
+            legacy, (int, float)) else ""
+        print(f"allocs/msg: {allocs:.4f}{legacy_txt} "
+              f"[sha {data.get('git_sha', '?')}]")
+        if allocs > args.max_allocs:
+            print(f"check_perf: FAIL — {allocs:.4f} allocations/msg on the "
+                  f"arena burst path (> {args.max_allocs:g} allowed)")
+            return 1
+        print(f"check_perf: OK — arena burst path allocates "
+              f"{allocs:.4f}/msg (limit {args.max_allocs:g})")
+        return 0
 
     base_data, base_ns = load(args.baseline)
     fresh_data, fresh_ns = load(args.fresh)
