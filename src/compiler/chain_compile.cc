@@ -1,5 +1,6 @@
 #include "compiler/chain_compile.h"
 
+#include <atomic>
 #include <utility>
 
 #include "rpc/intern.h"
@@ -42,6 +43,10 @@ class ProgramBuilder {
 
   std::shared_ptr<const ChainProgram> Finish() {
     Emit({Instr::Op::kReturnPass});
+    // Process-wide compile generation: every compiled program gets a fresh,
+    // strictly increasing version so hot-reload can order old vs new.
+    static std::atomic<uint64_t> next_version{1};
+    p_.version = next_version.fetch_add(1, std::memory_order_relaxed);
     return std::make_shared<const ChainProgram>(std::move(p_));
   }
 
@@ -297,7 +302,14 @@ Status ProgramBuilder::AddStatement(const ElementIr& element,
                            InternTable(element, elem_idx, upd.table));
       ChainProgram::UpdateSpec spec;
       spec.table = table;
-      if (upd.where.has_value()) {
+      const rpc::Schema* schema = element.FindStateSchema(upd.table);
+      const ir::ExprNode* key_expr =
+          schema != nullptr ? ir::PointUpdateKeyExpr(upd, *schema) : nullptr;
+      if (key_expr != nullptr) {
+        // WHERE pk = <message expr>: the equality is fully captured by the
+        // key lookup, so no residual predicate is compiled.
+        ADN_ASSIGN_OR_RETURN(spec.key_entry, CompileSub(*key_expr));
+      } else if (upd.where.has_value()) {
         ADN_ASSIGN_OR_RETURN(spec.where_entry, CompileSub(*upd.where));
       }
       for (const auto& [col, expr] : upd.assignments) {

@@ -65,42 +65,44 @@ std::vector<mrpc::ReconfigCommand> Autoscaler::OnReport(
     mrpc::ReconfigCommand cmd;
     cmd.site = site.site;
     cmd.new_width = new_width;
-    cmd.migrate = [this, new_width](mrpc::EngineChain& chain) {
-      return MigrateChain(chain, new_width);
+    cmd.migrate = [this, new_width,
+                   processor = site.processor](mrpc::EngineChain& chain) {
+      return MigrateChain(chain, new_width, processor);
     };
     commands.push_back(std::move(cmd));
   }
   return commands;
 }
 
-sim::SimTime Autoscaler::MigrateChain(mrpc::EngineChain& chain,
-                                      int new_width) {
+sim::SimTime Autoscaler::MigrateChain(mrpc::EngineChain& chain, int new_width,
+                                      const std::string& processor) {
   // Even a stateless chain pays the reconfiguration handshake.
   sim::SimTime pause = EstimatePauseNs(0);
+  uint64_t replayed = 0;
   for (size_t i = 0; i < chain.size(); ++i) {
     auto* stage = dynamic_cast<mrpc::GeneratedStage*>(&chain.stage(i));
     if (stage == nullptr) continue;  // not a compiler-generated stage
     // Shard the live state across the new pool, then merge back into the
-    // one logical instance the simulated chain executes. Both legs verify
-    // hash losslessness; the charged pause is the slower leg (the shards
-    // move concurrently, the stage itself is paused either way), summed
-    // across stages since the chain migrates them in order.
-    auto out = ScaleOutStage(*stage, static_cast<size_t>(new_width),
-                             seed_base_ += 100);
-    if (!out.ok()) continue;
-    assert(out.value().report.lossless());
-    std::vector<const mrpc::GeneratedStage*> sources;
-    sources.reserve(out.value().instances.size());
-    for (const auto& instance : out.value().instances) {
-      sources.push_back(instance.get());
-    }
-    auto merged = ScaleInStages(sources, seed_base_ += 100);
+    // one logical instance the simulated chain executes. MigrateStageWidth
+    // verifies hash losslessness on both legs and charges the blackout per
+    // the configured cutover policy — full-state pause (kPauseDrain) or
+    // delta replay (kLive) — summed across stages since the chain migrates
+    // them in order.
+    auto merged = MigrateStageWidth(*stage, static_cast<size_t>(new_width),
+                                    seed_base_ += 200, options_.cutover);
     if (!merged.ok()) continue;
-    assert(merged.value().report.lossless());
-    pause += std::max(out.value().report.pause_ns,
-                      merged.value().report.pause_ns);
+    pause += merged.value().report.pause_ns;
+    replayed += merged.value().report.delta_replayed;
     chain.ReplaceStage(i, std::move(merged.value().instance));
   }
+  registry_
+      ->GetHistogram("adn_reconfig_blackout_ns",
+                     "processor=\"" + processor + "\"")
+      .Observe(static_cast<double>(pause));
+  registry_
+      ->GetCounter("adn_reconfig_delta_replayed",
+                   "processor=\"" + processor + "\"")
+      .Inc(replayed);
   return pause;
 }
 

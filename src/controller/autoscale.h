@@ -37,6 +37,10 @@ struct AutoscaleOptions {
   int cooldown_windows = 2;  // ticks a site rests after a reconfiguration
   int min_width = 1;
   int max_width = 8;
+  // How a width change cuts over (docs/RECONFIG.md): kLive replays only the
+  // mutation delta at cutover (blackout ≈ handshake); kPauseDrain is the
+  // classic full-state pause, kept as the fallback for incompatible edits.
+  CutoverPolicy cutover = CutoverPolicy::kLive;
 };
 
 // One acted-on decision, for experiment timelines.
@@ -68,9 +72,12 @@ class Autoscaler {
   }
 
  private:
-  // Round-trip shard/merge of every GeneratedStage on the chain; returns
-  // the data-plane pause. Exposed to OnReport's command closures.
-  sim::SimTime MigrateChain(mrpc::EngineChain& chain, int new_width);
+  // Round-trip shard/merge of every GeneratedStage on the chain (one
+  // MigrateStageWidth call per stage, under options_.cutover); returns the
+  // data-plane blackout and records it under `processor`'s reconfig
+  // metrics. Exposed to OnReport's command closures.
+  sim::SimTime MigrateChain(mrpc::EngineChain& chain, int new_width,
+                            const std::string& processor);
 
   obs::MetricsRegistry* registry_;
   AutoscaleOptions options_;

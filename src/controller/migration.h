@@ -5,25 +5,42 @@
 // instances, it can merge their states and kill some instances. ... State
 // decoupling also enables us to hot-update element processing logic.").
 //
-// The protocol modeled here is pause -> drain -> snapshot/shard -> resume:
-// messages arriving during the pause are queued (never dropped), and the
-// pause duration is proportional to the snapshot size. Tests assert that
-// split+merge round-trips the exact table contents (content hashes equal).
+// Two cutover policies share one shard/merge implementation
+// (docs/RECONFIG.md):
+//  - kPauseDrain: the classic pause -> drain -> snapshot/shard -> resume.
+//    Messages arriving during the pause are queued (never dropped), and the
+//    pause is proportional to the FULL snapshot size.
+//  - kLive: snapshot-diff cutover. The bulk copy happens while the source
+//    keeps serving; at cutover only the mutation delta (rows changed since
+//    the baseline) replays, so the charged blackout is proportional to the
+//    DELTA, not the state. The protocol legs (baseline -> bulk copy -> diff
+//    -> apply) run for real via ir::StateBaseline / ir::StateDelta.
+// Tests assert that either policy round-trips the exact table contents
+// (content hashes equal).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "ir/state_delta.h"
 #include "mrpc/engine.h"
 #include "sim/simulator.h"
 
 namespace adn::controller {
+
+enum class CutoverPolicy {
+  kPauseDrain,  // blackout ∝ full state size
+  kLive,        // blackout ∝ mutation delta (handshake-dominated when quiet)
+};
 
 struct MigrationReport {
   size_t state_bytes = 0;
   sim::SimTime pause_ns = 0;  // data-plane pause while state moves
   uint64_t source_state_hash = 0;
   uint64_t result_state_hash = 0;  // XOR across result instances
+  // kLive only: rows replayed at cutover and the delta's wire size.
+  uint64_t delta_replayed = 0;
+  size_t delta_bytes = 0;
   bool lossless() const { return source_state_hash == result_state_hash; }
 };
 
@@ -47,8 +64,17 @@ Result<ScaleInResult> ScaleInStages(
     const std::vector<const mrpc::GeneratedStage*>& sources,
     uint64_t seed);
 
+// The one width-migration implementation both policies (and the autoscaler)
+// share: shard `source`'s state across `width` instances, merge back into
+// the one logical instance the simulated chain executes, and charge the
+// blackout per `policy` — kPauseDrain pays the full-state pause, kLive runs
+// the baseline/diff/apply legs for real and pays only the delta.
+Result<ScaleInResult> MigrateStageWidth(const mrpc::GeneratedStage& source,
+                                        size_t width, uint64_t seed_base,
+                                        CutoverPolicy policy);
+
 // Replace the element code while carrying the state over. Fails when the
-// new code's state schema is incompatible.
+// new code's state schema is incompatible (ir::CheckStateCompatible).
 Result<ScaleInResult> HotUpdateStage(
     const mrpc::GeneratedStage& running,
     std::shared_ptr<const ir::ElementIr> new_code, uint64_t seed);

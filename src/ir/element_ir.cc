@@ -78,4 +78,40 @@ const rpc::Schema* ElementIr::FindStateSchema(std::string_view table) const {
   return nullptr;
 }
 
+namespace {
+
+bool ReadsTableColumn(const ExprNode& e) {
+  if (e.kind == ExprNode::Kind::kJoinField) return true;
+  for (const ExprNode& c : e.children) {
+    if (ReadsTableColumn(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const ExprNode* PointUpdateKeyExpr(const UpdateIr& upd,
+                                   const rpc::Schema& schema) {
+  if (!upd.where.has_value()) return nullptr;
+  const ExprNode& w = *upd.where;
+  if (w.kind != ExprNode::Kind::kBinary ||
+      w.binary_op != dsl::BinaryOp::kEq || w.children.size() != 2) {
+    return nullptr;
+  }
+  const std::vector<size_t> pk = schema.PrimaryKeyIndexes();
+  if (pk.size() != 1) return nullptr;
+  for (int side = 0; side < 2; ++side) {
+    const ExprNode& col = w.children[static_cast<size_t>(side)];
+    const ExprNode& key = w.children[static_cast<size_t>(1 - side)];
+    // One side must be exactly the PK column; the other must not touch the
+    // table at all and must already have the PK's static type (so the index
+    // lookup's exact-value equality agrees with SQL `=` on every row).
+    if (col.kind == ExprNode::Kind::kJoinField && col.join_col == pk[0] &&
+        !ReadsTableColumn(key) && key.type == schema.columns()[pk[0]].type) {
+      return &key;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace adn::ir

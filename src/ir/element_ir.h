@@ -72,6 +72,16 @@ struct UpdateIr {
   std::optional<ExprNode> where;  // references table columns + input fields
 };
 
+// Point-update detection: when an UPDATE's WHERE clause pins the table's
+// single-column primary key to a message-derived value (`WHERE pk = expr`
+// with no other table-column references and matching static type), both
+// execution tiers replace the whole-table scan with one key-index lookup —
+// the difference between O(rows) and O(1) per message for counters like the
+// Quota element. Returns the key-value expression, or nullptr when the
+// statement needs the general scan.
+const ExprNode* PointUpdateKeyExpr(const UpdateIr& upd,
+                                   const rpc::Schema& schema);
+
 struct DeleteIr {
   std::string table;
   std::optional<ExprNode> where;

@@ -1,5 +1,6 @@
 #include "ir/exec.h"
 
+#include "ir/state_delta.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -200,6 +201,31 @@ ProcessResult ElementInstance::RunStatement(const StmtIr& stmt, Message& m,
       if (table == nullptr) {
         return AbortWith("internal: missing state table " + upd.table);
       }
+      // Point update (WHERE pk = message expr): one index lookup, no scan.
+      if (const ExprNode* key_expr = PointUpdateKeyExpr(upd, table->schema());
+          key_expr != nullptr) {
+        ctx.joined_row = nullptr;
+        auto key = EvaluateExpr(*key_expr, ctx);
+        if (!key.ok()) return AbortWith(key.error().ToString());
+        if (key.value().is_null()) return ProcessResult::Pass();
+        const Row* hit = table->LookupSingleKey(key.value());
+        if (hit == nullptr) return ProcessResult::Pass();
+        Row next = *hit;
+        ctx.joined_row = hit;
+        for (const auto& [col, expr] : upd.assignments) {
+          auto v = EvaluateExpr(expr, ctx);
+          if (!v.ok()) {
+            ctx.joined_row = nullptr;
+            return AbortWith(v.error().ToString());
+          }
+          next[col] = std::move(v).value();
+        }
+        ctx.joined_row = nullptr;
+        if (Status s = table->Insert(std::move(next)); !s.ok()) {
+          return AbortWith(s.ToString());
+        }
+        return ProcessResult::Pass();
+      }
       // Two-phase: collect new rows, then re-insert (upsert keeps PK index
       // coherent). Collect first to avoid iterator invalidation.
       std::vector<Row> updated;
@@ -342,6 +368,52 @@ Status ElementInstance::MergeState(std::span<const uint8_t> snapshot) {
     if (!table.ok()) return table.status();
     ADN_RETURN_IF_ERROR(tables_[i].MergeFrom(table.value()));
   }
+  return Status::Ok();
+}
+
+Bytes ElementInstance::SnapshotSlice(size_t slot, size_t num_slots) const {
+  Bytes out;
+  ByteWriter w(out);
+  w.WriteVarint(tables_.size());
+  for (const Table& t : tables_) {
+    Bytes snap = t.SliceByKeySlot(slot, num_slots).Snapshot();
+    w.WriteLengthPrefixed(snap);
+  }
+  return out;
+}
+
+size_t ElementInstance::EraseSlice(size_t slot, size_t num_slots) {
+  size_t erased = 0;
+  for (Table& t : tables_) erased += t.EraseKeySlot(slot, num_slots);
+  return erased;
+}
+
+Result<std::vector<Bytes>> ElementInstance::SplitStateSlotted(
+    size_t n, size_t num_slots) const {
+  std::vector<std::vector<Table>> per_table_shards;
+  for (const Table& t : tables_) {
+    ADN_ASSIGN_OR_RETURN(std::vector<Table> shards,
+                         t.SplitByKeySlot(n, num_slots));
+    per_table_shards.push_back(std::move(shards));
+  }
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (size_t shard = 0; shard < n; ++shard) {
+    Bytes snap;
+    ByteWriter w(snap);
+    w.WriteVarint(tables_.size());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      Bytes ts = per_table_shards[t][shard].Snapshot();
+      w.WriteLengthPrefixed(ts);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+Status ElementInstance::ReplaceCode(std::shared_ptr<const ElementIr> new_code) {
+  ADN_RETURN_IF_ERROR(CheckStateCompatible(*code_, *new_code));
+  code_ = std::move(new_code);
   return Status::Ok();
 }
 

@@ -73,6 +73,22 @@ class ElementInstance {
   Status MergeState(std::span<const uint8_t> snapshot);
   uint64_t StateContentHash() const;
 
+  // --- Live reconfiguration (see docs/RECONFIG.md) --------------------------
+  // Snapshot only key slot `slot`'s keyed rows, in the SnapshotState format
+  // (keyless tables serialize empty — append-log rows never move with a
+  // slice). The destination absorbs it with MergeState.
+  Bytes SnapshotSlice(size_t slot, size_t num_slots) const;
+  // Drop the slice locally after handoff; returns rows erased.
+  size_t EraseSlice(size_t slot, size_t num_slots);
+  // SplitState under the two-level slot partition ((key hash % num_slots)
+  // % n) — the same function EnginePool's slot router applies to messages.
+  Result<std::vector<Bytes>> SplitStateSlotted(size_t n,
+                                               size_t num_slots) const;
+  // DSL hot-reload: swap in new element code, keeping the live tables, RNG
+  // and counters. Fails (kFailedPrecondition, via CheckStateCompatible)
+  // unless the new code declares the same state tables.
+  Status ReplaceCode(std::shared_ptr<const ElementIr> new_code);
+
   // Statistics.
   uint64_t processed() const { return processed_; }
   uint64_t dropped() const { return dropped_; }

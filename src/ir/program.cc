@@ -337,6 +337,28 @@ Result<Value> ChainExecutor::RunSub(uint32_t entry, RunState& rs) {
 Status ChainExecutor::ExecUpdate(const ChainProgram::UpdateSpec& spec,
                                  RunState& rs) {
   Table* table = TableAt(spec.table);
+  if (spec.key_entry != ChainProgram::kNoSub) {
+    // Point update (WHERE pk = message expr): one index lookup, no scan.
+    rs.joined_row = nullptr;
+    auto key = RunSub(spec.key_entry, rs);
+    if (!key.ok()) return key.status();
+    if (key.value().is_null()) return Status::Ok();  // SQL: NULL never matches
+    const Row* hit = table->LookupSingleKey(key.value());
+    if (hit == nullptr) return Status::Ok();
+    Row next = table->TakeSpareRow();
+    next.assign(hit->begin(), hit->end());
+    rs.joined_row = hit;
+    for (const auto& [col, entry] : spec.assignments) {
+      auto v = RunSub(entry, rs);
+      if (!v.ok()) {
+        rs.joined_row = nullptr;
+        return v.status();
+      }
+      next[col] = std::move(v).value();
+    }
+    rs.joined_row = nullptr;
+    return table->Insert(std::move(next));
+  }
   std::vector<Row>& updated = upd_scratch_;
   updated.clear();
   for (const Row& row : table->rows()) {

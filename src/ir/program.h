@@ -91,6 +91,10 @@ struct ChainProgram {
   struct UpdateSpec {
     uint16_t table = 0;
     uint32_t where_entry = kNoSub;
+    // Point-update fast path (ir::PointUpdateKeyExpr): subprogram computing
+    // the primary-key value from the message alone. When set, where_entry is
+    // kNoSub and ExecUpdate does one index lookup instead of a table scan.
+    uint32_t key_entry = kNoSub;
     // column index -> subprogram entry evaluating the new value.
     std::vector<std::pair<uint16_t, uint32_t>> assignments;
   };
@@ -127,6 +131,11 @@ struct ChainProgram {
   std::vector<DeleteSpec> delete_specs;
   std::vector<ElementSeg> elements;
   uint16_t num_registers = 0;
+  // Monotonic compile generation (process-wide), stamped by the compiler.
+  // Hot-reload swaps are audited by version: a running pool reports the
+  // version it executes, and a swap must install a NEWER program (see
+  // EnginePool::SwapProgram / docs/RECONFIG.md). 0 = hand-built program.
+  uint64_t version = 0;
 
   uint32_t TotalInstrCount() const;
   double TotalPerByteCostNs() const;

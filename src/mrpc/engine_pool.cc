@@ -121,6 +121,16 @@ EnginePool::EnginePool(
     auto chain = compiler::CompileChainProgram(elements_, {});
     if (chain.ok()) whole_chain_program_ = std::move(chain).value();
   }
+  if (whole_chain_program_ != nullptr) {
+    program_version_.store(whole_chain_program_->version,
+                           std::memory_order_relaxed);
+  }
+  // Initial routing: slots dealt round-robin across workers. Start() shards
+  // tables with the same (slot % workers) assignment, so routing and state
+  // agree from the first message.
+  for (size_t s = 0; s < kRouteSlots; ++s) {
+    route_[s] = static_cast<int32_t>(s % static_cast<size_t>(config_.workers));
+  }
   BuildSegments();
 }
 
@@ -198,11 +208,14 @@ Status EnginePool::Start() {
     return Status(ErrorCode::kInvalidArgument, "EnginePool already started");
   }
   const int n = config_.workers;
-  // Shard the template state: element e's tables split by key hash into one
-  // snapshot per worker (Table::SplitByKeyHash under the hood).
+  // Shard the template state under the two-level slot partition
+  // ((key hash % kRouteSlots) % workers) so table placement matches the
+  // route_ slot table for ANY worker count — the invariant live migration
+  // preserves one slot at a time.
   std::vector<std::vector<Bytes>> shards(elements_.size());
   for (size_t e = 0; e < elements_.size(); ++e) {
-    auto split = template_instances_[e]->SplitState(static_cast<size_t>(n));
+    auto split = template_instances_[e]->SplitStateSlotted(
+        static_cast<size_t>(n), kRouteSlots);
     if (!split.ok()) return split.status();
     shards[e] = std::move(split).value();
   }
@@ -255,22 +268,45 @@ Status EnginePool::Start() {
   return Status::Ok();
 }
 
-int EnginePool::WorkerOfKey(const rpc::Value& key) const {
+int EnginePool::SlotOfKey(const rpc::Value& key) {
   return static_cast<int>(rpc::HashSingleKey(key) %
-                          static_cast<uint64_t>(config_.workers));
+                          static_cast<uint64_t>(kRouteSlots));
 }
 
-int EnginePool::WorkerOfMessage(const rpc::Message& message) const {
+int EnginePool::SlotOfMessage(const rpc::Message& message) const {
   if (has_shard_key_) {
     if (const rpc::Value* v = message.FindField(shard_key_fid_)) {
-      return WorkerOfKey(*v);
+      return SlotOfKey(*v);
     }
   }
   // Connection/RPC-id fallback for messages without the shard key.
-  return WorkerOfKey(rpc::Value(static_cast<int64_t>(message.id())));
+  return SlotOfKey(rpc::Value(static_cast<int64_t>(message.id())));
+}
+
+int EnginePool::WorkerOfSlot(int slot) const {
+  return static_cast<int>(route_[static_cast<size_t>(slot)]);
+}
+
+int EnginePool::WorkerOfKey(const rpc::Value& key) const {
+  return WorkerOfSlot(SlotOfKey(key));
+}
+
+int EnginePool::WorkerOfMessage(const rpc::Message& message) const {
+  return WorkerOfSlot(SlotOfMessage(message));
 }
 
 int EnginePool::Submit(rpc::Message message) {
+  if (mig_ != nullptr && mig_->holding) {
+    // Cutover window: the moving slot's messages wait producer-side (in
+    // order) until the delta lands at the destination; everything else
+    // flows. This — not a pool-wide pause — is the whole blackout.
+    const int slot = SlotOfMessage(message);
+    if (slot == mig_->slot) {
+      mig_->held.push_back(std::move(message));
+      PumpMigration();
+      return mig_->to;
+    }
+  }
   const int w = WorkerOfMessage(message);
   Worker& worker = *workers_[static_cast<size_t>(w)];
   worker.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -334,7 +370,14 @@ void EnginePool::WorkerLoop(int index) {
   std::array<ir::ProcessResult, ir::ChainExecutor::kMaxBurstLanes> results;
   int spins = 0;
   for (;;) {
-    const size_t got = w.ring.TryPopBurst(burst.data(), burst_max);
+    // Reconfiguration mailbox: one relaxed load per burst when idle. A
+    // pending op whose barrier is ahead clamps the burst so no pop crosses
+    // it — the "swap at burst boundaries" guarantee.
+    size_t burst_limit = burst_max;
+    if (w.ctrl_pending.load(std::memory_order_acquire)) {
+      burst_limit = RunPendingControl(w, burst_max);
+    }
+    const size_t got = w.ring.TryPopBurst(burst.data(), burst_limit);
     if (got > 0) {
       spins = 0;
       const int64_t now_ns = config_.clock ? config_.clock() : 0;
@@ -358,23 +401,80 @@ void EnginePool::WorkerLoop(int index) {
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
-    if (++spins < 64) {
+    // A short pre-park spin bridges back-to-back bursts; keep it SMALL.
+    // Submit() notifies a sleeping worker, so parking promptly costs one
+    // futex wake (~µs) — while a long yield loop on a host with fewer cores
+    // than threads ping-pongs timeslices between spinning workers (tens of
+    // thousands of context switches per second) and starves the control
+    // ops whose latency is the live-migration blackout window.
+    if (++spins < 4) {
       std::this_thread::yield();
       continue;
     }
     // Park so idle workers burn no CPU (keeps worker_cpu_ns ≈ busy time).
     // seq_cst on the sleeping flag pairs with the producer's seq_cst load
-    // after its push; the timed wait is a belt-and-braces fallback.
+    // after its push (and after a control post); the timed wait is a
+    // belt-and-braces fallback.
     std::unique_lock<std::mutex> lock(w.mu);
     w.sleeping.store(true, std::memory_order_seq_cst);
-    if (w.ring.empty() && !stop_.load(std::memory_order_acquire)) {
+    if (w.ring.empty() && !stop_.load(std::memory_order_acquire) &&
+        !w.ctrl_pending.load(std::memory_order_seq_cst)) {
       w.cv.wait_for(lock, std::chrono::milliseconds(1));
     }
     w.sleeping.store(false, std::memory_order_relaxed);
     spins = 0;
   }
+  // Drain any control ops posted after the last mailbox check; the ring is
+  // empty here, so every barrier has been reached.
+  if (w.ctrl_pending.load(std::memory_order_acquire)) {
+    RunPendingControl(w, burst_max);
+  }
   w.cpu_ns.store(ThreadCpuNs() - cpu_start, std::memory_order_release);
   w.exec_ns.store(exec_acc, std::memory_order_release);
+}
+
+void EnginePool::PostControl(int worker, std::function<void()> fn) {
+  Worker& w = *workers_[static_cast<size_t>(worker)];
+  ControlOp op;
+  // Barrier: everything submitted so far must be done before fn runs. The
+  // ring is FIFO, so this equals "every message ahead of this post".
+  op.after_submitted = w.submitted.load(std::memory_order_relaxed);
+  op.fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(w.ctrl_mu);
+    w.ctrl_ops.push_back(std::move(op));
+  }
+  w.ctrl_pending.store(true, std::memory_order_seq_cst);
+  if (w.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.cv.notify_one();
+  }
+}
+
+size_t EnginePool::RunPendingControl(Worker& w, size_t burst_max) {
+  const uint64_t done = w.done.load(std::memory_order_relaxed);
+  std::vector<std::function<void()>> ready;
+  uint64_t next_barrier = 0;
+  bool have_barrier = false;
+  {
+    std::lock_guard<std::mutex> lock(w.ctrl_mu);
+    while (!w.ctrl_ops.empty() && w.ctrl_ops.front().after_submitted <= done) {
+      ready.push_back(std::move(w.ctrl_ops.front().fn));
+      w.ctrl_ops.pop_front();
+    }
+    if (w.ctrl_ops.empty()) {
+      w.ctrl_pending.store(false, std::memory_order_release);
+    } else {
+      have_barrier = true;
+      next_barrier = w.ctrl_ops.front().after_submitted;
+    }
+  }
+  for (auto& fn : ready) fn();
+  if (!have_barrier) return burst_max;
+  // next_barrier > done (a reached barrier was popped above), so the clamp
+  // is never zero: progress toward the barrier is always possible.
+  return static_cast<size_t>(
+      std::min<uint64_t>(burst_max, next_barrier - done));
 }
 
 void EnginePool::ProcessBatch(Worker& w, rpc::Message* msgs, size_t n,
@@ -523,6 +623,247 @@ uint64_t EnginePool::MergedStateHash(size_t element) const {
     h ^= worker->instances[element]->StateContentHash();
   }
   return h;
+}
+
+// --- Live reconfiguration (docs/RECONFIG.md) ----------------------------------
+
+Status EnginePool::BeginSlotMigration(int slot, int to_worker) {
+  if (!started_ || stopped_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "BeginSlotMigration: pool is not running");
+  }
+  if (slot < 0 || static_cast<size_t>(slot) >= kRouteSlots) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "BeginSlotMigration: slot out of range");
+  }
+  if (to_worker < 0 || to_worker >= config_.workers) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "BeginSlotMigration: destination worker out of range");
+  }
+  if (mig_ != nullptr && mig_->phase != MigrationPhase::kIdle &&
+      mig_->phase != MigrationPhase::kDone) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "BeginSlotMigration: a migration is already in flight");
+  }
+  const int from = WorkerOfSlot(slot);
+  if (from == to_worker) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "BeginSlotMigration: slot already lives on that worker");
+  }
+  auto mig = std::make_unique<LiveMigration>();
+  mig->phase = MigrationPhase::kSnapshot;
+  mig->slot = slot;
+  mig->from = from;
+  mig->to = to_worker;
+  mig->stats.slot = slot;
+  mig->stats.from = from;
+  mig->stats.to = to_worker;
+  LiveMigration* m = mig.get();
+  mig_ = std::move(mig);
+  // Source worker, between bursts: capture the slice snapshot (the bulk
+  // copy) and a mutation baseline of the slot's keyed rows. The slot keeps
+  // serving at the source while the destination absorbs the bulk.
+  PostControl(from, [this, m] {
+    Worker& src = *workers_[static_cast<size_t>(m->from)];
+    m->baselines.reserve(src.instances.size());
+    m->bulk.reserve(src.instances.size());
+    for (auto& inst : src.instances) {
+      m->baselines.push_back(ir::StateBaseline::Capture(
+          *inst, m->slot, kRouteSlots));
+      m->bulk.push_back(inst->SnapshotSlice(
+          static_cast<size_t>(m->slot), kRouteSlots));
+    }
+    m->snapshot_ready.store(true, std::memory_order_release);
+  });
+  return Status::Ok();
+}
+
+EnginePool::MigrationPhase EnginePool::PumpMigration() {
+  if (mig_ == nullptr) return MigrationPhase::kIdle;
+  LiveMigration* m = mig_.get();
+  switch (m->phase) {
+    case MigrationPhase::kIdle:
+    case MigrationPhase::kDone:
+      break;
+    case MigrationPhase::kSnapshot: {
+      if (!m->snapshot_ready.load(std::memory_order_acquire)) break;
+      for (const Bytes& b : m->bulk) m->stats.bulk_bytes += b.size();
+      // Destination absorbs the bulk slice while the source keeps serving —
+      // the double-buffer window. Mutations racing this copy are caught by
+      // the baseline diff at cutover.
+      PostControl(m->to, [this, m] {
+        Worker& dst = *workers_[static_cast<size_t>(m->to)];
+        for (size_t e = 0; e < dst.instances.size(); ++e) {
+          // Same element layout on both sides: cannot fail.
+          (void)dst.instances[e]->MergeState(m->bulk[e]);
+        }
+        m->bulk_merged.store(true, std::memory_order_release);
+      });
+      m->phase = MigrationPhase::kBulkMerge;
+      break;
+    }
+    case MigrationPhase::kBulkMerge: {
+      if (!m->bulk_merged.load(std::memory_order_acquire)) break;
+      // Cutover: hold the slot's traffic producer-side (everything else
+      // flows) and ask the source — after it drains everything submitted
+      // before this instant — for the mutation delta, then drop its slice.
+      m->holding = true;
+      m->hold_start = std::chrono::steady_clock::now();
+      PostControl(m->from, [this, m] {
+        Worker& src = *workers_[static_cast<size_t>(m->from)];
+        m->deltas.reserve(src.instances.size());
+        for (size_t e = 0; e < src.instances.size(); ++e) {
+          auto delta = m->baselines[e].Diff(*src.instances[e]);
+          // Diff only fails on layout drift, impossible mid-run.
+          m->deltas.push_back(std::move(delta).value());
+        }
+        m->delta_ready.store(true, std::memory_order_release);
+      });
+      // Slice cleanup is a separate op so the hold window ends at
+      // delta_ready, not after the erase: the source's slot state is final
+      // once the diff ran (its barrier covers every pre-hold message, and
+      // held traffic never reaches the source), so the erase can overlap
+      // the flip. FIFO ctrl order keeps it behind the diff.
+      PostControl(m->from, [this, m] {
+        Worker& src = *workers_[static_cast<size_t>(m->from)];
+        for (auto& inst : src.instances) {
+          inst->EraseSlice(static_cast<size_t>(m->slot), kRouteSlots);
+        }
+        m->erase_done.store(true, std::memory_order_release);
+      });
+      m->phase = MigrationPhase::kCutover;
+      break;
+    }
+    case MigrationPhase::kCutover: {
+      if (!m->delta_ready.load(std::memory_order_acquire)) break;
+      for (const ir::StateDelta& d : m->deltas) {
+        m->stats.delta_upserts += d.upserts;
+        m->stats.delta_deletes += d.deletes;
+      }
+      // Replay the delta at the destination, ahead of the flipped traffic:
+      // the ctrl op's barrier is the destination's submitted count NOW, so
+      // it runs before any message flushed or routed after this point.
+      PostControl(m->to, [this, m] {
+        Worker& dst = *workers_[static_cast<size_t>(m->to)];
+        for (size_t e = 0; e < dst.instances.size(); ++e) {
+          (void)m->deltas[e].ApplyTo(*dst.instances[e]);
+        }
+        m->delta_applied.store(true, std::memory_order_release);
+      });
+      // Atomic flip + flush: the slot now routes to the destination and the
+      // held messages re-enter in their original order, behind the replay.
+      route_[static_cast<size_t>(m->slot)] = static_cast<int32_t>(m->to);
+      m->holding = false;
+      m->stats.held_messages = static_cast<uint64_t>(m->held.size());
+      std::vector<rpc::Message> held = std::move(m->held);
+      m->held.clear();
+      for (rpc::Message& msg : held) Submit(std::move(msg));
+      m->stats.blackout_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - m->hold_start)
+              .count();
+      m->phase = MigrationPhase::kReplay;
+      break;
+    }
+    case MigrationPhase::kReplay: {
+      if (!m->delta_applied.load(std::memory_order_acquire) ||
+          !m->erase_done.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (obs::Enabled()) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+        const std::string label = "processor=\"" + config_.processor + "\"";
+        reg.GetHistogram("adn_reconfig_blackout_ns", label)
+            .Observe(static_cast<double>(m->stats.blackout_ns));
+        reg.GetCounter("adn_reconfig_delta_replayed", label)
+            .Inc(m->stats.delta_upserts + m->stats.delta_deletes);
+      }
+      m->phase = MigrationPhase::kDone;
+      break;
+    }
+  }
+  return m->phase;
+}
+
+bool EnginePool::MigrationActive() const {
+  return mig_ != nullptr && mig_->phase != MigrationPhase::kIdle &&
+         mig_->phase != MigrationPhase::kDone;
+}
+
+const EnginePool::LiveMigrationStats& EnginePool::migration_stats() const {
+  static const LiveMigrationStats kNone;
+  return mig_ != nullptr ? mig_->stats : kNone;
+}
+
+Status EnginePool::SwapProgram(
+    std::vector<std::shared_ptr<const ir::ElementIr>> new_elements) {
+  if (!started_ || stopped_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "SwapProgram: pool is not running");
+  }
+  if (whole_chain_program_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "SwapProgram: hot reload requires the whole-chain compiled "
+                  "tier (sequential mode, SQL-only elements)");
+  }
+  if (swap_pending_.load(std::memory_order_acquire) != 0) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "SwapProgram: a swap is already in flight");
+  }
+  if (new_elements.size() != elements_.size()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "SwapProgram: new chain has a different element count; "
+                  "drain and redeploy instead");
+  }
+  // State compatibility first (same tables, same schemas per element), then
+  // compile — an incompatible or non-compiling chain leaves the running
+  // program untouched.
+  for (size_t e = 0; e < new_elements.size(); ++e) {
+    ADN_RETURN_IF_ERROR(
+        ir::CheckStateCompatible(*elements_[e], *new_elements[e]));
+  }
+  auto chain = compiler::CompileChainProgram(new_elements, {});
+  if (!chain.ok()) {
+    return Status(chain.error().code(),
+                  "SwapProgram: new chain does not compile: " +
+                      chain.error().message());
+  }
+  std::shared_ptr<const ir::ChainProgram> program = std::move(chain).value();
+  swap_pending_.store(config_.workers, std::memory_order_release);
+  for (int w = 0; w < config_.workers; ++w) {
+    // Each worker swaps between bursts, after draining what was already in
+    // its ring: code pointer replaced in place (live tables kept), executor
+    // rebuilt over the new program.
+    PostControl(w, [this, w, program, new_elements] {
+      Worker& wk = *workers_[static_cast<size_t>(w)];
+      for (size_t e = 0; e < new_elements.size(); ++e) {
+        (void)wk.instances[e]->ReplaceCode(new_elements[e]);  // pre-validated
+      }
+      std::vector<ir::ElementInstance*> raw;
+      raw.reserve(wk.instances.size());
+      for (auto& inst : wk.instances) raw.push_back(inst.get());
+      wk.chain_exec =
+          std::make_unique<ir::ChainExecutor>(program, std::move(raw));
+      swap_pending_.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // Producer-side bookkeeping so MergedInstance/TemplateInstance and any
+  // later Start-style rebuild see the new chain.
+  for (size_t e = 0; e < new_elements.size(); ++e) {
+    (void)template_instances_[e]->ReplaceCode(new_elements[e]);
+  }
+  elements_ = new_elements;
+  whole_chain_program_ = program;
+  program_version_.store(program->version, std::memory_order_release);
+  return Status::Ok();
+}
+
+bool EnginePool::SwapComplete() const {
+  return swap_pending_.load(std::memory_order_acquire) == 0;
+}
+
+uint64_t EnginePool::program_version() const {
+  return program_version_.load(std::memory_order_acquire);
 }
 
 }  // namespace adn::mrpc

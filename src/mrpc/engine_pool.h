@@ -4,13 +4,17 @@
 //
 // An EnginePool owns N worker threads. Each worker runs the chain's compiled
 // ChainProgram against its OWN ElementInstances, whose tables are the
-// per-worker shards produced by Table::SplitByKeyHash (via
-// ElementInstance::SplitState) at Start(). A single producer thread routes
-// every RPC to a worker by hash of its shard-key field — the same
-// HashSingleKey the table sharder uses, so the worker that receives a
-// message is exactly the worker whose shard holds that key's rows — and
-// hands it over on a true SPSC ring (ring.h). RPCs without the shard-key
-// field fall back to a hash of the RPC/connection id.
+// per-worker shards produced at Start(). A single producer thread routes
+// every RPC through a fixed table of kRouteSlots key slots: the shard-key
+// field hashes (HashSingleKey) into a slot, and the slot maps to a worker.
+// Start() shards the tables with the SAME two-level function
+// ((key hash % kRouteSlots) % workers, ElementInstance::SplitStateSlotted),
+// so the worker that receives a message is exactly the worker whose shard
+// holds that key's rows — and the slot indirection is what makes live
+// migration possible: moving one slot's rows and flipping one route_ entry
+// re-homes that key range without touching the rest (docs/RECONFIG.md).
+// Messages are handed over on a true SPSC ring (ring.h); RPCs without the
+// shard-key field fall back to a hash of the RPC/connection id.
 //
 // State stays per-worker and unsynchronized (shared-nothing); anything
 // cross-worker is merge-on-read: processed()/dropped() sum worker counters,
@@ -35,8 +39,11 @@
 // sequential-within-worker wins for ns-scale elements.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,6 +54,7 @@
 #include "common/status.h"
 #include "ir/exec.h"
 #include "ir/program.h"
+#include "ir/state_delta.h"
 #include "mrpc/ring.h"
 #include "obs/metrics.h"
 #include "rpc/intern.h"
@@ -85,6 +93,37 @@ class GroupRunner {
 class EnginePool {
  public:
   enum class GroupMode { kSequential, kConcurrent };
+
+  // Keys hash into this many fixed route slots; a slot maps to one worker
+  // (route_). Live migration moves ownership of one slot at a time.
+  static constexpr size_t kRouteSlots = 64;
+
+  // Producer-driven live-migration state machine (docs/RECONFIG.md):
+  //   kIdle -> kSnapshot (source captures slice + mutation baseline between
+  //   bursts) -> kBulkMerge (destination absorbs the bulk copy while the
+  //   source keeps serving the slot) -> kCutover (producer holds slot
+  //   traffic; source diffs the baseline into a delta and drops the slice)
+  //   -> kReplay (destination applies the delta; route flipped, held
+  //   messages flushed behind it) -> kDone.
+  enum class MigrationPhase : uint8_t {
+    kIdle,
+    kSnapshot,
+    kBulkMerge,
+    kCutover,
+    kReplay,
+    kDone,
+  };
+
+  struct LiveMigrationStats {
+    int slot = -1;
+    int from = -1;
+    int to = -1;
+    size_t bulk_bytes = 0;       // slice snapshot copied before the cutover
+    uint64_t delta_upserts = 0;  // rows replayed at cutover
+    uint64_t delta_deletes = 0;
+    uint64_t held_messages = 0;  // producer-held during the cutover window
+    int64_t blackout_ns = 0;     // cutover hold window (steady clock)
+  };
 
   struct Config {
     int workers = 1;
@@ -149,6 +188,35 @@ class EnginePool {
   // Deterministic routing preview (usable before Start and from tests).
   int WorkerOfKey(const rpc::Value& key) const;
   int WorkerOfMessage(const rpc::Message& message) const;
+  static int SlotOfKey(const rpc::Value& key);
+  int SlotOfMessage(const rpc::Message& message) const;
+  int WorkerOfSlot(int slot) const;
+
+  // --- Live reconfiguration (producer thread; docs/RECONFIG.md) --------------
+  // Start moving key slot `slot` from its current owner to `to_worker`.
+  // Non-blocking: ingestion continues (including into the moving slot) while
+  // the bulk copy proceeds; only the cutover holds slot traffic, for the
+  // delta-sized blackout window. Drive with PumpMigration() until kDone.
+  // One migration in flight at a time.
+  Status BeginSlotMigration(int slot, int to_worker);
+  // Advance the migration state machine (cheap; call from the submit loop).
+  MigrationPhase PumpMigration();
+  bool MigrationActive() const;
+  // Stats of the last migration that reached kDone (producer thread).
+  const LiveMigrationStats& migration_stats() const;
+
+  // DSL hot-reload: recompile-and-swap the running chain without stopping
+  // the workers. Requires the whole-chain compiled tier and state-compatible
+  // elements (same table names/schemas per element — ir::CheckStateCompatible;
+  // incompatible or non-compiling chains are rejected and the running
+  // program is untouched). Each worker swaps at a burst boundary, keeping
+  // its live tables; poll SwapComplete() for async completion.
+  Status SwapProgram(
+      std::vector<std::shared_ptr<const ir::ElementIr>> new_elements);
+  bool SwapComplete() const;
+  // Version of the chain program workers are (or will be, once SwapComplete)
+  // running: ChainProgram::version, bumped by every compile.
+  uint64_t program_version() const;
 
   // Blocks until every submitted message has been fully processed.
   void Drain();
@@ -200,6 +268,17 @@ class EnginePool {
     std::vector<rpc::FieldId> precreate_fields;
   };
 
+  // A reconfiguration step to run on the worker thread, between bursts,
+  // only after the worker has finished every message that was submitted
+  // before the op was posted (after_submitted). The ring's FIFO plus this
+  // barrier is the whole ordering story: a control op can never observe a
+  // half-processed burst, and messages submitted after the post can never
+  // overtake it.
+  struct ControlOp {
+    uint64_t after_submitted = 0;
+    std::function<void()> fn;
+  };
+
   struct Worker {
     explicit Worker(size_t ring_capacity) : ring(ring_capacity) {}
 
@@ -222,12 +301,50 @@ class EnginePool {
     std::mutex mu;
     std::condition_variable cv;
 
+    // Control mailbox (reconfiguration only; never on the message path).
+    // ctrl_pending is the hot-path gate: one relaxed load per burst when no
+    // reconfiguration is in flight.
+    std::mutex ctrl_mu;
+    std::deque<ControlOp> ctrl_ops;
+    std::atomic<bool> ctrl_pending{false};
+
     obs::Counter* rpcs_counter = nullptr;
     obs::Counter* drops_counter = nullptr;
     std::string trace_processor;
   };
 
+  // In-flight live migration. Producer-owned; the flags publish the vectors
+  // across the producer/source/destination handoffs (release/acquire, then
+  // the ctrl mailbox mutex carries them to the next worker).
+  struct LiveMigration {
+    MigrationPhase phase = MigrationPhase::kIdle;
+    int slot = -1;
+    int from = -1;
+    int to = -1;
+    std::vector<ir::StateBaseline> baselines;  // source-worker-owned
+    std::vector<Bytes> bulk;                   // slice snapshots, per element
+    std::vector<ir::StateDelta> deltas;        // cutover deltas, per element
+    std::atomic<bool> snapshot_ready{false};
+    std::atomic<bool> bulk_merged{false};
+    std::atomic<bool> delta_ready{false};
+    std::atomic<bool> delta_applied{false};
+    // Source-side slice cleanup runs in its own ctrl op AFTER delta_ready:
+    // the erase is O(slot) index work but still has no business inside the
+    // hold window. kDone waits for it so MergedStateHash never double-counts.
+    std::atomic<bool> erase_done{false};
+    bool holding = false;                 // producer: slot traffic held?
+    std::vector<rpc::Message> held;       // producer-held slot messages
+    std::chrono::steady_clock::time_point hold_start;
+    LiveMigrationStats stats;
+  };
+
   void WorkerLoop(int index);
+  // Post `fn` to run on worker `worker`'s thread once it has drained every
+  // message submitted before this call. Wakes the worker if parked.
+  void PostControl(int worker, std::function<void()> fn);
+  // Run the control ops whose barrier has been reached; returns how many
+  // messages the next burst may pop without crossing the next op's barrier.
+  size_t RunPendingControl(Worker& w, size_t burst_max);
   // Process msgs[0..n) on worker w, filling results[0..n). Takes the burst
   // executor when the whole chain is compiled and observability is off;
   // otherwise the per-message path (which owns trace scopes / counters).
@@ -262,6 +379,16 @@ class EnginePool {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool stopped_ = false;
+
+  // Slot -> worker routing table. Producer-thread-owned after Start (read by
+  // Submit, written only at route flip in PumpMigration).
+  std::array<int32_t, kRouteSlots> route_{};
+  // Current (or last) live migration; kept alive until the next Begin so
+  // worker-side ctrl lambdas holding the raw pointer stay valid.
+  std::unique_ptr<LiveMigration> mig_;
+  // Workers that have not yet switched to the swapped program; 0 = complete.
+  std::atomic<int> swap_pending_{0};
+  std::atomic<uint64_t> program_version_{0};
 };
 
 }  // namespace adn::mrpc

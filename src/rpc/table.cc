@@ -265,6 +265,129 @@ Status Table::MergeFrom(const Table& other) {
   return Status::Ok();
 }
 
+Row Table::KeyOf(const Row& row) const {
+  Row key;
+  key.reserve(pk_indexes_.size());
+  for (size_t idx : pk_indexes_) key.push_back(row[idx]);
+  return key;
+}
+
+size_t Table::EraseByKey(const Row& key) {
+  if (pk_indexes_.empty() || key.size() != pk_indexes_.size()) return 0;
+  uint64_t h = 0x452821E638D01377ULL;
+  for (const Value& v : key) {
+    h ^= HashValue(v);
+    h *= 0x100000001B3ULL;
+  }
+  auto [begin, end] = key_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    const Row& row = rows_[it->second];
+    bool match = true;
+    for (size_t i = 0; i < pk_indexes_.size(); ++i) {
+      if (row[pk_indexes_[i]].CompareTo(key[i]) != 0) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    // Swap-and-pop instead of erase+reindex: the live-migration delta
+    // replay calls this per deleted key, and an O(n) reindex per call would
+    // put a full re-hash of the table inside the reconfiguration window.
+    const size_t hole = it->second;
+    const size_t last = rows_.size() - 1;
+    key_index_.erase(it);
+    if (hole != last) {
+      const uint64_t last_hash = KeyHashOf(rows_[last]);
+      auto [lb, le] = key_index_.equal_range(last_hash);
+      for (auto lit = lb; lit != le; ++lit) {
+        if (lit->second == last) {
+          lit->second = hole;
+          break;
+        }
+      }
+      StashSpare(std::move(rows_[hole]));
+      rows_[hole] = std::move(rows_[last]);
+    } else {
+      StashSpare(std::move(rows_[hole]));
+    }
+    rows_.pop_back();
+    return 1;
+  }
+  return 0;
+}
+
+void Table::ForEachKeySlotRow(
+    size_t slot, size_t num_slots,
+    const std::function<void(const Row&)>& fn) const {
+  if (pk_indexes_.empty() || num_slots == 0) return;
+  for (const auto& [hash, index] : key_index_) {
+    if (hash % num_slots == slot) fn(rows_[index]);
+  }
+}
+
+Table Table::SliceByKeySlot(size_t slot, size_t num_slots) const {
+  Table out(name_, schema_);
+  if (pk_indexes_.empty() || num_slots == 0) return out;
+  ForEachKeySlotRow(slot, num_slots, [&](const Row& row) {
+    const Status s = out.Insert(row);
+    (void)s;  // same schema: cannot fail
+  });
+  return out;
+}
+
+size_t Table::EraseKeySlot(size_t slot, size_t num_slots) {
+  if (pk_indexes_.empty() || num_slots == 0) return 0;
+  // Membership and the rebuilt index both come from the cached hashes: one
+  // integer pass plus row moves, never a re-hash of surviving keys. This
+  // runs on a live worker right after cutover, so O(n) string hashing here
+  // would stall the shards that did NOT move.
+  std::vector<uint64_t> hash_of(rows_.size());
+  std::vector<bool> erase(rows_.size(), false);
+  size_t erased = 0;
+  for (const auto& [hash, index] : key_index_) {
+    hash_of[index] = hash;
+    if (hash % num_slots == slot) {
+      erase[index] = true;
+      ++erased;
+    }
+  }
+  if (erased == 0) return 0;
+  key_index_.clear();
+  size_t dst = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (erase[i]) {
+      StashSpare(std::move(rows_[i]));
+      continue;
+    }
+    if (dst != i) {
+      rows_[dst] = std::move(rows_[i]);
+      hash_of[dst] = hash_of[i];
+    }
+    key_index_.emplace(hash_of[dst], dst);
+    ++dst;
+  }
+  rows_.resize(dst);
+  return erased;
+}
+
+Result<std::vector<Table>> Table::SplitByKeySlot(size_t shards,
+                                                 size_t num_slots) const {
+  if (shards == 0 || num_slots == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot split into 0 shards/slots");
+  }
+  std::vector<Table> out;
+  out.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    out.emplace_back(name_, schema_);
+  }
+  for (const Row& row : rows_) {
+    size_t shard = (KeyHashOf(row) % num_slots) % shards;
+    ADN_RETURN_IF_ERROR(out[shard].Insert(row));
+  }
+  return out;
+}
+
 uint64_t Table::ContentHash() const {
   // XOR of per-row hashes: order-insensitive by construction.
   uint64_t h = 0;

@@ -87,6 +87,39 @@ class Table {
   // split+merge round-trips state exactly.
   uint64_t ContentHash() const;
 
+  // --- Key-slot slices (live migration; see docs/RECONFIG.md) --------------
+  // Keyed rows partition into `num_slots` slots by RowKeyHash % num_slots; a
+  // slice is one slot's rows. Slices are the unit of shard ownership the
+  // EnginePool router moves between workers without draining.
+  bool HasPrimaryKey() const { return !pk_indexes_.empty(); }
+  // Key hash of a row OF THIS TABLE (PK hash, whole-row hash when keyless) —
+  // exactly the hash slices and shard splits partition by.
+  uint64_t RowKeyHash(const Row& row) const { return KeyHashOf(row); }
+  // The row's primary-key values in PK-column order (empty when keyless).
+  Row KeyOf(const Row& row) const;
+  // Erase the row carrying exactly this key (PK values in PK-column order).
+  // Returns rows erased (0 or 1); keyless tables never match. O(1): the
+  // last row swaps into the hole (append order is not preserved — only
+  // keyless append logs rely on it, and they never match here).
+  size_t EraseByKey(const Row& key);
+  // Visit every keyed row whose key hash lands in slot `slot` — an index
+  // walk over the cached hashes (one integer mod per row, no re-hashing),
+  // the primitive that keeps live-cutover work off the full table scan.
+  // Must not mutate the table from inside `fn`.
+  void ForEachKeySlotRow(size_t slot, size_t num_slots,
+                         const std::function<void(const Row&)>& fn) const;
+  // Copy of this table holding only slot `slot`'s keyed rows. Keyless tables
+  // yield an empty copy: append-log rows are location-independent (the
+  // merged state hash XORs across shards), so they never move with a slice.
+  Table SliceByKeySlot(size_t slot, size_t num_slots) const;
+  // Drop slot `slot`'s keyed rows locally (post-handoff). Returns the count.
+  size_t EraseKeySlot(size_t slot, size_t num_slots);
+  // Two-level split: shard = (RowKeyHash % num_slots) % shards — the same
+  // partition EnginePool's slot router applies to message keys, so shard s
+  // holds precisely the keys whose messages route to worker s.
+  Result<std::vector<Table>> SplitByKeySlot(size_t shards,
+                                            size_t num_slots) const;
+
   std::string DebugString(size_t max_rows = 10) const;
 
  private:

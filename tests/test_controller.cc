@@ -310,6 +310,113 @@ TEST(Migration, PauseScalesWithStateSize) {
   EXPECT_GE(EstimatePauseNs(0), 50'000);  // handshake floor
 }
 
+// --- Cutover policies (docs/RECONFIG.md) ---------------------------------------
+
+TEST(Migration, LiveCutoverBlackoutIsDeltaSizedNotStateSized) {
+  // Same width change, same state, both policies lossless — but the live
+  // policy's charged blackout is the (empty) mutation delta, while
+  // pause-drain pays for the full state copy.
+  auto source = MakeAclStage(5'000, 1);
+  const uint64_t original_hash = source->instance().StateContentHash();
+
+  auto drained = MigrateStageWidth(*source, 4, 500, CutoverPolicy::kPauseDrain);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_TRUE(drained->report.lossless());
+  EXPECT_EQ(drained->instance->instance().StateContentHash(), original_hash);
+
+  auto live = MigrateStageWidth(*source, 4, 900, CutoverPolicy::kLive);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_TRUE(live->report.lossless());
+  EXPECT_EQ(live->instance->instance().StateContentHash(), original_hash);
+
+  // Nothing mutated during the copy, so the delta is empty and the live
+  // blackout sits at the handshake floor; pause-drain pays per state byte.
+  EXPECT_EQ(live->report.delta_replayed, 0u);
+  EXPECT_EQ(live->report.pause_ns, EstimatePauseNs(0));
+  EXPECT_GT(drained->report.pause_ns, live->report.pause_ns);
+}
+
+std::unique_ptr<mrpc::GeneratedStage> MakeQuotaStage(int rows, uint64_t seed) {
+  auto parsed = dsl::ParseProgram(std::string(elements::QuotaTableSql()) +
+                                  std::string(elements::QuotaSql()));
+  auto program = compiler::LowerProgram(*parsed);
+  auto stage =
+      std::make_unique<mrpc::GeneratedStage>(program->elements[0], seed);
+  for (int i = 0; i < rows; ++i) {
+    (void)stage->instance().FindTable("quota")->Insert(
+        {Value("user" + std::to_string(i)), Value(static_cast<int64_t>(100))});
+  }
+  return stage;
+}
+
+TEST(Migration, StateDeltaReplaysMutationsSinceBaseline) {
+  // The live protocol's core claim: baseline + bulk copy + delta replay
+  // reconstructs the source exactly, even when the source kept mutating
+  // after the copy.
+  auto source = MakeQuotaStage(200, 1);
+  const ir::StateBaseline baseline =
+      ir::StateBaseline::Capture(source->instance());
+  // "Bulk copy" at baseline time: a fresh instance restored from the
+  // snapshot, standing in for the migration destination.
+  auto parsed = dsl::ParseProgram(std::string(elements::QuotaTableSql()) +
+                                  std::string(elements::QuotaSql()));
+  auto program = compiler::LowerProgram(*parsed);
+  ir::ElementInstance dest(program->elements[0], 2);
+  ASSERT_TRUE(dest.RestoreState(source->instance().SnapshotState()).ok());
+
+  // Mutations during the copy window: quota decrements via real message
+  // processing (UPDATE ... remaining - 1), a fresh user, and a departed one.
+  for (int i = 0; i < 40; ++i) {
+    rpc::Message m = rpc::Message::MakeRequest(
+        static_cast<uint64_t>(i + 1), "M",
+        {{"username", Value("user" + std::to_string(i % 8))}});
+    EXPECT_EQ(source->instance().Process(m, 0).outcome,
+              ir::ProcessOutcome::kPass);
+  }
+  rpc::Table* quota = source->instance().FindTable("quota");
+  ASSERT_TRUE(quota->Insert({Value("newcomer"), Value(static_cast<int64_t>(7))})
+                  .ok());
+  EXPECT_EQ(quota->EraseByKey({Value("user150")}), 1u);
+
+  auto delta = baseline.Diff(source->instance());
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  // 8 decremented users + 1 insert = 9 upserts; 1 delete.
+  EXPECT_EQ(delta->upserts, 9u);
+  EXPECT_EQ(delta->deletes, 1u);
+  EXPECT_FALSE(delta->empty());
+
+  ASSERT_TRUE(delta->ApplyTo(dest).ok());
+  EXPECT_EQ(dest.StateContentHash(), source->instance().StateContentHash());
+  // Replay is idempotent: applying the same delta again changes nothing.
+  ASSERT_TRUE(delta->ApplyTo(dest).ok());
+  EXPECT_EQ(dest.StateContentHash(), source->instance().StateContentHash());
+}
+
+TEST(Migration, SliceSnapshotAndEraseMoveExactlyOneSlot) {
+  constexpr size_t kSlots = 64;
+  auto source = MakeQuotaStage(300, 1);
+  const uint64_t original_hash = source->instance().StateContentHash();
+  const size_t original_rows =
+      source->instance().FindTable("quota")->RowCount();
+
+  // Move slot 5 into a fresh instance the way EnginePool does: slice
+  // snapshot -> MergeState at the destination -> EraseSlice at the source.
+  auto parsed = dsl::ParseProgram(std::string(elements::QuotaTableSql()) +
+                                  std::string(elements::QuotaSql()));
+  auto program = compiler::LowerProgram(*parsed);
+  ir::ElementInstance dest(program->elements[0], 2);
+  const Bytes slice = source->instance().SnapshotSlice(5, kSlots);
+  ASSERT_TRUE(dest.MergeState(slice).ok());
+  const size_t moved = source->instance().EraseSlice(5, kSlots);
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(dest.FindTable("quota")->RowCount(), moved);
+  EXPECT_EQ(source->instance().FindTable("quota")->RowCount(),
+            original_rows - moved);
+  // The XOR-decomposable hash proves the two sides partition the original.
+  EXPECT_EQ(source->instance().StateContentHash() ^ dest.StateContentHash(),
+            original_hash);
+}
+
 // --- Migration under in-flight traffic -----------------------------------------
 
 // Records the order in which requests traverse its site. The vector is

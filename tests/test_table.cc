@@ -192,6 +192,92 @@ TEST(Table, ContentHashIsOrderInsensitive) {
   EXPECT_EQ(a.ContentHash(), b.ContentHash());
 }
 
+// --- Key-slot slices (live migration; docs/RECONFIG.md) --------------------
+
+TEST(Table, KeyIntrospection) {
+  Table keyed("ac", AclSchema());
+  ASSERT_TRUE(keyed.Insert({Value("alice"), Value("W")}).ok());
+  EXPECT_TRUE(keyed.HasPrimaryKey());
+  EXPECT_EQ(keyed.RowKeyHash(keyed.rows()[0]), HashSingleKey(Value("alice")));
+  const Row key = keyed.KeyOf(keyed.rows()[0]);
+  ASSERT_EQ(key.size(), 1u);
+  EXPECT_EQ(key[0].AsText(), "alice");
+
+  Table log("log", LogSchema());
+  ASSERT_TRUE(log.Insert({Value(1), Value(10)}).ok());
+  EXPECT_FALSE(log.HasPrimaryKey());
+  EXPECT_TRUE(log.KeyOf(log.rows()[0]).empty());
+}
+
+TEST(Table, EraseByKeyRemovesExactlyThatRow) {
+  Table t("ac", AclSchema());
+  for (const char* u : {"a", "b", "c"}) {
+    ASSERT_TRUE(t.Insert({Value(u), Value("W")}).ok());
+  }
+  EXPECT_EQ(t.EraseByKey({Value("b")}), 1u);
+  EXPECT_EQ(t.EraseByKey({Value("b")}), 0u);  // already gone
+  EXPECT_EQ(t.RowCount(), 2u);
+  EXPECT_NE(t.LookupSingleKey(Value("a")), nullptr);
+  EXPECT_EQ(t.LookupSingleKey(Value("b")), nullptr);
+  EXPECT_NE(t.LookupSingleKey(Value("c")), nullptr);
+
+  Table log("log", LogSchema());
+  ASSERT_TRUE(log.Insert({Value(1), Value(10)}).ok());
+  EXPECT_EQ(log.EraseByKey({Value(1)}), 0u);  // keyless: never matches
+}
+
+TEST(Table, SliceAndEraseKeySlotPartition) {
+  constexpr size_t kSlots = 16;
+  Table t("ac", AclSchema());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value("user" + std::to_string(i)), Value("W")}).ok());
+  }
+  const uint64_t original = t.ContentHash();
+  size_t sliced_total = 0;
+  uint64_t xored = 0;
+  for (size_t slot = 0; slot < kSlots; ++slot) {
+    Table slice = t.SliceByKeySlot(slot, kSlots);
+    for (const Row& row : slice.rows()) {
+      EXPECT_EQ(t.RowKeyHash(row) % kSlots, slot);
+    }
+    sliced_total += slice.RowCount();
+    xored ^= slice.ContentHash();
+  }
+  EXPECT_EQ(sliced_total, 200u);
+  EXPECT_EQ(xored, original);  // slices partition the content hash
+
+  // Erasing a slot removes exactly what its slice held.
+  const size_t slot3 = t.SliceByKeySlot(3, kSlots).RowCount();
+  EXPECT_EQ(t.EraseKeySlot(3, kSlots), slot3);
+  EXPECT_EQ(t.RowCount(), 200u - slot3);
+  EXPECT_EQ(t.SliceByKeySlot(3, kSlots).RowCount(), 0u);
+}
+
+TEST(Table, SplitByKeySlotAgreesWithSlotRouter) {
+  // shard = (key hash % num_slots) % shards — the EnginePool routing
+  // function. Every row must land on the shard its messages route to.
+  constexpr size_t kSlots = 64;
+  constexpr size_t kShards = 3;
+  Table t("ac", AclSchema());
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value("user" + std::to_string(i)), Value("R")}).ok());
+  }
+  auto shards = t.SplitByKeySlot(kShards, kSlots);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), kShards);
+  size_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    for (const Row& row : (*shards)[s].rows()) {
+      EXPECT_EQ(t.RowKeyHash(row) % kSlots % kShards, s);
+    }
+    total += (*shards)[s].RowCount();
+  }
+  EXPECT_EQ(total, 150u);
+  EXPECT_FALSE(t.SplitByKeySlot(0, kSlots).ok());
+}
+
 TEST(Table, ClearEmptiesAndKeepsWorking) {
   Table t("ac", AclSchema());
   ASSERT_TRUE(t.Insert({Value("a"), Value("W")}).ok());

@@ -459,6 +459,225 @@ TEST(EnginePool, MissingShardKeyFallsBackToIdRouting) {
   for (int count : seen) EXPECT_GT(count, 0);
 }
 
+// --- Live reconfiguration (docs/RECONFIG.md) ----------------------------------
+
+constexpr size_t kQuotaIdx = 2;
+
+// Logging + Acl + Quota: an append-only log, a read-only keyed table, and a
+// keyed table mutated on every message — the three state shapes the live
+// migration protocol must carry (log rows stay put, ACL rows bulk-copy,
+// quota rows need the mutation delta).
+std::vector<std::shared_ptr<const ir::ElementIr>> LogAclQuotaElements() {
+  auto parsed =
+      dsl::ParseProgram(std::string(elements::AclTableSql()) +
+                        std::string(elements::LogTableSql()) +
+                        std::string(elements::QuotaTableSql()) +
+                        std::string(elements::LoggingSql()) +
+                        std::string(elements::AclSql()) +
+                        std::string(elements::QuotaSql()));
+  auto lowered = compiler::LowerProgram(*parsed);
+  EXPECT_TRUE(lowered.ok());
+  return {lowered->FindElement("Logging"), lowered->FindElement("Acl"),
+          lowered->FindElement("Quota")};
+}
+
+void SeedQuota(EnginePool& pool, int users, int64_t remaining) {
+  rpc::Table* quota =
+      pool.FindTemplateInstance("Quota")->FindTable("quota");
+  for (int i = 0; i < users; ++i) {
+    ASSERT_TRUE(quota->Insert({Value(UserName(i)), Value(remaining)}).ok());
+  }
+}
+
+TEST(EnginePoolReconfig, LiveSlotMigrationUnderTrafficIsLossless) {
+  constexpr int kUsers = 32;
+  constexpr uint64_t kMessages = 12'000;
+
+  // Reference: the same traffic through one worker, no migrations.
+  uint64_t ref_hash[3];
+  {
+    EnginePool::Config config;
+    config.workers = 1;
+    config.shard_key_field = "username";
+    EnginePool ref(LogAclQuotaElements(), {}, config);
+    SeedUsers(ref, kUsers);
+    SeedQuota(ref, kUsers, 1'000);
+    ASSERT_TRUE(ref.Start().ok());
+    for (uint64_t id = 1; id <= kMessages; ++id) {
+      ref.Submit(MakeReq(id, UserName(static_cast<int>(id % kUsers))));
+    }
+    ref.Stop();
+    ASSERT_EQ(ref.processed(), kMessages);
+    ASSERT_EQ(ref.dropped(), 0u);
+    for (size_t e = 0; e < 3; ++e) ref_hash[e] = ref.MergedStateHash(e);
+  }
+
+  EnginePool::Config config;
+  config.workers = 4;
+  config.shard_key_field = "username";
+  // Small rings keep the control-op barriers short: a ctrl op waits for the
+  // ring backlog submitted before it, so backlog depth bounds each phase.
+  config.ring_capacity = 256;
+  EnginePool pool(LogAclQuotaElements(), {}, config);
+  SeedUsers(pool, kUsers);
+  SeedQuota(pool, kUsers, 1'000);
+  ASSERT_TRUE(pool.Start().ok());
+
+  // Migrate the slots of a handful of live users while their traffic (and
+  // everyone else's) keeps flowing; each Begin fires mid-stream, as soon as
+  // its window opens and the previous migration finished.
+  const std::vector<uint64_t> start_at = {1'000, 4'000, 7'000, 10'000};
+  std::vector<int> moved_slot;
+  std::vector<int> moved_to;
+  size_t next_mig = 0;
+  for (uint64_t id = 1; id <= kMessages; ++id) {
+    pool.Submit(MakeReq(id, UserName(static_cast<int>(id % kUsers))));
+    if (next_mig < start_at.size() && id >= start_at[next_mig] &&
+        !pool.MigrationActive()) {
+      const int slot = EnginePool::SlotOfKey(
+          Value(UserName(static_cast<int>(next_mig))));
+      const int to = (pool.WorkerOfSlot(slot) + 1) % pool.workers();
+      ASSERT_TRUE(pool.BeginSlotMigration(slot, to).ok());
+      moved_slot.push_back(slot);
+      moved_to.push_back(to);
+      ++next_mig;
+    }
+    pool.PumpMigration();
+  }
+  while (pool.MigrationActive()) {
+    pool.PumpMigration();
+    std::this_thread::yield();
+  }
+  pool.Stop();
+  ASSERT_EQ(next_mig, start_at.size()) << "every migration should have begun";
+
+  // Zero drops, every message processed exactly once, and the merged state
+  // is byte-for-byte the no-migration run — rows moved, none lost or
+  // double-applied.
+  EXPECT_EQ(pool.processed(), kMessages);
+  EXPECT_EQ(pool.dropped(), 0u);
+  for (size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(pool.MergedStateHash(e), ref_hash[e]) << "element " << e;
+  }
+  // The flips stuck: each moved slot routes to its destination.
+  for (size_t i = 0; i < moved_slot.size(); ++i) {
+    EXPECT_EQ(pool.WorkerOfSlot(moved_slot[i]), moved_to[i]);
+  }
+  // The last migration's stats describe a real live cutover: state moved in
+  // bulk before the blackout window, which stayed finite.
+  const EnginePool::LiveMigrationStats& stats = pool.migration_stats();
+  EXPECT_EQ(stats.slot, moved_slot.back());
+  EXPECT_EQ(stats.to, moved_to.back());
+  EXPECT_GT(stats.bulk_bytes, 0u);
+  EXPECT_GE(stats.blackout_ns, 0);
+}
+
+TEST(EnginePoolReconfig, ProgramHotSwapUnderTrafficKeepsState) {
+  constexpr int kUsers = 16;
+  constexpr uint64_t kBefore = 2'000;
+  constexpr uint64_t kAfter = 2'000;
+
+  EnginePool::Config config;
+  config.workers = 2;
+  config.shard_key_field = "username";
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, kUsers);
+  ASSERT_TRUE(pool.Start().ok());
+  ASSERT_TRUE(pool.whole_chain_compiled());
+  const uint64_t v0 = pool.program_version();
+  EXPECT_GT(v0, 0u);
+
+  for (uint64_t id = 1; id <= kBefore; ++id) {
+    pool.Submit(MakeReq(id, UserName(static_cast<int>(id % kUsers))));
+  }
+
+  // Same state tables, new logic: the swapped Acl only admits permission
+  // 'X', which nobody holds — a behavioral flip that proves which program
+  // each message ran under.
+  auto parsed = dsl::ParseProgram(
+      std::string(elements::AclTableSql()) +
+      std::string(elements::LogTableSql()) +
+      std::string(elements::LoggingSql()) + R"(
+ELEMENT Acl ON REQUEST {
+  INPUT (username TEXT, payload BYTES);
+  ON DROP ABORT 'lockdown';
+  SELECT * FROM input JOIN ac_tab ON input.username = ac_tab.username
+    WHERE ac_tab.permission = 'X';
+}
+)");
+  auto lowered = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(lowered.ok());
+  ASSERT_TRUE(pool.SwapProgram({lowered->FindElement("Logging"),
+                                lowered->FindElement("Acl")})
+                  .ok());
+  EXPECT_GT(pool.program_version(), v0);
+
+  // Messages submitted after SwapProgram returns are behind each worker's
+  // swap barrier, so every one runs the new program: all denied.
+  for (uint64_t id = kBefore + 1; id <= kBefore + kAfter; ++id) {
+    pool.Submit(MakeReq(id, UserName(static_cast<int>(id % kUsers))));
+  }
+  pool.Drain();
+  EXPECT_TRUE(pool.SwapComplete());
+  pool.Stop();
+
+  EXPECT_EQ(pool.processed(), kBefore + kAfter);
+  EXPECT_EQ(pool.dropped(), kAfter);
+  // State carried over the swap: the ACL rows survived, and Logging (which
+  // runs before the drop) kept appending across the boundary.
+  auto merged_acl = pool.MergedInstance(kAclIdx);
+  ASSERT_TRUE(merged_acl.ok());
+  EXPECT_EQ((*merged_acl)->FindTable("ac_tab")->RowCount(),
+            static_cast<size_t>(kUsers));
+  size_t log_rows = 0;
+  for (int w = 0; w < pool.workers(); ++w) {
+    log_rows +=
+        pool.WorkerInstance(w, kLoggingIdx).FindTable("log_tab")->RowCount();
+  }
+  EXPECT_EQ(log_rows, kBefore + kAfter);
+}
+
+TEST(EnginePoolReconfig, IncompatibleSwapIsRejectedAndHarmless) {
+  constexpr int kUsers = 8;
+  EnginePool::Config config;
+  config.workers = 2;
+  config.shard_key_field = "username";
+  EnginePool pool(LogAclElements(), {}, config);
+  SeedUsers(pool, kUsers);
+  ASSERT_TRUE(pool.Start().ok());
+  const uint64_t v0 = pool.program_version();
+
+  // The new chain renames/reshapes ac_tab: state cannot carry over, so the
+  // swap must be rejected with the running program untouched.
+  auto parsed = dsl::ParseProgram(
+      "STATE TABLE ac_tab (username TEXT PRIMARY KEY, permission TEXT, "
+      "level INT);\n" +
+      std::string(elements::LogTableSql()) +
+      std::string(elements::LoggingSql()) + R"(
+ELEMENT Acl ON REQUEST {
+  INPUT (username TEXT, payload BYTES);
+  ON DROP ABORT 'permission denied';
+  SELECT * FROM input JOIN ac_tab ON input.username = ac_tab.username
+    WHERE ac_tab.permission = 'W';
+}
+)");
+  auto lowered = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(lowered.ok());
+  const Status swap = pool.SwapProgram({lowered->FindElement("Logging"),
+                                        lowered->FindElement("Acl")});
+  ASSERT_FALSE(swap.ok());
+  EXPECT_EQ(swap.error().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.program_version(), v0);
+
+  // The pool keeps serving under the old program.
+  for (uint64_t id = 1; id <= 512; ++id) {
+    pool.Submit(MakeReq(id, UserName(static_cast<int>(id % kUsers))));
+  }
+  pool.Stop();
+  EXPECT_EQ(pool.processed(), 512u);
+  EXPECT_EQ(pool.dropped(), 0u);
+}
+
 // --- Fused concurrent parallel groups ----------------------------------------
 
 std::vector<std::shared_ptr<const ir::ElementIr>> IndependentElements() {

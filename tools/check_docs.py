@@ -14,6 +14,12 @@ Three checks, all cheap enough for every push:
    list metrics the runtime no longer registers. (The reverse direction —
    the runtime registering undocumented names — is enforced at runtime by
    tests/test_obs.cc's contract tests.)
+4. The reconfiguration contract: docs/RECONFIG.md must exist, every
+   backticked `adn_*` name it cites must appear under src/, and every
+   `adn_reconfig_*` metric literal under src/ must be documented in BOTH
+   docs/RECONFIG.md (the contract that defines it) and
+   docs/OBSERVABILITY.md (the telemetry index). Live migration ships with
+   its paper trail or not at all.
 
 Exits 0 when clean, 1 with one line per problem otherwise.
 """
@@ -94,8 +100,46 @@ def check_metric_names():
     return problems
 
 
+def check_reconfig_contract():
+    reconfig = REPO / "docs" / "RECONFIG.md"
+    if not reconfig.exists():
+        return ["docs/RECONFIG.md: missing — the reconfiguration contract "
+                "must ship with the live-migration code"]
+    problems = []
+    src_files = [p for p in sorted((REPO / "src").rglob("*"))
+                 if p.suffix in (".h", ".cc")]
+    src_text = "".join(p.read_text(encoding="utf-8") for p in src_files)
+    text = reconfig.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for name in set(METRIC_RE.findall(line)):
+            if name not in src_text:
+                problems.append(
+                    f"docs/RECONFIG.md:{lineno}: metric '{name}' does not "
+                    f"appear anywhere under src/")
+    # Reverse direction: every reconfig metric the runtime registers must be
+    # documented in both the contract and the telemetry index.
+    obs_doc = REPO / "docs" / "OBSERVABILITY.md"
+    obs_text = obs_doc.read_text(encoding="utf-8") if obs_doc.exists() else ""
+    registered = set()
+    for f in src_files:
+        registered.update(
+            re.findall(r"\badn_reconfig_[a-z0-9_]+",
+                       f.read_text(encoding="utf-8")))
+    for name in sorted(registered):
+        if name not in text:
+            problems.append(
+                f"docs/RECONFIG.md: runtime metric '{name}' is not "
+                f"documented in the reconfiguration contract")
+        if name not in obs_text:
+            problems.append(
+                f"docs/OBSERVABILITY.md: runtime metric '{name}' is not "
+                f"listed in the telemetry index")
+    return problems
+
+
 def main():
-    problems = check_links() + check_bench_targets() + check_metric_names()
+    problems = (check_links() + check_bench_targets() + check_metric_names()
+                + check_reconfig_contract())
     for p in problems:
         print(p)
     if problems:

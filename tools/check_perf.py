@@ -26,8 +26,20 @@ the operator-new hooks) to stay at or below the bound. The zero-allocation
 invariant is deterministic — not timing-dependent — so CI pins it at 0.
 No baseline file is involved in this mode.
 
+A fourth mode gates BENCH_reconfig.json (written by bench_reconfig): pass
+``--min-blackout-improvement`` to require the fresh file's
+``blackout_improvement`` (pause-drain blackout p99 over live-migration
+blackout p99, both measured in the same run on the same host, so immune to
+runner-speed variance) to stay above a floor, and ``dropped`` to be exactly
+zero — the zero-drop contract of docs/RECONFIG.md is binary. When a
+--baseline pointing at reconfig_baseline.json is also given, the absolute
+``live_blackout_p99_ns`` is additionally held within --max-regress of the
+baseline (use a generous factor: blackout is a tail latency on a shared
+runner, far noisier than throughput).
+
 Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
                      [--min-speedup RATIO] [--max-allocs N]
+                     [--min-blackout-improvement RATIO]
 Exits 0 when within bounds, 1 with a one-line verdict otherwise.
 """
 
@@ -51,6 +63,54 @@ def load(path):
     return data, float(ns)
 
 
+def check_reconfig(args):
+    try:
+        fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_perf: cannot read {args.fresh}: {e}")
+    improvement = fresh.get("blackout_improvement")
+    live_p99 = fresh.get("live_blackout_p99_ns")
+    dropped = fresh.get("dropped")
+    for name, value in (("blackout_improvement", improvement),
+                        ("live_blackout_p99_ns", live_p99),
+                        ("dropped", dropped)):
+        if not isinstance(value, (int, float)):
+            print(f"check_perf: FAIL — fresh file has no {name} field")
+            return 1
+    print(f"live blackout p99: {live_p99 / 1e6:.2f} ms, "
+          f"pause-drain p99: "
+          f"{fresh.get('pause_drain_blackout_p99_ns', 0) / 1e6:.2f} ms, "
+          f"improvement {improvement:.1f}x "
+          f"[sha {fresh.get('git_sha', '?')}]")
+    if dropped != 0:
+        print(f"check_perf: FAIL — {dropped} messages dropped during "
+              f"reconfiguration (zero-drop contract, docs/RECONFIG.md)")
+        return 1
+    if improvement < args.min_blackout_improvement:
+        print(f"check_perf: FAIL — blackout improvement {improvement:.1f}x "
+              f"below {args.min_blackout_improvement:g}x floor")
+        return 1
+    if args.baseline and Path(args.baseline).exists():
+        try:
+            base = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"check_perf: cannot read {args.baseline}: {e}")
+        base_p99 = base.get("live_blackout_p99_ns")
+        if isinstance(base_p99, (int, float)) and base_p99 > 0:
+            growth = live_p99 / base_p99 - 1.0
+            print(f"baseline live p99: {base_p99 / 1e6:.2f} ms "
+                  f"[sha {base.get('git_sha', '?')}] — "
+                  f"fresh is {growth * +100:+.0f}%")
+            if growth > args.max_regress:
+                print(f"check_perf: FAIL — live blackout p99 grew "
+                      f"{growth * 100:.0f}% over baseline "
+                      f"(> {args.max_regress * 100:.0f}% allowed)")
+                return 1
+    print(f"check_perf: OK — zero drops, blackout improvement "
+          f"{improvement:.1f}x (floor {args.min_blackout_improvement:g}x)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", help="BENCH_exec.json from this build")
@@ -62,7 +122,15 @@ def main():
     parser.add_argument("--max-allocs", type=float, default=None,
                         help="gate a BENCH_alloc.json: require allocs_per_msg "
                              "<= this bound (no baseline used)")
+    parser.add_argument("--min-blackout-improvement", type=float, default=None,
+                        help="gate a BENCH_reconfig.json: require "
+                             "blackout_improvement >= this ratio and zero "
+                             "drops; with --baseline also bound "
+                             "live_blackout_p99_ns regression")
     args = parser.parse_args()
+
+    if args.min_blackout_improvement is not None:
+        return check_reconfig(args)
 
     if args.max_allocs is not None:
         try:
