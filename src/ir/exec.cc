@@ -1,6 +1,7 @@
 #include "ir/exec.h"
 
 #include "ir/state_delta.h"
+#include "obs/intern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -18,6 +19,13 @@ ElementInstance::ElementInstance(std::shared_ptr<const ElementIr> code,
   for (const auto& [name, schema] : code_->state_tables) {
     tables_.emplace_back(name, schema);
   }
+  ResolveObsInstruments();
+}
+
+void ElementInstance::ResolveObsInstruments() {
+  obs_name_id_ = obs::InternName(code_->name);
+  obs_hist_ = &obs::MetricsRegistry::Default().GetHistogram(
+      "adn_element_latency_ns", "element=\"" + code_->name + "\"");
 }
 
 bool ElementInstance::AppliesTo(rpc::MessageKind kind) const {
@@ -55,13 +63,10 @@ ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
   obs::TraceContext* trace = timing ? obs::CurrentTrace() : nullptr;
   const int64_t seg_start = timing ? obs::NowNs() : 0;
   size_t span = 0;
-  if (trace != nullptr) span = trace->OpenSpan(name());
+  if (trace != nullptr) span = trace->OpenSpan(obs_name_id_);
   auto finish = [&] {
     if (timing) {
-      obs::MetricsRegistry::Default()
-          .GetHistogram("adn_element_latency_ns",
-                        "element=\"" + name() + "\"")
-          .Observe(static_cast<double>(obs::NowNs() - seg_start));
+      obs_hist_->Observe(static_cast<double>(obs::NowNs() - seg_start));
     }
     if (trace != nullptr) trace->CloseSpan(span);
   };
@@ -414,6 +419,7 @@ Result<std::vector<Bytes>> ElementInstance::SplitStateSlotted(
 Status ElementInstance::ReplaceCode(std::shared_ptr<const ElementIr> new_code) {
   ADN_RETURN_IF_ERROR(CheckStateCompatible(*code_, *new_code));
   code_ = std::move(new_code);
+  ResolveObsInstruments();
   return Status::Ok();
 }
 

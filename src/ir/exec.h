@@ -16,6 +16,10 @@
 #include "rpc/message.h"
 #include "rpc/table.h"
 
+namespace adn::obs {
+class Histogram;
+}
+
 namespace adn::ir {
 
 enum class ProcessOutcome : uint8_t {
@@ -96,8 +100,14 @@ class ElementInstance {
  private:
   ProcessResult RunStatement(const StmtIr& stmt, rpc::Message& m,
                              EvalContext& ctx);
+  // Resolve the interned span-name id and the element-latency histogram
+  // once (construction / ReplaceCode), so Process never builds a label
+  // string or takes the registry mutex per message.
+  void ResolveObsInstruments();
 
   std::shared_ptr<const ElementIr> code_;
+  uint32_t obs_name_id_ = 0;  // obs::NameId of code_->name
+  obs::Histogram* obs_hist_ = nullptr;
   std::vector<rpc::Table> tables_;
   Rng rng_;
   uint64_t nonce_counter_;

@@ -206,10 +206,21 @@ ChainExecutor::ChainExecutor(std::shared_ptr<const ChainProgram> program,
   }
   dest_fid_ = rpc::InternFieldName(kDestinationField);
   elem_hist_.reserve(instances_.size());
+  elem_name_ids_.reserve(instances_.size());
   for (const ElementInstance* inst : instances_) {
     elem_hist_.push_back(&obs::MetricsRegistry::Default().GetHistogram(
         "adn_element_latency_ns", "element=\"" + inst->name() + "\""));
+    elem_name_ids_.push_back(obs::InternName(inst->name()));
   }
+  // Trace identity and obs self-metrics, resolved once so the burst path
+  // emits span events with zero string work or registry lookups.
+  rpc_name_id_ = obs::InternName("rpc");
+  burst_name_id_ = obs::InternName("burst");
+  proc_name_id_ = obs::InternName("engine");
+  spans_total_ =
+      &obs::MetricsRegistry::Default().GetCounter("adn_obs_spans_total");
+  traces_sampled_ = &obs::MetricsRegistry::Default().GetCounter(
+      "adn_obs_traces_sampled_total");
   AnalyzeBurst();
 }
 
@@ -631,7 +642,9 @@ ProcessResult ChainExecutor::Process(Message& m, int64_t now_ns) {
         rs.joined_row = nullptr;
         if (timing) {
           seg_start = obs::NowNs();
-          if (trace != nullptr) open_span = trace->OpenSpan(inst->name());
+          if (trace != nullptr) {
+            open_span = trace->OpenSpan(elem_name_ids_[in.b]);
+          }
         }
         break;
       }

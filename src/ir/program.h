@@ -30,6 +30,7 @@
 #include "ir/element_ir.h"
 #include "ir/exec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/message.h"
 
 namespace adn::ir {
@@ -170,14 +171,25 @@ class ChainExecutor {
   // mutations, same per-element processed/dropped counters, same nonce/RNG
   // streams, same table contents (burst ≡ scalar, proven by test_burst).
   //
-  // When the program is burst-vectorizable (see burst_vectorizable()) and
-  // observability is off, this runs the struct-of-arrays wavefront in
-  // program_burst.cc: one opcode dispatch per instruction for the whole
-  // burst, a live-lane mask for mid-burst drop/abort, and a table-row
-  // prefetch stage ahead of the wavefront. Otherwise it degrades to the
-  // scalar loop — semantics never depend on which path ran.
+  // When the program is burst-vectorizable (see burst_vectorizable()) this
+  // runs the struct-of-arrays wavefront in program_burst.cc: one opcode
+  // dispatch per instruction for the whole burst, a live-lane mask for
+  // mid-burst drop/abort, and a table-row prefetch stage ahead of the
+  // wavefront. Otherwise it degrades to the scalar loop — semantics never
+  // depend on which path ran. Observability stays ON either way: the burst
+  // path batches its telemetry (one histogram delta per element per burst,
+  // span events at burst granularity — the "Burst-mode telemetry" contract
+  // in docs/OBSERVABILITY.md) instead of falling back to scalar.
   void ProcessBurst(rpc::Message* msgs, size_t n, int64_t now_ns,
                     ProcessResult* results);
+
+  // Observability identity stamped on the burst path's span events (the
+  // scalar path takes its identity from the enclosing RpcTraceScope).
+  // `processor_id` is an obs::InternName id, interned once at registration.
+  void set_trace_identity(obs::Tier tier, obs::NameId processor_id) {
+    trace_tier_ = tier;
+    proc_name_id_ = processor_id;
+  }
 
   // True when static analysis proved instruction-major (SoA) execution
   // reorders no observable effect relative to message-major execution:
@@ -226,6 +238,10 @@ class ChainExecutor {
   void RunBurst(rpc::Message* msgs, size_t k, int64_t now_ns,
                 ProcessResult* results);
   rpc::Value TakeBurstReg(uint16_t r, size_t lane, size_t stride);
+  // Post-wavefront telemetry: batched histogram deltas + sampled POD span
+  // events from the per-segment timestamps the wavefront staged.
+  void FinishBurstTelemetry(rpc::Message* msgs, size_t k, int64_t burst_start,
+                            int cur_seg, size_t entered_segs);
 
   std::shared_ptr<const ChainProgram> program_;
   std::vector<ElementInstance*> instances_;
@@ -258,6 +274,17 @@ class ChainExecutor {
   // construction so the hot path never builds a label string. Only touched
   // when obs::Enabled().
   std::vector<obs::Histogram*> elem_hist_;
+  // Interned element names (span event name ids) + the executor's trace
+  // identity and obs self-metric counters, all resolved at construction /
+  // registration so the burst path emits telemetry without a single string
+  // or registry lookup.
+  std::vector<obs::NameId> elem_name_ids_;
+  obs::Tier trace_tier_ = obs::Tier::kEngine;
+  obs::NameId proc_name_id_ = 0;
+  obs::NameId rpc_name_id_ = 0;
+  obs::NameId burst_name_id_ = 0;
+  obs::Counter* spans_total_ = nullptr;
+  obs::Counter* traces_sampled_ = nullptr;
 
   // --- Burst (SoA) state. Sized once at construction; RunBurst indexes
   // registers as [r * k + lane] with k = the live chunk width, so a burst
@@ -279,6 +306,18 @@ class ChainExecutor {
   std::vector<FunctionContext> lane_ctx_;
   // Prefetch stage results: [site * k + lane] resolved Row* (or nullptr).
   std::vector<const rpc::Row*> pf_rows_;
+  // Burst-mode telemetry scratch (only touched when obs::Enabled()): the
+  // wavefront stamps one NowNs() pair per element segment per burst and
+  // counts entering lanes; after the wavefront those become one ObserveN
+  // histogram delta per segment and (for sampled lanes) span events at
+  // burst granularity. lane_seg_mask_ tracks which of the first 64 segments
+  // each lane actually entered, so a sampled lane's span tree only lists
+  // segments it executed.
+  std::vector<int64_t> bseg_start_;
+  std::vector<int64_t> bseg_end_;
+  std::vector<uint32_t> bseg_lanes_;
+  std::vector<uint16_t> bseg_order_;
+  std::vector<uint64_t> lane_seg_mask_;
 };
 
 }  // namespace adn::ir

@@ -32,9 +32,20 @@
 //     (and every joined-row borrow stays stable for the whole burst);
 //   - each element has at most one non-deterministic call site, so RNG
 //     draws happen in lane order = message order.
-// Programs that violate any rule (or any run with observability enabled,
-// whose per-message spans/histograms are inherently message-major) fall
-// back to the scalar loop — semantics never depend on which path ran.
+// Programs that violate any rule fall back to the scalar loop — semantics
+// never depend on which path ran.
+//
+// Observability does NOT force the scalar tier (the "Burst-mode telemetry"
+// contract, docs/OBSERVABILITY.md): when obs::Enabled(), the wavefront
+// batches its telemetry instead. One NowNs() pair is stamped per element
+// segment per burst (kBeginElement fires once per element, proven by the
+// analysis above), the entering-lane count is recorded, and after the
+// wavefront each segment posts ONE Histogram::ObserveN delta — count
+// parity with n scalar runs, values amortized to burst granularity. When
+// tracing samples a lane, fixed-size POD span events (one root "rpc" span
+// + one span per segment the lane entered, sharing the segment's burst
+// timestamps) are written to this worker's SPSC event ring
+// (obs/event_ring.h) — no strings, no allocation, no locks.
 #include <algorithm>
 #include <unordered_map>
 
@@ -173,6 +184,13 @@ void ChainExecutor::AnalyzeBurst() {
   lane_join_.resize(kMaxBurstLanes);
   lane_cur_.resize(kMaxBurstLanes);
   lane_ctx_.resize(kMaxBurstLanes);
+  // Burst-mode telemetry scratch: one slot per element segment (timestamps,
+  // entering-lane counts, entry order) + one seg-entry bitmask per lane.
+  bseg_start_.resize(instances_.size());
+  bseg_end_.resize(instances_.size());
+  bseg_lanes_.resize(instances_.size());
+  bseg_order_.resize(instances_.size());
+  lane_seg_mask_.resize(kMaxBurstLanes);
 }
 
 Value ChainExecutor::TakeBurstReg(uint16_t r, size_t lane, size_t stride) {
@@ -183,10 +201,11 @@ Value ChainExecutor::TakeBurstReg(uint16_t r, size_t lane, size_t stride) {
 
 void ChainExecutor::ProcessBurst(Message* msgs, size_t n, int64_t now_ns,
                                  ProcessResult* results) {
-  // Scalar fallback: analysis said no, a single message (nothing to
-  // amortize), or observability on (per-message spans/histograms are
-  // message-major by definition). Identical outcomes either way.
-  if (!burst_safe_ || n < 2 || obs::Enabled()) {
+  // Scalar fallback: analysis said no, or a single message (nothing to
+  // amortize). Identical outcomes either way. Observability is NOT a
+  // fallback condition — the wavefront batches its telemetry (header
+  // comment / docs/OBSERVABILITY.md "Burst-mode telemetry").
+  if (!burst_safe_ || n < 2) {
     for (size_t i = 0; i < n; ++i) results[i] = Process(msgs[i], now_ns);
     return;
   }
@@ -240,6 +259,20 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
             table->PrefetchSingleKey(FieldOrNull(msgs[l], fid));
       }
     }
+  }
+
+  // Burst-mode telemetry state: the wavefront stamps one clock pair per
+  // element segment (at its single kBeginElement) and counts entering
+  // lanes; FinishBurstTelemetry turns those into batched histogram deltas
+  // and sampled span events after the wavefront. One Enabled() load per
+  // burst, not per message.
+  const bool timing = obs::Enabled();
+  int64_t burst_start = 0;
+  int cur_seg = -1;
+  size_t entered_segs = 0;
+  if (timing) {
+    burst_start = obs::NowNs();
+    for (size_t l = 0; l < k; ++l) lane_seg_mask_[l] = 0;
   }
 
   // Drop/abort bookkeeping identical to the scalar tier: any non-pass
@@ -552,14 +585,38 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
         // Lane order == message order, so this element's processed count
         // and nonce sequence advance exactly as n scalar calls would.
         ElementInstance* inst = instances_[in.b];
-        for (size_t l = 0; l < k; ++l) {
-          if (lane_ip_[l] != ip) continue;
-          inst->NoteProcessed();
-          lane_ctx_[l].rng = &inst->rng();
-          lane_ctx_[l].nonce = inst->BumpNonce();
-          lane_cur_[l] = in.b;
-          lane_join_[l] = nullptr;
-          lane_ip_[l] = next;
+        if (timing) {
+          // Segment boundary: close the previous segment's window, open
+          // this one — one clock read per element per burst, amortized
+          // over every lane (the burst-granularity guarantee).
+          const int64_t now = obs::NowNs();
+          if (cur_seg >= 0) bseg_end_[cur_seg] = now;
+          cur_seg = in.b;
+          bseg_start_[in.b] = now;
+          bseg_lanes_[in.b] = 0;
+          bseg_order_[entered_segs++] = in.b;
+          const uint64_t bit = in.b < 64 ? (1ull << in.b) : 0;
+          for (size_t l = 0; l < k; ++l) {
+            if (lane_ip_[l] != ip) continue;
+            inst->NoteProcessed();
+            lane_ctx_[l].rng = &inst->rng();
+            lane_ctx_[l].nonce = inst->BumpNonce();
+            lane_cur_[l] = in.b;
+            lane_join_[l] = nullptr;
+            lane_ip_[l] = next;
+            ++bseg_lanes_[in.b];
+            lane_seg_mask_[l] |= bit;
+          }
+        } else {
+          for (size_t l = 0; l < k; ++l) {
+            if (lane_ip_[l] != ip) continue;
+            inst->NoteProcessed();
+            lane_ctx_[l].rng = &inst->rng();
+            lane_ctx_[l].nonce = inst->BumpNonce();
+            lane_cur_[l] = in.b;
+            lane_join_[l] = nullptr;
+            lane_ip_[l] = next;
+          }
         }
         break;
       }
@@ -590,6 +647,82 @@ void ChainExecutor::RunBurst(Message* msgs, size_t k, int64_t now_ns,
     uint32_t min_ip = kLaneDone;
     for (size_t l = 0; l < k; ++l) min_ip = std::min(min_ip, lane_ip_[l]);
     ip = min_ip;
+  }
+
+  if (timing && cur_seg >= 0) {
+    FinishBurstTelemetry(msgs, k, burst_start, cur_seg, entered_segs);
+  }
+}
+
+void ChainExecutor::FinishBurstTelemetry(Message* msgs, size_t k,
+                                         int64_t burst_start, int cur_seg,
+                                         size_t entered_segs) {
+  const int64_t burst_end = obs::NowNs();
+  bseg_end_[cur_seg] = burst_end;
+  // One batched histogram delta per element segment: count advances by the
+  // number of lanes that entered (exact parity with n scalar runs, enforced
+  // by test_burst), the observed value is the segment's wavefront window
+  // amortized over those lanes — burst-granularity timing by contract.
+  for (size_t s = 0; s < entered_segs; ++s) {
+    const uint16_t e = bseg_order_[s];
+    const uint32_t lanes = bseg_lanes_[e];
+    if (lanes == 0) continue;
+    const double mean = static_cast<double>(bseg_end_[e] - bseg_start_[e]) /
+                        static_cast<double>(lanes);
+    elem_hist_[e]->ObserveN(mean, lanes);
+  }
+  obs::Tracer& tracer = obs::Tracer::Default();
+  if (!tracer.tracing_enabled()) return;
+  // POD trace records straight into this worker's SPSC ring: one burst
+  // marker, then for each sampled lane a root "rpc" span (the whole burst
+  // window) with one child span per segment the lane entered, sharing the
+  // segment's burst timestamps. No strings, no allocation, no locks.
+  obs::TraceEvent burst_ev;
+  burst_ev.kind = obs::EventKind::kBurst;
+  burst_ev.name_id = burst_name_id_;
+  burst_ev.processor_id = proc_name_id_;
+  burst_ev.tier = static_cast<uint8_t>(trace_tier_);
+  burst_ev.start_ns = burst_start;
+  burst_ev.end_ns = burst_end;
+  burst_ev.arg = k;
+  obs::EmitEvent(burst_ev);
+  uint32_t sampled = 0;
+  uint64_t spans_emitted = 0;
+  for (size_t l = 0; l < k; ++l) {
+    const uint64_t id = msgs[l].id();
+    if (!tracer.ShouldSample(id)) continue;
+    ++sampled;
+    obs::TraceEvent root;
+    root.kind = obs::EventKind::kSpan;
+    root.trace_id = id;
+    root.span_id = obs::NextSpanId();
+    root.name_id = rpc_name_id_;
+    root.processor_id = proc_name_id_;
+    root.tier = static_cast<uint8_t>(trace_tier_);
+    root.start_ns = burst_start;
+    root.end_ns = burst_end;
+    root.arg = k;
+    obs::EmitEvent(root);
+    ++spans_emitted;
+    for (size_t s = 0; s < entered_segs; ++s) {
+      const uint16_t e = bseg_order_[s];
+      // Skip segments this lane never entered (tracked exactly for the
+      // first 64 segments; beyond that the span is included).
+      if (e < 64 && (lane_seg_mask_[l] & (1ull << e)) == 0) continue;
+      obs::TraceEvent child = root;
+      child.span_id = obs::NextSpanId();
+      child.parent_id = root.span_id;
+      child.name_id = elem_name_ids_[e];
+      child.start_ns = bseg_start_[e];
+      child.end_ns = bseg_end_[e];
+      child.arg = bseg_lanes_[e];
+      obs::EmitEvent(child);
+      ++spans_emitted;
+    }
+  }
+  if (sampled > 0) {
+    traces_sampled_->Inc(sampled);
+    spans_total_->Inc(spans_emitted);
   }
 }
 

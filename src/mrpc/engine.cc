@@ -7,6 +7,14 @@
 
 namespace adn::mrpc {
 
+namespace {
+// Interned once per process: the root span name every chain scope opens.
+obs::NameId RpcRootNameId() {
+  static const obs::NameId id = obs::InternName("rpc");
+  return id;
+}
+}  // namespace
+
 GeneratedStage::GeneratedStage(std::shared_ptr<const ir::ElementIr> code,
                                uint64_t seed)
     : instance_(std::move(code), seed) {
@@ -47,7 +55,8 @@ ir::ProcessResult EngineChain::Process(rpc::Message& message,
   if (timing) {
     EnsureCounters();
     rpcs_counter_->Inc();
-    scope.emplace(message.id(), trace_tier_, trace_processor_, "rpc");
+    scope.emplace(message.id(), trace_tier_, trace_processor_id(),
+                  RpcRootNameId());
   }
   for (const auto& stage : stages_) {
     if (!stage->AppliesTo(message.kind())) continue;
@@ -63,9 +72,21 @@ ir::ProcessResult EngineChain::Process(rpc::Message& message,
 
 void EngineChain::ProcessBurst(rpc::Message* messages, size_t n,
                                int64_t now_ns, ir::ProcessResult* results) {
-  if (obs::Enabled() || n < 2) {
+  // Metrics are no longer a fallback condition: counters batch to one
+  // Inc(n) per burst. Only *tracing* still routes through the scalar loop
+  // here — this chain runs stage-major over independent per-stage
+  // executors, so per-RPC span trees (one root, children across stages)
+  // are inherently message-major. The single-executor whole-chain path
+  // (ir::ChainExecutor::ProcessBurst, used by EnginePool workers) emits
+  // burst-granular spans without any fallback.
+  const bool timing = obs::Enabled();
+  if (n < 2 || (timing && obs::Tracer::Default().tracing_enabled())) {
     for (size_t i = 0; i < n; ++i) results[i] = Process(messages[i], now_ns);
     return;
+  }
+  if (timing) {
+    EnsureCounters();
+    rpcs_counter_->Inc(n);
   }
   processed_ += n;
   for (size_t i = 0; i < n; ++i) results[i] = ir::ProcessResult::Pass();
@@ -88,9 +109,12 @@ void EngineChain::ProcessBurst(rpc::Message* messages, size_t n,
       i = j;
     }
   }
+  uint64_t drops = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (results[i].outcome != ir::ProcessOutcome::kPass) ++dropped_;
+    if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
   }
+  dropped_ += drops;
+  if (timing && drops > 0) drops_counter_->Inc(drops);
 }
 
 EngineChain::Outcome EngineChain::ProcessWithCost(
@@ -101,7 +125,8 @@ EngineChain::Outcome EngineChain::ProcessWithCost(
   if (timing) {
     EnsureCounters();
     rpcs_counter_->Inc();
-    scope.emplace(message.id(), trace_tier_, trace_processor_, "rpc");
+    scope.emplace(message.id(), trace_tier_, trace_processor_id(),
+                  RpcRootNameId());
   }
   Outcome out;
   out.cost_ns = static_cast<double>(model.mrpc_engine_dispatch_ns);

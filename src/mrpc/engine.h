@@ -19,6 +19,7 @@
 
 #include "ir/exec.h"
 #include "ir/program.h"
+#include "obs/intern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/message.h"
@@ -44,6 +45,11 @@ class EngineStage {
   // Simulated CPU per message on a host core.
   virtual double CostNs(const sim::CostModel& model,
                         size_t payload_bytes) const = 0;
+  // Observability identity for spans this stage's executor emits on the
+  // burst path (interned processor name + tier). No-op for stages without
+  // a compiled executor.
+  virtual void set_trace_identity(obs::Tier /*tier*/,
+                                  obs::NameId /*processor_id*/) {}
 };
 
 // A compiler-generated stage. The element is lowered to a flat ChainProgram
@@ -77,6 +83,9 @@ class GeneratedStage : public EngineStage {
   }
   double CostNs(const sim::CostModel& model,
                 size_t payload_bytes) const override;
+  void set_trace_identity(obs::Tier tier, obs::NameId processor_id) override {
+    if (executor_.has_value()) executor_->set_trace_identity(tier, processor_id);
+  }
 
   // True when this stage runs the compiled tier (vs the interpreter).
   bool compiled() const { return executor_.has_value(); }
@@ -102,6 +111,7 @@ class EngineChain {
   void AddStage(std::unique_ptr<EngineStage> stage, int parallel_group = -1) {
     if (parallel_group < 0) parallel_group = next_unique_group_--;
     groups_.push_back(parallel_group);
+    stage->set_trace_identity(trace_tier_, trace_processor_id());
     stages_.push_back(std::move(stage));
   }
 
@@ -113,6 +123,7 @@ class EngineChain {
   // protocol's resume step: the merged/re-sharded instance replaces the
   // paused one). Group membership is unchanged.
   void ReplaceStage(size_t i, std::unique_ptr<EngineStage> stage) {
+    stage->set_trace_identity(trace_tier_, trace_processor_id());
     stages_[i] = std::move(stage);
   }
 
@@ -154,14 +165,27 @@ class EngineChain {
   // Observability identity for this chain: the tier and processor name
   // stamped on every span/metric it emits. Defaults to the engine tier; the
   // simulated path re-labels each site's chain (tier=sim, processor=site).
+  // The name is interned once here; the hot path only ever touches the id.
   void set_trace_identity(obs::Tier tier, std::string_view processor) {
     trace_tier_ = tier;
     trace_processor_ = std::string(processor);
+    trace_processor_id_ = obs::InternName(processor);
     rpcs_counter_ = nullptr;  // re-resolve under the new label
     drops_counter_ = nullptr;
+    for (const auto& stage : stages_) {
+      stage->set_trace_identity(tier, trace_processor_id_);
+    }
   }
   obs::Tier trace_tier() const { return trace_tier_; }
   const std::string& trace_processor() const { return trace_processor_; }
+  obs::NameId trace_processor_id() const {
+    // Lazily interned so a default-identity chain pays nothing until the
+    // first observability-on call.
+    if (trace_processor_id_ == 0) {
+      trace_processor_id_ = obs::InternName(trace_processor_);
+    }
+    return trace_processor_id_;
+  }
 
  private:
   // Resolve (once per identity) the chain's adn_chain_*_total counters.
@@ -174,6 +198,7 @@ class EngineChain {
   uint64_t dropped_ = 0;
   obs::Tier trace_tier_ = obs::Tier::kEngine;
   std::string trace_processor_ = "engine";
+  mutable obs::NameId trace_processor_id_ = 0;
   obs::Counter* rpcs_counter_ = nullptr;
   obs::Counter* drops_counter_ = nullptr;
 };

@@ -23,6 +23,29 @@ int64_t ThreadCpuNs() {
   return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
+// Interned once per process: the root span name the per-message path opens.
+obs::NameId PoolRpcNameId() {
+  static const obs::NameId id = obs::InternName("rpc");
+  return id;
+}
+
+// Emit a reconfiguration state-machine transition (or program swap) as an
+// instant event into the calling thread's ring. Names are the docs/RECONFIG.md
+// "Emitted events" contract. Reconfigs are rare, so interning here is fine.
+void EmitReconfigEvent(obs::EventKind kind, std::string_view name,
+                       std::string_view processor, uint64_t arg) {
+  if (!obs::Enabled() || !obs::Tracer::Default().tracing_enabled()) return;
+  obs::TraceEvent ev;
+  ev.kind = kind;
+  ev.name_id = obs::InternName(name);
+  ev.processor_id = obs::InternName(processor);
+  ev.start_ns = obs::NowNs();
+  ev.end_ns = ev.start_ns;
+  ev.arg = arg;
+  ev.tier = static_cast<uint8_t>(obs::Tier::kEngine);
+  obs::EmitEvent(ev);
+}
+
 }  // namespace
 
 // --- GroupRunner --------------------------------------------------------------
@@ -230,6 +253,7 @@ Status EnginePool::Start() {
         "processor=\"" + worker->trace_processor + "\"";
     worker->rpcs_counter = &reg.GetCounter("adn_chain_rpcs_total", label);
     worker->drops_counter = &reg.GetCounter("adn_chain_drops_total", label);
+    worker->trace_processor_id = obs::InternName(worker->trace_processor);
     worker->instances.reserve(elements_.size());
     for (size_t e = 0; e < elements_.size(); ++e) {
       auto inst = std::make_unique<ir::ElementInstance>(
@@ -243,6 +267,8 @@ Status EnginePool::Start() {
       for (auto& inst : worker->instances) raw.push_back(inst.get());
       worker->chain_exec = std::make_unique<ir::ChainExecutor>(
           whole_chain_program_, std::move(raw));
+      worker->chain_exec->set_trace_identity(obs::Tier::kEngine,
+                                             worker->trace_processor_id);
     } else {
       worker->element_exec.resize(elements_.size());
       for (size_t e = 0; e < elements_.size(); ++e) {
@@ -250,6 +276,8 @@ Status EnginePool::Start() {
         worker->element_exec[e] = std::make_unique<ir::ChainExecutor>(
             element_programs_[e],
             std::vector<ir::ElementInstance*>{worker->instances[e].get()});
+        worker->element_exec[e]->set_trace_identity(
+            obs::Tier::kEngine, worker->trace_processor_id);
       }
       if (config_.group_mode == GroupMode::kConcurrent &&
           max_fused_width_ > 1) {
@@ -350,6 +378,9 @@ void EnginePool::Stop() {
 
 void EnginePool::WorkerLoop(int index) {
   Worker& w = *workers_[static_cast<size_t>(index)];
+  // Register + label this worker's event ring up front so tools can show
+  // per-worker ring depth even before the first emit.
+  obs::EventRingRegistry::Default().SetThisThreadLabel(w.trace_processor);
   const int64_t cpu_start = ThreadCpuNs();
   int64_t exec_acc = 0;
   // One unified burst drain for both the measuring and non-measuring modes:
@@ -479,12 +510,24 @@ size_t EnginePool::RunPendingControl(Worker& w, size_t burst_max) {
 
 void EnginePool::ProcessBatch(Worker& w, rpc::Message* msgs, size_t n,
                               int64_t now_ns, ir::ProcessResult* results) {
-  // Burst path only when the whole chain compiled and observability is off:
-  // per-RPC trace scopes and the rpcs/drops counters are message-major, so
-  // an obs-on run takes ProcessMessage per lane (ProcessBurst would fall
-  // back to scalar internally anyway, but would skip the pool counters).
-  if (w.chain_exec != nullptr && !obs::Enabled()) {
+  // Observability is NOT a fallback condition: a burst-vectorizable
+  // whole-chain executor runs the SoA burst path with telemetry on — the
+  // executor batches histograms/spans internally (burst-granular, written
+  // to this worker's event ring) and the pool counters batch to one Inc(n)
+  // here. Only a chain the analysis could not vectorize takes the
+  // per-message path when obs is on, keeping its per-RPC trace scopes.
+  if (w.chain_exec != nullptr &&
+      (!obs::Enabled() || w.chain_exec->burst_vectorizable())) {
+    const bool timing = obs::Enabled();
     w.chain_exec->ProcessBurst(msgs, n, now_ns, results);
+    if (timing) {
+      w.rpcs_counter->Inc(n);
+      uint64_t drops = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
+      }
+      if (drops > 0) w.drops_counter->Inc(drops);
+    }
     return;
   }
   for (size_t i = 0; i < n; ++i) {
@@ -498,7 +541,8 @@ ir::ProcessResult EnginePool::ProcessMessage(Worker& w, rpc::Message& m,
   std::optional<obs::RpcTraceScope> scope;
   if (timing) {
     w.rpcs_counter->Inc();
-    scope.emplace(m.id(), obs::Tier::kEngine, w.trace_processor, "rpc");
+    scope.emplace(m.id(), obs::Tier::kEngine, w.trace_processor_id,
+                  PoolRpcNameId());
   }
   ir::ProcessResult result = ir::ProcessResult::Pass();
   if (w.chain_exec != nullptr) {
@@ -660,6 +704,8 @@ Status EnginePool::BeginSlotMigration(int slot, int to_worker) {
   mig->stats.to = to_worker;
   LiveMigration* m = mig.get();
   mig_ = std::move(mig);
+  EmitReconfigEvent(obs::EventKind::kReconfig, obs::kEventReconfigSnapshot,
+                    config_.processor, static_cast<uint64_t>(slot));
   // Source worker, between bursts: capture the slice snapshot (the bulk
   // copy) and a mutation baseline of the slot's keyed rows. The slot keeps
   // serving at the source while the destination absorbs the bulk.
@@ -700,6 +746,8 @@ EnginePool::MigrationPhase EnginePool::PumpMigration() {
         m->bulk_merged.store(true, std::memory_order_release);
       });
       m->phase = MigrationPhase::kBulkMerge;
+      EmitReconfigEvent(obs::EventKind::kReconfig, obs::kEventReconfigBulkMerge,
+                        config_.processor, m->stats.bulk_bytes);
       break;
     }
     case MigrationPhase::kBulkMerge: {
@@ -732,6 +780,8 @@ EnginePool::MigrationPhase EnginePool::PumpMigration() {
         m->erase_done.store(true, std::memory_order_release);
       });
       m->phase = MigrationPhase::kCutover;
+      EmitReconfigEvent(obs::EventKind::kReconfig, obs::kEventReconfigCutover,
+                        config_.processor, static_cast<uint64_t>(m->slot));
       break;
     }
     case MigrationPhase::kCutover: {
@@ -763,6 +813,9 @@ EnginePool::MigrationPhase EnginePool::PumpMigration() {
               std::chrono::steady_clock::now() - m->hold_start)
               .count();
       m->phase = MigrationPhase::kReplay;
+      EmitReconfigEvent(obs::EventKind::kReconfig, obs::kEventReconfigReplay,
+                        config_.processor,
+                        static_cast<uint64_t>(m->stats.blackout_ns));
       break;
     }
     case MigrationPhase::kReplay: {
@@ -844,6 +897,8 @@ Status EnginePool::SwapProgram(
       for (auto& inst : wk.instances) raw.push_back(inst.get());
       wk.chain_exec =
           std::make_unique<ir::ChainExecutor>(program, std::move(raw));
+      wk.chain_exec->set_trace_identity(obs::Tier::kEngine,
+                                        wk.trace_processor_id);
       swap_pending_.fetch_sub(1, std::memory_order_release);
     });
   }
@@ -855,6 +910,8 @@ Status EnginePool::SwapProgram(
   elements_ = new_elements;
   whole_chain_program_ = program;
   program_version_.store(program->version, std::memory_order_release);
+  EmitReconfigEvent(obs::EventKind::kSwap, obs::kEventReconfigSwapProgram,
+                    config_.processor, program->version);
   return Status::Ok();
 }
 

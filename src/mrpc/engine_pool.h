@@ -56,6 +56,7 @@
 #include "ir/program.h"
 #include "ir/state_delta.h"
 #include "mrpc/ring.h"
+#include "obs/intern.h"
 #include "obs/metrics.h"
 #include "rpc/intern.h"
 #include "rpc/message.h"
@@ -311,6 +312,7 @@ class EnginePool {
     obs::Counter* rpcs_counter = nullptr;
     obs::Counter* drops_counter = nullptr;
     std::string trace_processor;
+    obs::NameId trace_processor_id = 0;  // interned once in Start
   };
 
   // In-flight live migration. Producer-owned; the flags publish the vectors

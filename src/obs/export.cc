@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace adn::obs {
@@ -37,11 +38,11 @@ void AppendSpanNode(std::string& out, const std::vector<Span>& spans,
   const Span& s = spans[idx];
   out += "{\"span_id\":" + std::to_string(s.span_id);
   out += ",\"name\":\"";
-  AppendEscaped(out, s.name);
+  AppendEscaped(out, s.name());
   out += "\",\"tier\":\"";
   out += TierName(s.tier);
   out += "\",\"processor\":\"";
-  AppendEscaped(out, s.processor);
+  AppendEscaped(out, s.processor());
   out += "\",\"start_ns\":" + std::to_string(s.start_ns);
   out += ",\"end_ns\":" + std::to_string(s.end_ns);
   out += ",\"children\":[";
@@ -114,6 +115,97 @@ std::string ExportTraceJson(uint64_t trace_id,
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+// One Chrome-trace event object. `ph` X events carry dur; i events carry
+// scope "g" (global) so Perfetto draws them across every row.
+void AppendChromeEvent(std::string& out, bool& first, std::string_view name,
+                       char ph, NameId processor_id, int64_t start_ns,
+                       int64_t dur_ns, std::string_view extra_args) {
+  if (!first) out += ",";
+  first = false;
+  out += "{\"name\":\"";
+  AppendEscaped(out, name);
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":" + std::to_string(processor_id);
+  out += ",\"ts\":";
+  AppendDouble(out, static_cast<double>(start_ns) / 1000.0);
+  if (ph == 'X') {
+    out += ",\"dur\":";
+    AppendDouble(out, static_cast<double>(dur_ns) / 1000.0);
+  } else {
+    out += ",\"s\":\"g\"";
+  }
+  if (!extra_args.empty()) {
+    out += ",\"args\":{";
+    out += extra_args;
+    out += "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string ExportChromeTraceJson(const std::vector<Span>& spans,
+                                  const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata rows: one per distinct processor id seen.
+  std::vector<NameId> procs;
+  for (const Span& s : spans) {
+    if (std::find(procs.begin(), procs.end(), s.processor_id) == procs.end()) {
+      procs.push_back(s.processor_id);
+    }
+  }
+  for (const TraceEvent& e : events) {
+    if (std::find(procs.begin(), procs.end(), e.processor_id) == procs.end()) {
+      procs.push_back(e.processor_id);
+    }
+  }
+  for (NameId p : procs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(p) + ",\"args\":{\"name\":\"";
+    AppendEscaped(out, NameOfId(p));
+    out += "\"}}";
+  }
+  for (const Span& s : spans) {
+    std::string args = "\"trace_id\":" + std::to_string(s.trace_id) +
+                       ",\"span_id\":" + std::to_string(s.span_id) +
+                       ",\"tier\":\"" + std::string(TierName(s.tier)) + "\"";
+    AppendChromeEvent(out, first, s.name(), 'X', s.processor_id, s.start_ns,
+                      s.end_ns - s.start_ns, args);
+  }
+  for (const TraceEvent& e : events) {
+    std::string args = "\"arg\":" + std::to_string(e.arg);
+    switch (e.kind) {
+      case EventKind::kSpan:
+        break;  // spans arrive via the span store, not here
+      case EventKind::kBurst:
+        args = "\"lanes\":" + std::to_string(e.arg);
+        AppendChromeEvent(out, first, NameOfId(e.name_id), 'X',
+                          e.processor_id, e.start_ns, e.end_ns - e.start_ns,
+                          args);
+        break;
+      case EventKind::kReconfig:
+      case EventKind::kSwap:
+        AppendChromeEvent(out, first, NameOfId(e.name_id), 'i',
+                          e.processor_id, e.start_ns, 0, args);
+        break;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportChromeTraceJson() {
+  Tracer& tracer = Tracer::Default();
+  tracer.Collect();
+  return ExportChromeTraceJson(tracer.AllSpans(), tracer.Events());
 }
 
 std::string ExportJson() {

@@ -25,4 +25,16 @@ std::string ExportTraceJson(uint64_t trace_id, const std::vector<Span>& spans);
 // registry and tracer.
 std::string ExportJson();
 
+// Chrome-trace ("Trace Event Format") JSON, loadable by chrome://tracing
+// and Perfetto. Each span becomes one complete ("ph":"X") event on a
+// per-processor thread row; kBurst events become complete events named
+// "burst" (args.lanes = lane count); kReconfig/kSwap transitions become
+// global instant events ("ph":"i") so blackout windows line up against the
+// data-plane spans. Timestamps are obs::NowNs() divided to microseconds.
+std::string ExportChromeTraceJson(const std::vector<Span>& spans,
+                                  const std::vector<TraceEvent>& events);
+
+// Convenience: Collect() the default tracer and export everything it holds.
+std::string ExportChromeTraceJson();
+
 }  // namespace adn::obs

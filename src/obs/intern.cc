@@ -1,0 +1,70 @@
+#include "obs/intern.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace adn::obs {
+
+namespace {
+
+// Storage layout mirrors rpc::FieldInterner: names is a fixed array of
+// std::string slots so a concurrent InternName() never moves memory a
+// lock-free NameOfId() is reading. A slot is fully written BEFORE count is
+// released, so any id <= a count an observer has seen refers to an
+// immutable, completed slot.
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::string, NameId> by_name;  // guarded by mu
+  std::array<std::string, kMaxInternedNames> names;
+  std::atomic<size_t> count{0};
+
+  Interner() {
+    // Id 0 is the empty name, so default-constructed records resolve to "".
+    by_name.emplace("", 0);
+    count.store(1, std::memory_order_release);
+  }
+};
+
+Interner& Global() {
+  static Interner interner;
+  return interner;
+}
+
+}  // namespace
+
+NameId InternName(std::string_view name) {
+  Interner& in = Global();
+  std::lock_guard<std::mutex> lock(in.mu);
+  auto it = in.by_name.find(std::string(name));
+  if (it != in.by_name.end()) return it->second;
+  size_t id = in.count.load(std::memory_order_relaxed);
+  if (id >= kMaxInternedNames) {
+    std::fprintf(stderr,
+                 "obs::InternName: exceeded %zu distinct names "
+                 "(interning '%.*s')\n",
+                 kMaxInternedNames, static_cast<int>(name.size()),
+                 name.data());
+    std::abort();
+  }
+  in.names[id] = std::string(name);
+  in.by_name.emplace(in.names[id], static_cast<NameId>(id));
+  in.count.store(id + 1, std::memory_order_release);
+  return static_cast<NameId>(id);
+}
+
+std::string_view NameOfId(NameId id) {
+  Interner& in = Global();
+  if (id >= in.count.load(std::memory_order_acquire)) return "<unknown-name>";
+  return in.names[id];
+}
+
+size_t InternedNameCount() {
+  return Global().count.load(std::memory_order_acquire);
+}
+
+}  // namespace adn::obs

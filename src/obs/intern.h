@@ -1,0 +1,42 @@
+// Observability name interning: the tracing half of the zero-allocation
+// story (same pattern as rpc/intern.h, which interns message field names).
+//
+// Span names, processor names and event names recur millions of times on a
+// hot data plane; carrying them as std::string per record is what broke the
+// allocs/msg == 0 invariant when tracing was on. Each distinct name is
+// interned to a small dense NameId once — at registration/deploy time — and
+// every trace record (obs::Span, obs::TraceEvent) carries ids only.
+//
+// Lifetime and concurrency mirror rpc::FieldInterner:
+//  - The table is process-global and append-only; ids are stable for the
+//    life of the process and never reused. Id 0 is always the empty name.
+//  - InternName() takes a mutex (registration-time paths only).
+//  - NameOfId() is lock-free: slots are fully written before the size
+//    counter is released, so any id an observer legitimately holds resolves
+//    without synchronization and the returned view never dangles.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace adn::obs {
+
+using NameId = uint32_t;
+
+// Distinct names a process may intern (span names, processor names, event
+// names). Generous: real deployments use a few dozen; hitting this cap
+// aborts with a diagnostic.
+inline constexpr size_t kMaxInternedNames = 4096;
+
+// Id for `name`, interning it on first sight. Thread-safe; registration-time
+// only (takes a mutex).
+NameId InternName(std::string_view name);
+
+// Name for an id previously returned by InternName(). Lock-free; safe on the
+// hot path and from any thread.
+std::string_view NameOfId(NameId id);
+
+// Number of interned names (monotonic snapshot). Lock-free.
+size_t InternedNameCount();
+
+}  // namespace adn::obs

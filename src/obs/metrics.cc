@@ -38,6 +38,27 @@ void Histogram::Observe(double v) {
   }
 }
 
+void Histogram::ObserveN(double v, uint64_t n) {
+  if (n == 0) return;
+  size_t i = 0;
+  const size_t nb = upper_bounds_.size();
+  while (i < nb && v > upper_bounds_[i]) ++i;
+  buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum;
+    __builtin_memcpy(&sum, &cur, sizeof(sum));
+    sum += v * static_cast<double>(n);
+    uint64_t next;
+    __builtin_memcpy(&next, &sum, sizeof(next));
+    if (sum_bits_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
 double Histogram::Sum() const {
   uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
   double sum;

@@ -113,6 +113,12 @@ class Histogram {
 
   void Observe(double v);
 
+  // Batched observe: record `n` observations of value `v` with one bucket
+  // scan and three relaxed atomics — the burst-mode delta (one call per
+  // element per burst, v = the burst-amortized per-lane value, n = lanes).
+  // Count/sum/bucket totals advance exactly as n Observe(v) calls would.
+  void ObserveN(double v, uint64_t n);
+
   // Latency layout used by every *_ns histogram in the repo: exponential
   // 100ns .. 10ms, 16 finite buckets (+Inf implicit).
   static const std::vector<double>& DefaultLatencyBucketsNs();

@@ -5,12 +5,17 @@ namespace adn::obs {
 namespace {
 
 // Process-wide span id allocator; ids stay unique across processors so a
-// multi-scope trace (the simulated path) never collides.
+// multi-scope trace (the simulated path) never collides — and across the
+// scope-flushed and ring-emitted (burst executor) span paths.
 std::atomic<uint64_t> g_next_span_id{1};
 
 thread_local TraceContext* tls_current_trace = nullptr;
 
 }  // namespace
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string_view TierName(Tier tier) {
   switch (tier) {
@@ -23,16 +28,16 @@ std::string_view TierName(Tier tier) {
 
 TraceContext* CurrentTrace() { return tls_current_trace; }
 
-size_t TraceContext::OpenSpan(std::string_view name, uint64_t parent_id) {
+size_t TraceContext::OpenSpan(NameId name_id, uint64_t parent_id) {
   Span s;
   s.trace_id = trace_id;
-  s.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  s.span_id = NextSpanId();
   s.parent_id = parent_id == 0 ? root_span_id : parent_id;
-  s.name = std::string(name);
+  s.name_id = name_id;
   s.tier = tier;
-  s.processor = processor;
+  s.processor_id = processor_id;
   s.start_ns = NowNs();
-  spans.push_back(std::move(s));
+  spans.push_back(s);
   return spans.size() - 1;
 }
 
@@ -43,25 +48,70 @@ void Tracer::SetRingCapacity(size_t spans) {
 }
 
 void Tracer::Flush(std::vector<Span>&& spans) {
-  MetricsRegistry& reg = MetricsRegistry::Default();
-  size_t evicted = 0;
+  for (const Span& s : spans) {
+    TraceEvent e;
+    e.trace_id = s.trace_id;
+    e.span_id = s.span_id;
+    e.parent_id = s.parent_id;
+    e.start_ns = s.start_ns;
+    e.end_ns = s.end_ns;
+    e.name_id = s.name_id;
+    e.processor_id = s.processor_id;
+    e.kind = EventKind::kSpan;
+    e.tier = static_cast<uint8_t>(s.tier);
+    EmitEvent(e);
+  }
+  MetricsRegistry::Default().GetCounter("adn_obs_spans_total")
+      .Inc(spans.size());
+  spans.clear();
+}
+
+void Tracer::Collect() const {
+  std::vector<TraceEvent> drained;
+  EventRingRegistry::Default().DrainAll(drained);
+  if (drained.empty()) return;
+  size_t spans_evicted = 0;
+  size_t events_evicted = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (Span& s : spans) {
-      if (ring_.size() >= capacity_) {
-        ring_.pop_front();
-        ++evicted;
+    for (const TraceEvent& e : drained) {
+      if (e.kind == EventKind::kSpan) {
+        if (ring_.size() >= capacity_) {
+          ring_.pop_front();
+          ++spans_evicted;
+        }
+        Span s;
+        s.trace_id = e.trace_id;
+        s.span_id = e.span_id;
+        s.parent_id = e.parent_id;
+        s.name_id = e.name_id;
+        s.tier = static_cast<Tier>(e.tier);
+        s.processor_id = e.processor_id;
+        s.start_ns = e.start_ns;
+        s.end_ns = e.end_ns;
+        ring_.push_back(s);
+      } else {
+        if (events_.size() >= capacity_) {
+          events_.pop_front();
+          ++events_evicted;
+        }
+        events_.push_back(e);
       }
-      ring_.push_back(std::move(s));
     }
   }
-  reg.GetCounter("adn_obs_spans_total").Inc(spans.size());
-  if (evicted > 0) {
-    reg.GetCounter("adn_obs_spans_evicted_total").Inc(evicted);
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (spans_evicted > 0) {
+    reg.GetCounter("adn_obs_spans_evicted_total").Inc(spans_evicted);
+  }
+  if (events_evicted > 0) {
+    // A non-span event evicted before export is as lost as one dropped at
+    // the ring: fold it into the same loss counter.
+    reg.GetCounter("adn_obs_events_dropped_total").Inc(events_evicted);
   }
 }
 
 std::vector<Span> Tracer::SpansForTrace(uint64_t trace_id) const {
+  Collect();
   std::vector<Span> out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const Span& s : ring_) {
@@ -71,11 +121,13 @@ std::vector<Span> Tracer::SpansForTrace(uint64_t trace_id) const {
 }
 
 std::vector<Span> Tracer::AllSpans() const {
+  Collect();
   std::lock_guard<std::mutex> lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::vector<uint64_t> Tracer::TraceIds() const {
+  Collect();
   std::vector<uint64_t> out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const Span& s : ring_) {
@@ -91,9 +143,20 @@ std::vector<uint64_t> Tracer::TraceIds() const {
   return out;
 }
 
+std::vector<TraceEvent> Tracer::Events() const {
+  Collect();
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
 void Tracer::Clear() {
+  // Discard anything still buffered in the per-thread rings, then the
+  // central store, so the next test/report starts clean.
+  std::vector<TraceEvent> discard;
+  EventRingRegistry::Default().DrainAll(discard);
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
+  events_.clear();
 }
 
 Tracer& Tracer::Default() {
@@ -101,9 +164,8 @@ Tracer& Tracer::Default() {
   return tracer;
 }
 
-RpcTraceScope::RpcTraceScope(uint64_t trace_id, Tier tier,
-                             std::string_view processor,
-                             std::string_view root_name, Tracer& tracer) {
+RpcTraceScope::RpcTraceScope(uint64_t trace_id, Tier tier, NameId processor_id,
+                             NameId root_name_id, Tracer& tracer) {
   if (tls_current_trace != nullptr || !tracer.ShouldSample(trace_id)) {
     return;
   }
@@ -111,12 +173,18 @@ RpcTraceScope::RpcTraceScope(uint64_t trace_id, Tier tier,
   active_ = true;
   ctx_.trace_id = trace_id;
   ctx_.tier = tier;
-  ctx_.processor = std::string(processor);
-  const size_t root = ctx_.OpenSpan(root_name, /*parent_id=*/0);
+  ctx_.processor_id = processor_id;
+  const size_t root = ctx_.OpenSpan(root_name_id, /*parent_id=*/0);
   ctx_.root_span_id = ctx_.SpanId(root);
   tls_current_trace = &ctx_;
   MetricsRegistry::Default().GetCounter("adn_obs_traces_sampled_total").Inc();
 }
+
+RpcTraceScope::RpcTraceScope(uint64_t trace_id, Tier tier,
+                             std::string_view processor,
+                             std::string_view root_name, Tracer& tracer)
+    : RpcTraceScope(trace_id, tier, InternName(processor),
+                    InternName(root_name), tracer) {}
 
 RpcTraceScope::~RpcTraceScope() {
   if (!active_) return;

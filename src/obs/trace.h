@@ -8,18 +8,26 @@
 // share the RPC's id as trace_id, so a message that crosses several
 // processors (the simulated path) still assembles into a single tree.
 //
-// Mechanics, tuned for the <2%-overhead-when-off requirement:
+// Mechanics, tuned so tracing can stay ON at burst speed (the
+// "Burst-mode telemetry" contract in docs/OBSERVABILITY.md):
 //
+//  - A span is a fixed-size POD: names and processors are interned ids
+//    (obs/intern.h), never std::string — recording a span allocates
+//    nothing.
 //  - The tracer is off unless obs::Enabled() AND tracing enabled AND the
 //    trace_id passes sampling (1-in-N by id). Instrumented layers open an
 //    RpcTraceScope; when any gate fails the scope is inert and the per-span
 //    call sites reduce to one thread-local load + null check.
-//  - Open spans are staged in the thread-local TraceContext (a plain
-//    vector, no synchronization) and flushed to the shared ring buffer once
-//    when the scope closes.
-//  - Storage is a fixed-capacity ring: recording never allocates without
-//    bound and never blocks the data plane for long — old traces are
-//    evicted, counted by adn_obs_spans_evicted_total.
+//  - Open spans are staged in the thread-local TraceContext and flushed —
+//    as 64-byte TraceEvent records into the calling thread's SPSC event
+//    ring (obs/event_ring.h) — once when the scope closes. The burst
+//    executor skips the scope entirely and writes span events straight
+//    into its worker's ring.
+//  - Consumers (Collect and the query APIs) drain the rings into a
+//    fixed-capacity central store: recording never allocates on the data
+//    plane and never blocks it — ring-full drops are counted by
+//    adn_obs_events_dropped_total, central-store eviction by
+//    adn_obs_spans_evicted_total.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_ring.h"
+#include "obs/intern.h"
 #include "obs/metrics.h"
 
 namespace adn::obs {
@@ -41,14 +51,18 @@ enum class Tier : uint8_t {
 std::string_view TierName(Tier tier);
 
 struct Span {
-  uint64_t trace_id = 0;   // the RPC id
-  uint64_t span_id = 0;    // unique per process
-  uint64_t parent_id = 0;  // 0 = root of this processor's subtree
-  std::string name;        // element/stage name
+  uint64_t trace_id = 0;     // the RPC id
+  uint64_t span_id = 0;      // unique per process
+  uint64_t parent_id = 0;    // 0 = root of this processor's subtree
+  NameId name_id = 0;        // interned element/stage name
   Tier tier = Tier::kEngine;
-  std::string processor;   // e.g. "client-engine", "server-sidecar"
-  int64_t start_ns = 0;    // steady-clock wall time (obs::NowNs)
+  NameId processor_id = 0;   // interned, e.g. "client-engine"
+  int64_t start_ns = 0;      // steady-clock wall time (obs::NowNs)
   int64_t end_ns = 0;
+
+  // Resolved views for display/export; lock-free, never dangle.
+  std::string_view name() const { return NameOfId(name_id); }
+  std::string_view processor() const { return NameOfId(processor_id); }
 };
 
 // Thread-local staging area for one in-flight sampled RPC on one processor.
@@ -57,13 +71,18 @@ struct Span {
 struct TraceContext {
   uint64_t trace_id = 0;
   Tier tier = Tier::kEngine;
-  std::string processor;
+  NameId processor_id = 0;
   std::vector<Span> spans;        // staged; flushed on scope close
   uint64_t root_span_id = 0;
 
   // Opens a child span under `parent` (0 = under the root span) and returns
-  // its index into `spans`.
-  size_t OpenSpan(std::string_view name, uint64_t parent_id = 0);
+  // its index into `spans`. Hot call sites pass a pre-interned id
+  // (registration-time interning, satellite of the zero-alloc contract);
+  // the string_view overload interns per call and is for setup/tests.
+  size_t OpenSpan(NameId name_id, uint64_t parent_id = 0);
+  size_t OpenSpan(std::string_view name, uint64_t parent_id = 0) {
+    return OpenSpan(InternName(name), parent_id);
+  }
   void CloseSpan(size_t idx) { spans[idx].end_ns = NowNs(); }
   uint64_t SpanId(size_t idx) const { return spans[idx].span_id; }
 };
@@ -95,10 +114,19 @@ class Tracer {
            trace_id % sample_every_.load(std::memory_order_relaxed) == 0;
   }
 
-  // Ring capacity in spans (default 4096). Shrinking evicts oldest.
+  // Central collected-store capacity in spans (default 4096). Shrinking
+  // evicts oldest. (Per-worker ring capacity is set separately via
+  // EventRingRegistry::SetDefaultCapacity.)
   void SetRingCapacity(size_t spans);
 
+  // Flush a scope's staged spans: each becomes one 64-byte kSpan event in
+  // the calling thread's ring. Counted by adn_obs_spans_total immediately.
   void Flush(std::vector<Span>&& spans);
+
+  // Drain every per-thread event ring into the central store. Called
+  // implicitly by every query API; call it explicitly before reading
+  // event counters or exporting. Single consumer at a time.
+  void Collect() const;
 
   // Spans of one trace, in causal (recording) order.
   std::vector<Span> SpansForTrace(uint64_t trace_id) const;
@@ -106,6 +134,9 @@ class Tracer {
   std::vector<Span> AllSpans() const;
   // Trace ids currently resident, most recent last.
   std::vector<uint64_t> TraceIds() const;
+  // Resident non-span events (burst markers, reconfig/swap transitions),
+  // oldest first.
+  std::vector<TraceEvent> Events() const;
 
   void Clear();
 
@@ -115,7 +146,9 @@ class Tracer {
   std::atomic<bool> tracing_{false};
   std::atomic<uint64_t> sample_every_{1};
   mutable std::mutex mu_;
-  std::deque<Span> ring_;
+  // The collected store (mutable: query APIs Collect() on read).
+  mutable std::deque<Span> ring_;
+  mutable std::deque<TraceEvent> events_;
   size_t capacity_ = 4096;
 };
 
@@ -124,8 +157,12 @@ class Tracer {
 // the scope is inert and costs two loads. Otherwise it installs the
 // thread-local context, opens the root span (named `root_name`), and on
 // destruction closes it and flushes the staged spans to the ring.
+// Production call sites use the id overload with names interned once at
+// registration; the string_view overload interns per call (setup/tests).
 class RpcTraceScope {
  public:
+  RpcTraceScope(uint64_t trace_id, Tier tier, NameId processor_id,
+                NameId root_name_id, Tracer& tracer = Tracer::Default());
   RpcTraceScope(uint64_t trace_id, Tier tier, std::string_view processor,
                 std::string_view root_name, Tracer& tracer = Tracer::Default());
   ~RpcTraceScope();

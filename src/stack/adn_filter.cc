@@ -2,10 +2,26 @@
 
 #include <optional>
 
+#include "obs/intern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace adn::stack {
+
+namespace {
+// Span identities interned once per process — the filter hot path only
+// touches ids (satisfies the zero-alloc tracing contract on the mesh tier).
+struct FilterSpanIds {
+  obs::NameId sidecar = obs::InternName("sidecar");
+  obs::NameId rpc = obs::InternName("rpc");
+  obs::NameId decode = obs::InternName("proto-decode");
+  obs::NameId encode = obs::InternName("proto-encode");
+};
+const FilterSpanIds& SpanIds() {
+  static const FilterSpanIds ids;
+  return ids;
+}
+}  // namespace
 
 AdnChainFilter::AdnChainFilter(
     std::shared_ptr<const ir::ChainProgram> program,
@@ -21,6 +37,7 @@ AdnChainFilter::AdnChainFilter(
   raw.reserve(instances_.size());
   for (auto& inst : instances_) raw.push_back(inst.get());
   executor_ = std::make_unique<ir::ChainExecutor>(program_, std::move(raw));
+  executor_->set_trace_identity(obs::Tier::kMesh, SpanIds().sidecar);
 }
 
 FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
@@ -31,7 +48,8 @@ FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
     reg.GetCounter("adn_mesh_messages_total").Inc();
     // Same trace_id as the engine tiers (stream id is 2*rpc_id+1), so the
     // mesh span tree is comparable to theirs for the same workload.
-    scope.emplace(ctx.stream_id / 2, obs::Tier::kMesh, "sidecar", "rpc");
+    scope.emplace(ctx.stream_id / 2, obs::Tier::kMesh, SpanIds().sidecar,
+                  SpanIds().rpc);
   }
   obs::TraceContext* trace = scope && scope->active() ? obs::CurrentTrace()
                                                       : nullptr;
@@ -43,7 +61,7 @@ FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
   // The proxy boundary forces a decode: elements operate on typed tuples,
   // the mesh delivers proto bytes.
   size_t decode_span = 0;
-  if (trace != nullptr) decode_span = trace->OpenSpan("proto-decode");
+  if (trace != nullptr) decode_span = trace->OpenSpan(SpanIds().decode);
   auto decoded = ProtoDecode(*ctx.body, proto_schema_);
   if (trace != nullptr) trace->CloseSpan(decode_span);
   if (!decoded.ok()) {
@@ -67,7 +85,7 @@ FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
   }
 
   size_t encode_span = 0;
-  if (trace != nullptr) encode_span = trace->OpenSpan("proto-encode");
+  if (trace != nullptr) encode_span = trace->OpenSpan(SpanIds().encode);
   auto encoded = ProtoEncode(m, proto_schema_);
   if (trace != nullptr) trace->CloseSpan(encode_span);
   if (!encoded.ok()) {

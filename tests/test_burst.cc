@@ -22,6 +22,9 @@
 #include "mrpc/engine.h"
 #include "mrpc/engine_pool.h"
 #include "mrpc/ring.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adn {
 namespace {
@@ -449,6 +452,69 @@ TEST(Burst, PoolBurstSizesProduceIdenticalStateAndCounts) {
     SCOPED_TRACE("burst=" + std::to_string(burst));
     EXPECT_EQ(run(burst), scalar);
   }
+}
+
+TEST(Burst, ObsOnBurstMatchesObsOnScalarCountsAndState) {
+  // The always-on telemetry contract: with metrics AND sampled tracing
+  // enabled, the pool must still run the burst executor (no scalar
+  // fallback), and burst-batched telemetry must not perturb execution —
+  // processed/dropped counts, per-element state hashes, and the metric
+  // rpcs_total all match the obs-on scalar (burst=1) run exactly.
+  obs::SetEnabled(true);
+  obs::Tracer::Default().SetTracingEnabled(true);
+  obs::Tracer::Default().SetSampleEvery(8);
+  auto run = [&](size_t burst_size) {
+    obs::Tracer::Default().Clear();
+    obs::EventRingRegistry::Default().Reset();
+    obs::MetricsRegistry::Default().Reset();
+    auto parsed = dsl::ParseProgram(std::string(elements::AclTableSql()) +
+                                    std::string(elements::LogTableSql()) +
+                                    std::string(elements::LoggingSql()) +
+                                    std::string(elements::AclSql()) +
+                                    std::string(elements::FaultSql()));
+    auto lowered = compiler::LowerProgram(*parsed);
+    EXPECT_TRUE(lowered.ok());
+    std::vector<std::shared_ptr<const ir::ElementIr>> elements = {
+        lowered->FindElement("Logging"), lowered->FindElement("Acl"),
+        lowered->FindElement("Fault")};
+    EnginePool::Config config;
+    config.workers = 1;
+    config.shard_key_field = "username";
+    config.burst_size = burst_size;
+    config.seed = 17;
+    config.processor = "obs-parity";
+    EnginePool pool(elements, {}, config);
+    SeedAcl(*pool.FindTemplateInstance("Acl"));
+    EXPECT_TRUE(pool.Start().ok());
+    Rng rng(55);
+    for (uint64_t i = 0; i < 4000; ++i) pool.Submit(FigMessage(rng, i));
+    pool.Drain();
+    uint64_t rpcs_metric = 0;
+    for (const obs::MetricSample& s :
+         obs::MetricsRegistry::Default().Snapshot().samples) {
+      if (s.name == "adn_chain_rpcs_total") {
+        rpcs_metric += static_cast<uint64_t>(s.value);
+      }
+    }
+    pool.Stop();
+    std::vector<uint64_t> hashes;
+    for (size_t e = 0; e < pool.element_count(); ++e) {
+      hashes.push_back(pool.MergedStateHash(e));
+    }
+    return std::make_tuple(pool.processed(), pool.dropped(), rpcs_metric,
+                           hashes);
+  };
+  const auto scalar = run(1);
+  EXPECT_EQ(std::get<2>(scalar), 4000u);  // metrics counted every message
+  for (size_t burst : {4u, 32u}) {
+    SCOPED_TRACE("burst=" + std::to_string(burst));
+    EXPECT_EQ(run(burst), scalar);
+  }
+  obs::Tracer::Default().Clear();
+  obs::EventRingRegistry::Default().Reset();
+  obs::MetricsRegistry::Default().Reset();
+  obs::Tracer::Default().SetTracingEnabled(false);
+  obs::SetEnabled(false);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // order whichever execution layer carries it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -16,7 +17,9 @@
 #include "elements/library.h"
 #include "mrpc/adn_path.h"
 #include "mrpc/engine.h"
+#include "obs/event_ring.h"
 #include "obs/export.h"
+#include "obs/intern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/window.h"
@@ -40,7 +43,8 @@ constexpr const char* kContractMetricNames[] = {
     "adn_ctrl_reconfigs_total",   "adn_element_latency_ns",
     "adn_engine_utilization",     "adn_envoy_aborts_total",
     "adn_envoy_messages_total",   "adn_mesh_aborts_total",
-    "adn_mesh_messages_total",    "adn_obs_spans_evicted_total",
+    "adn_mesh_messages_total",    "adn_obs_events_dropped_total",
+    "adn_obs_events_total",       "adn_obs_spans_evicted_total",
     "adn_obs_spans_total",        "adn_obs_traces_sampled_total",
     "adn_reconfig_blackout_ns",   "adn_reconfig_delta_replayed",
     "adn_rpc_latency_ns",         "adn_sim_busy_ns_total",
@@ -54,8 +58,11 @@ constexpr const char* kContractMetricNames[] = {
 // cached before a Reset are stale, so build all chains after this).
 void ResetObs() {
   obs::SetEnabled(false);
-  MetricsRegistry::Default().Reset();
+  // Discard ring-buffered events BEFORE the registry reset, so the drain's
+  // fold-in of event totals lands in the instruments being discarded.
   Tracer::Default().Clear();
+  obs::EventRingRegistry::Default().Reset();
+  MetricsRegistry::Default().Reset();
   Tracer::Default().SetTracingEnabled(false);
   Tracer::Default().SetSampleEvery(1);
   Tracer::Default().SetRingCapacity(4096);
@@ -171,11 +178,101 @@ TEST(Trace, ChildSpansDefaultParentToRoot) {
   EXPECT_EQ(obs::CurrentTrace(), nullptr);  // scope uninstalled
   std::vector<obs::Span> spans = Tracer::Default().SpansForTrace(7);
   ASSERT_EQ(spans.size(), 2u);
-  EXPECT_EQ(spans[0].name, "rpc");
-  EXPECT_EQ(spans[1].name, "stage-a");
+  EXPECT_EQ(spans[0].name(), "rpc");
+  EXPECT_EQ(spans[1].name(), "stage-a");
   EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
   EXPECT_GE(spans[1].end_ns, spans[1].start_ns);
   ResetObs();
+}
+
+TEST(Metrics, ObserveNMatchesRepeatedObserve) {
+  // The burst path batches per-segment histogram updates into one ObserveN
+  // per burst; it must be indistinguishable from n scalar Observe calls.
+  obs::MetricsRegistry registry;
+  obs::Histogram& batched = registry.GetHistogram("batched_ns");
+  obs::Histogram& scalar = registry.GetHistogram("scalar_ns");
+  const double values[] = {0.0, 17.0, 300.0, 4096.0, 1e9};
+  for (double v : values) {
+    batched.ObserveN(v, 7);
+    for (int i = 0; i < 7; ++i) scalar.Observe(v);
+  }
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::MetricSample* b = snap.Find("batched_ns");
+  const obs::MetricSample* s = snap.Find("scalar_ns");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(b->count, s->count);
+  EXPECT_DOUBLE_EQ(b->value, s->value);  // histogram sum
+  EXPECT_EQ(b->bucket_counts, s->bucket_counts);
+  EXPECT_DOUBLE_EQ(batched.Quantile(0.99), scalar.Quantile(0.99));
+}
+
+TEST(Trace, EventRingDrainsFifoAndCountsDrops) {
+  // Private ring, single thread: accepted events come back in emit order,
+  // overflow is dropped and counted, and a drain frees capacity again.
+  obs::EventRing ring(8);  // rounds to capacity 8
+  const size_t cap = ring.capacity();
+  for (uint64_t i = 1; i <= cap + 3; ++i) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBurst;
+    e.span_id = i;
+    EXPECT_EQ(ring.TryEmit(e), i <= cap);
+  }
+  EXPECT_EQ(ring.emitted(), cap);
+  EXPECT_EQ(ring.dropped(), 3u);
+  std::vector<obs::TraceEvent> buf(cap + 8);
+  ASSERT_EQ(ring.Drain(buf.data(), buf.size()), cap);
+  for (size_t i = 0; i < cap; ++i) EXPECT_EQ(buf[i].span_id, i + 1);
+  EXPECT_EQ(ring.size(), 0u);
+  obs::TraceEvent again;
+  again.span_id = 99;
+  EXPECT_TRUE(ring.TryEmit(again));  // space reclaimed by the drain
+}
+
+TEST(Trace, EventCountersFoldInAtDrainTimeNotPerEmit) {
+  // Documented timing contract (docs/OBSERVABILITY.md "Event-counter
+  // timing"): emitting touches only the producer's ring; the registry's
+  // adn_obs_events_* series move when a consumer drains.
+  ResetObs();
+  obs::SetEnabled(true);
+  for (uint64_t i = 0; i < 5; ++i) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBurst;
+    e.span_id = obs::NextSpanId();
+    e.arg = 32;
+    obs::EmitEvent(e);
+  }
+  obs::MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
+  EXPECT_EQ(before.Find("adn_obs_events_total"), nullptr);
+  Tracer::Default().Collect();  // consumer drain syncs the counters
+  obs::MetricsSnapshot after = MetricsRegistry::Default().Snapshot();
+  const obs::MetricSample* total = after.Find("adn_obs_events_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value, 5.0);
+  // The burst markers are queryable from the collected store.
+  size_t bursts = 0;
+  for (const obs::TraceEvent& e : Tracer::Default().Events()) {
+    if (e.kind == obs::EventKind::kBurst && e.arg == 32) ++bursts;
+  }
+  EXPECT_EQ(bursts, 5u);
+  ResetObs();
+}
+
+TEST(Trace, ReconfigEventNamesAreInternedRuntimeConstants) {
+  // The tools/tests enumeration must cover exactly the five first-class
+  // reconfiguration transitions, each round-trippable through the interner
+  // (the ring stores NameIds, the exporter resolves them back).
+  const std::vector<std::string_view>& names = obs::ReconfigEventNames();
+  EXPECT_EQ(names.size(), 5u);
+  for (std::string_view expected :
+       {obs::kEventReconfigSnapshot, obs::kEventReconfigBulkMerge,
+        obs::kEventReconfigCutover, obs::kEventReconfigReplay,
+        obs::kEventReconfigSwapProgram}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    const obs::NameId id = obs::InternName(expected);
+    EXPECT_EQ(obs::NameOfId(id), expected);
+  }
 }
 
 // --- Layer instrumentation ---------------------------------------------------
@@ -224,8 +321,8 @@ mrpc::EngineChain MakeFig5Chain(uint64_t seed) {
 std::vector<std::string> ElementSpanNames(const std::vector<obs::Span>& spans) {
   std::vector<std::string> out;
   for (const obs::Span& s : spans) {
-    if (s.name == "Logging" || s.name == "Acl" || s.name == "Fault") {
-      out.push_back(s.name);
+    if (s.name() == "Logging" || s.name() == "Acl" || s.name() == "Fault") {
+      out.push_back(std::string(s.name()));
     }
   }
   return out;
@@ -247,8 +344,8 @@ std::vector<std::vector<std::string>> RootElementChildren(
     std::vector<std::string> names;
     for (const obs::Span& c : spans) {
       if (c.parent_id != root.span_id) continue;
-      if (c.name == "Logging" || c.name == "Acl" || c.name == "Fault") {
-        names.push_back(c.name);
+      if (c.name() == "Logging" || c.name() == "Acl" || c.name() == "Fault") {
+        names.push_back(std::string(c.name()));
       }
     }
     out.push_back(std::move(names));
@@ -261,13 +358,15 @@ std::vector<std::vector<std::string>> RootElementChildren(
 void ExpectElementsUnderRoot(const std::vector<obs::Span>& spans,
                              const std::string& root) {
   for (const obs::Span& s : spans) {
-    if (s.name != "Logging" && s.name != "Acl" && s.name != "Fault") continue;
+    if (s.name() != "Logging" && s.name() != "Acl" && s.name() != "Fault") {
+      continue;
+    }
     const obs::Span* parent = nullptr;
     for (const obs::Span& p : spans) {
       if (p.span_id == s.parent_id) parent = &p;
     }
-    ASSERT_NE(parent, nullptr) << s.name;
-    EXPECT_EQ(parent->name, root) << s.name;
+    ASSERT_NE(parent, nullptr) << s.name();
+    EXPECT_EQ(parent->name(), root) << s.name();
   }
 }
 
@@ -303,7 +402,7 @@ TEST(Obs, EngineLayerEmitsSpanTreeAndCounters) {
   ExpectElementsUnderRoot(spans, "rpc");
   for (const obs::Span& s : spans) {
     EXPECT_EQ(s.tier, obs::Tier::kEngine);
-    EXPECT_EQ(s.processor, "test-engine");
+    EXPECT_EQ(s.processor(), "test-engine");
   }
 
   obs::MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
@@ -390,8 +489,8 @@ TEST(Obs, Fig5SpanTreeIsIdenticalAcrossEngineMeshAndSimLayers) {
   // The mesh pays the proxy boundary: decode/encode spans ride alongside.
   bool saw_decode = false, saw_encode = false;
   for (const obs::Span& s : mesh_spans) {
-    saw_decode |= s.name == "proto-decode";
-    saw_encode |= s.name == "proto-encode";
+    saw_decode |= s.name() == "proto-decode";
+    saw_encode |= s.name() == "proto-encode";
     EXPECT_EQ(s.tier, obs::Tier::kMesh);
   }
   EXPECT_TRUE(saw_decode);
@@ -440,7 +539,7 @@ TEST(Obs, Fig5SpanTreeIsIdenticalAcrossEngineMeshAndSimLayers) {
   ExpectElementsUnderRoot(sim_spans, "rpc");
   bool saw_sim_tier = false;
   for (const obs::Span& s : sim_spans) {
-    if (s.tier == obs::Tier::kSim && s.processor == "server-engine") {
+    if (s.tier == obs::Tier::kSim && s.processor() == "server-engine") {
       saw_sim_tier = true;
     }
   }
@@ -476,6 +575,36 @@ TEST(Obs, ExportJsonContainsMetricsAndNestedTraces) {
   ASSERT_NE(children, std::string::npos);
   EXPECT_NE(json.find("\"name\":\"Logging\"", children), std::string::npos);
   EXPECT_NE(json.find("adn_chain_rpcs_total"), std::string::npos);
+  ResetObs();
+}
+
+TEST(Obs, ExportChromeTraceJsonEmitsSpansAndInstantEvents) {
+  ResetObs();
+  obs::SetEnabled(true);
+  Tracer::Default().SetTracingEnabled(true);
+  mrpc::EngineChain chain = MakeFig5Chain(/*seed=*/3);
+  chain.set_trace_identity(obs::Tier::kEngine, "trace-engine");
+  rpc::Message m = Fig5Request(5);
+  ASSERT_EQ(chain.Process(m, 0).outcome, ir::ProcessOutcome::kPass);
+  obs::TraceEvent reconfig;  // one instant event alongside the spans
+  reconfig.kind = obs::EventKind::kReconfig;
+  reconfig.name_id = obs::InternName(obs::kEventReconfigCutover);
+  reconfig.processor_id = obs::InternName("trace-engine");
+  reconfig.start_ns = reconfig.end_ns = obs::NowNs();
+  reconfig.arg = 3;
+  obs::EmitEvent(reconfig);
+
+  const std::string json = obs::ExportChromeTraceJson();
+  // Spans render as complete events on their processor's thread row ...
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Logging\""), std::string::npos);
+  // ... with thread_name metadata naming the processor ...
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("trace-engine"), std::string::npos);
+  // ... and reconfig transitions as global instant events.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"reconfig.cutover\""), std::string::npos);
   ResetObs();
 }
 

@@ -20,6 +20,7 @@
 #include "ir/analysis.h"
 #include "mrpc/engine_pool.h"
 #include "mrpc/ring.h"
+#include "obs/event_ring.h"
 #include "obs/metrics.h"
 #include "rpc/intern.h"
 
@@ -230,6 +231,145 @@ TEST(SpscRingStress, ArenaMessagesHandOffAndRecycleAcrossThreads) {
   EXPECT_GT(pool.reused(), 0u);
   EXPECT_LE(pool.created(), static_cast<uint64_t>(kConsumers * 64 + 1));
   EXPECT_EQ(pool.created() + pool.reused(), static_cast<uint64_t>(kItems));
+}
+
+// --- obs::EventRing under real producer/consumer threads ---------------------
+
+TEST(EventRingStress, TwoThreadEmitDrainLosslessWithRetry) {
+  // Trace-record transport analogue of TwoThreadCountAndChecksum: a real
+  // producer emitting 64-byte TraceEvents against a real consumer draining
+  // in bursts. With the producer retrying on full, every event must arrive
+  // exactly once with its payload intact.
+  constexpr uint64_t kItems = 200'000;
+  obs::EventRing ring(256);
+
+  std::atomic<uint64_t> drained{0};
+  std::atomic<uint64_t> sum{0};
+  std::thread consumer([&] {
+    obs::TraceEvent buf[64];
+    uint64_t count = 0;
+    uint64_t local_sum = 0;
+    while (count < kItems) {
+      const size_t n = ring.Drain(buf, 64);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (size_t i = 0; i < n; ++i) local_sum += buf[i].arg;
+      count += n;
+    }
+    drained.store(count, std::memory_order_release);
+    sum.store(local_sum, std::memory_order_release);
+  });
+
+  uint64_t expected_sum = 0;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBurst;
+    e.span_id = i + 1;
+    e.arg = i * 2654435761ULL;
+    expected_sum += e.arg;
+    while (!ring.TryEmit(e)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_EQ(drained.load(), kItems);
+  EXPECT_EQ(sum.load(), expected_sum);
+  EXPECT_EQ(ring.emitted(), kItems);  // accepted events, not attempts
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(EventRingStress, EvictionIsDropCountedNeverBlocking) {
+  // The telemetry-loss contract: a producer that never retries must never
+  // block or lose events silently — what the consumer sees plus dropped()
+  // accounts for every attempt, and the survivors keep FIFO order.
+  constexpr uint64_t kAttempts = 100'000;
+  obs::EventRing ring(64);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> drained{0};
+  std::atomic<bool> ordered{true};
+  std::thread consumer([&] {
+    obs::TraceEvent buf[32];
+    uint64_t count = 0;
+    uint64_t last_seen = 0;
+    for (;;) {
+      const size_t n = ring.Drain(buf, 32);
+      for (size_t i = 0; i < n; ++i) {
+        if (buf[i].arg <= last_seen && count + i > 0) {
+          ordered.store(false, std::memory_order_release);
+        }
+        last_seen = buf[i].arg;
+      }
+      count += n;
+      if (n == 0) {
+        if (done.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+      }
+    }
+    drained.store(count, std::memory_order_release);
+  });
+
+  for (uint64_t i = 0; i < kAttempts; ++i) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBurst;
+    e.arg = i + 1;  // strictly increasing payload: FIFO check is a < chain
+    (void)ring.TryEmit(e);  // full ring drops — by design, never waits
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_TRUE(ordered.load());
+  EXPECT_EQ(drained.load() + ring.dropped(), kAttempts);
+  EXPECT_EQ(ring.emitted(), drained.load());
+  EXPECT_GT(ring.dropped(), 0u);  // capacity 64 vs 100k attempts must evict
+}
+
+TEST(EventRingStress, RegistryDrainAllAccountsEveryEmitAcrossThreads) {
+  // Multi-producer shape of the real system: several worker threads each
+  // emitting into their own registry-owned ring while one collector thread
+  // drains concurrently. Every attempt ends up drained or drop-counted.
+  auto& registry = obs::EventRingRegistry::Default();
+  registry.Reset();
+
+  constexpr int kThreads = 3;
+  constexpr uint64_t kPerThread = 20'000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      registry.SetThisThreadLabel("stress-" + std::to_string(t));
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kBurst;
+        e.span_id = obs::NextSpanId();
+        e.arg = i;
+        obs::EmitEvent(e);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+
+  uint64_t drained = 0;
+  std::vector<obs::TraceEvent> out;
+  for (int i = 0; i < 50; ++i) {  // drain concurrently with the producers
+    out.clear();
+    drained += registry.DrainAll(out);
+    std::this_thread::yield();
+  }
+  for (std::thread& th : producers) th.join();
+  for (;;) {  // final sweep after the producers stop
+    out.clear();
+    const size_t n = registry.DrainAll(out);
+    if (n == 0) break;
+    drained += n;
+  }
+
+  EXPECT_EQ(drained + registry.TotalDropped(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  registry.Reset();
 }
 
 // --- Metrics registry under writers + snapshots + Reset ----------------------

@@ -29,6 +29,7 @@
 #include "dsl/parser.h"
 #include "elements/library.h"
 #include "mrpc/engine.h"
+#include "obs/event_ring.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,6 +52,34 @@ int Usage() {
   return 2;
 }
 
+// The obs plane watching itself: spans evicted / events dropped counters,
+// per-ring depth, and the measured obs-on overhead (one line each).
+void PrintObsHealth(double obs_overhead_frac) {
+  // Drain the rings first so the event counters are synced (they fold in
+  // at drain time, not per emit — see docs/OBSERVABILITY.md).
+  adn::obs::Tracer::Default().Collect();
+  adn::obs::MetricsRegistry& reg = adn::obs::MetricsRegistry::Default();
+  std::printf("\nobs plane health:\n");
+  std::printf(
+      "  events=%llu dropped=%llu spans=%llu evicted=%llu  overhead=%.1f%%\n",
+      static_cast<unsigned long long>(
+          reg.GetCounter("adn_obs_events_total").Value()),
+      static_cast<unsigned long long>(
+          reg.GetCounter("adn_obs_events_dropped_total").Value()),
+      static_cast<unsigned long long>(
+          reg.GetCounter("adn_obs_spans_total").Value()),
+      static_cast<unsigned long long>(
+          reg.GetCounter("adn_obs_spans_evicted_total").Value()),
+      obs_overhead_frac * 100.0);
+  for (const auto& rs : adn::obs::EventRingRegistry::Default().Stats()) {
+    std::printf("  ring %-16s depth %zu/%zu  emitted %llu  dropped %llu\n",
+                std::string(rs.label.empty() ? "(main)" : rs.label).c_str(),
+                rs.depth, rs.capacity,
+                static_cast<unsigned long long>(rs.emitted),
+                static_cast<unsigned long long>(rs.dropped));
+  }
+}
+
 // Window quantile via the shared bucket math (obs::SnapshotHistogram), the
 // same implementation the telemetry hub and bench_breakdown use.
 double SampleQuantile(const adn::obs::MetricSample& s, double q) {
@@ -61,9 +90,10 @@ void PrintSpanTree(const std::vector<adn::obs::Span>& spans,
                    uint64_t parent_id, int depth) {
   for (const adn::obs::Span& s : spans) {
     if (s.parent_id != parent_id) continue;
-    std::printf("  %*s%s  [%s/%s]  %lld ns\n", depth * 2, "", s.name.c_str(),
+    std::printf("  %*s%s  [%s/%s]  %lld ns\n", depth * 2, "",
+                std::string(s.name()).c_str(),
                 std::string(adn::obs::TierName(s.tier)).c_str(),
-                s.processor.c_str(),
+                std::string(s.processor()).c_str(),
                 static_cast<long long>(s.end_ns - s.start_ns));
     PrintSpanTree(spans, s.span_id, depth + 1);
   }
@@ -143,6 +173,26 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Measure the obs-on overhead on this host: same chain, same message
+  // count, obs off then on (tracing + sampling as configured above). The
+  // rigorous version of this number is bench_obs / BENCH_obs.json; this is
+  // the live console read of the same ratio.
+  const uint64_t calib = std::min<uint64_t>(rpcs, 2000);
+  obs::SetEnabled(false);
+  drive(3'000'000'000ULL, calib);  // warmup: both timed runs see a hot chain
+  int64_t calib_t0 = obs::NowNs();
+  drive(1'000'000'000ULL, calib);
+  const int64_t calib_off_ns = obs::NowNs() - calib_t0;
+  obs::SetEnabled(true);
+  calib_t0 = obs::NowNs();
+  drive(2'000'000'000ULL, calib);
+  const int64_t calib_on_ns = obs::NowNs() - calib_t0;
+  const double obs_overhead =
+      calib_off_ns > 0
+          ? static_cast<double>(calib_on_ns) / static_cast<double>(calib_off_ns) -
+                1.0
+          : 0.0;
+
   // --- Watch mode: windowed report ticks -----------------------------------
   if (watch_ticks > 0) {
     obs::WindowedSeries series;
@@ -150,7 +200,8 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     const std::string proc_labels = "processor=\"adntop-engine\"";
     std::printf(
-        "%-6s %10s %10s %10s  %s\n", "TICK", "RPCS/S", "DROPS/S", "p99(ns)",
+        "%-6s %10s %10s %10s %8s %8s  %s\n", "TICK", "RPCS/S", "DROPS/S",
+        "p99(ns)", "RINGMAX", "EVDROP",
         "per-element window p50/p99 (adn_element_latency_ns deltas)");
     int64_t window_start = obs::NowNs();
     for (uint64_t tick = 0; tick < watch_ticks; ++tick) {
@@ -176,13 +227,23 @@ int main(int argc, char** argv) {
         elements_out += buf;
         p99 = std::max(p99, delta->Quantile(0.99));
       }
-      std::printf("%-6llu %10.0f %10.0f %10.0f%s\n",
+      // Obs self-health for this tick: deepest event ring (backlog before
+      // the next drain) and cumulative producer-side drops.
+      size_t ring_max = 0;
+      uint64_t ev_dropped = 0;
+      for (const auto& rs : obs::EventRingRegistry::Default().Stats()) {
+        ring_max = std::max(ring_max, rs.depth);
+        ev_dropped += rs.dropped;
+      }
+      std::printf("%-6llu %10.0f %10.0f %10.0f %8zu %8llu%s\n",
                   static_cast<unsigned long long>(tick),
                   series.CounterRatePerSec("adn_chain_rpcs_total",
                                            proc_labels),
                   series.CounterRatePerSec("adn_chain_drops_total",
                                            proc_labels),
-                  p99, elements_out.c_str());
+                  p99, ring_max,
+                  static_cast<unsigned long long>(ev_dropped),
+                  elements_out.c_str());
       window_start = window_end;
     }
     std::printf("\ncontroller advice (windowed feed):\n");
@@ -192,6 +253,7 @@ int main(int argc, char** argv) {
                                 hub.Advise("adntop-engine")))
                     .c_str(),
                 hub.DropAlerts().size());
+    PrintObsHealth(obs_overhead);
     return 0;
   }
 
@@ -236,9 +298,10 @@ int main(int argc, char** argv) {
         if (other.span_id == s.parent_id) has_parent = true;
       }
       if (has_parent) continue;
-      std::printf("  %s  [%s/%s]  %lld ns\n", s.name.c_str(),
+      std::printf("  %s  [%s/%s]  %lld ns\n",
+                  std::string(s.name()).c_str(),
                   std::string(obs::TierName(s.tier)).c_str(),
-                  s.processor.c_str(),
+                  std::string(s.processor()).c_str(),
                   static_cast<long long>(s.end_ns - s.start_ns));
       PrintSpanTree(spans, s.span_id, 1);
     }
@@ -256,5 +319,6 @@ int main(int argc, char** argv) {
               std::string(controller::ScalingAdviceName(
                               hub.Advise("adntop-engine")))
                   .c_str());
+  PrintObsHealth(obs_overhead);
   return 0;
 }

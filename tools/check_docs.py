@@ -20,6 +20,12 @@ Three checks, all cheap enough for every push:
    docs/RECONFIG.md (the contract that defines it) and
    docs/OBSERVABILITY.md (the telemetry index). Live migration ships with
    its paper trail or not at all.
+5. Reconfig trace events, both directions: every backticked `reconfig.*`
+   event name cited in docs/RECONFIG.md or docs/OBSERVABILITY.md must be a
+   string literal under src/ (obs/event_ring.h defines them), and every
+   "reconfig.*" literal under src/ must be documented in docs/RECONFIG.md
+   ("Emitted events"). Renaming an event without updating the contract —
+   or documenting one the runtime never emits — fails the push.
 
 Exits 0 when clean, 1 with one line per problem otherwise.
 """
@@ -41,6 +47,10 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BENCH_RE = re.compile(r"\bbench_[a-z0-9_]+")
 # Backticked metric names in the telemetry contract, e.g. `adn_slo_burn`.
 METRIC_RE = re.compile(r"`(adn_[a-z0-9_]+)`")
+# Backticked reconfig event names in docs, e.g. `reconfig.cutover`.
+EVENT_DOC_RE = re.compile(r"`(reconfig\.[a-z_.]+)`")
+# Reconfig event name string literals in source, e.g. "reconfig.cutover".
+EVENT_SRC_RE = re.compile(r"\"(reconfig\.[a-z_.]+)\"")
 
 
 def check_links():
@@ -137,9 +147,38 @@ def check_reconfig_contract():
     return problems
 
 
+def check_reconfig_events():
+    """Two-way reconfig.* trace-event name agreement (docs <-> src)."""
+    problems = []
+    src_files = [p for p in sorted((REPO / "src").rglob("*"))
+                 if p.suffix in (".h", ".cc")]
+    emitted = set()
+    for f in src_files:
+        emitted.update(EVENT_SRC_RE.findall(f.read_text(encoding="utf-8")))
+    reconfig_doc = REPO / "docs" / "RECONFIG.md"
+    reconfig_text = (reconfig_doc.read_text(encoding="utf-8")
+                     if reconfig_doc.exists() else "")
+    for doc in (reconfig_doc, REPO / "docs" / "OBSERVABILITY.md"):
+        if not doc.exists():
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for name in set(EVENT_DOC_RE.findall(line)):
+                if name not in emitted:
+                    problems.append(
+                        f"{doc.relative_to(REPO)}:{lineno}: reconfig event "
+                        f"'{name}' is not a string literal under src/")
+    for name in sorted(emitted):
+        if f"`{name}`" not in reconfig_text:
+            problems.append(
+                f"docs/RECONFIG.md: runtime emits trace event '{name}' but "
+                f"the contract's \"Emitted events\" section does not list it")
+    return problems
+
+
 def main():
     problems = (check_links() + check_bench_targets() + check_metric_names()
-                + check_reconfig_contract())
+                + check_reconfig_contract() + check_reconfig_events())
     for p in problems:
         print(p)
     if problems:

@@ -26,6 +26,16 @@ the operator-new hooks) to stay at or below the bound. The zero-allocation
 invariant is deterministic — not timing-dependent — so CI pins it at 0.
 No baseline file is involved in this mode.
 
+The baseline mode also gates BENCH_obs.json (written by bench_obs) against
+bench/baselines/obs_baseline.json — there ``compiled_ns_per_msg`` is the
+*obs-on* default-burst 1-worker executor cost (metrics + sampled tracing
+enabled), and ``burst_speedup`` is obs-on scalar over obs-on burst. Pass
+``--max-obs-overhead`` to additionally require ``obs_overhead_frac`` (obs-on
+burst over obs-off burst, minus one, same host same run) to stay at or
+below the bound — the always-on telemetry contract of
+docs/OBSERVABILITY.md "Burst-mode telemetry". Run the same file through
+``--max-allocs 0`` to pin the zero-allocation invariant with telemetry on.
+
 A fourth mode gates BENCH_reconfig.json (written by bench_reconfig): pass
 ``--min-blackout-improvement`` to require the fresh file's
 ``blackout_improvement`` (pause-drain blackout p99 over live-migration
@@ -39,6 +49,7 @@ runner, far noisier than throughput).
 
 Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
                      [--min-speedup RATIO] [--max-allocs N]
+                     [--max-obs-overhead FRACTION]
                      [--min-blackout-improvement RATIO]
 Exits 0 when within bounds, 1 with a one-line verdict otherwise.
 """
@@ -122,6 +133,9 @@ def main():
     parser.add_argument("--max-allocs", type=float, default=None,
                         help="gate a BENCH_alloc.json: require allocs_per_msg "
                              "<= this bound (no baseline used)")
+    parser.add_argument("--max-obs-overhead", type=float, default=None,
+                        help="require fresh obs_overhead_frac (obs-on over "
+                             "obs-off burst cost, minus one) <= this bound")
     parser.add_argument("--min-blackout-improvement", type=float, default=None,
                         help="gate a BENCH_reconfig.json: require "
                              "blackout_improvement >= this ratio and zero "
@@ -178,6 +192,19 @@ def main():
         if speedup < args.min_speedup:
             print(f"check_perf: FAIL — burst speedup {speedup:.2f}x below "
                   f"{args.min_speedup:.2f}x floor")
+            return 1
+    if args.max_obs_overhead is not None:
+        overhead = fresh_data.get("obs_overhead_frac")
+        if not isinstance(overhead, (int, float)):
+            print("check_perf: FAIL — fresh file has no obs_overhead_frac "
+                  "field")
+            return 1
+        print(f"obs_overhead_frac: {overhead * 100:.1f}% "
+              f"(limit {args.max_obs_overhead * 100:.0f}%)")
+        if overhead > args.max_obs_overhead:
+            print(f"check_perf: FAIL — telemetry-on burst overhead "
+                  f"{overhead * 100:.1f}% exceeds "
+                  f"{args.max_obs_overhead * 100:.0f}% bound")
             return 1
     verb = "regressed" if drop > 0 else "improved"
     print(f"check_perf: OK — throughput {verb} {abs(drop) * 100:.1f}% "
