@@ -97,12 +97,23 @@ bool ForEachExpr(const ElementIr& element, Fn&& fn) {
   return true;
 }
 
+// Aggregation observers (agg_count / agg_sum / agg_topk) are the filter ops
+// constrained processors CAN host: bounded map/register state, no drops.
+bool IsAggFilterOp(std::string_view op) { return op.substr(0, 4) == "agg_"; }
+
 FeasibilityReport CheckEbpf(const ElementIr& element) {
+  if (element.IsCache()) {
+    return FeasibilityReport::No(
+        "cache element stores variable-size response blobs; BPF map values "
+        "are fixed-size, so the cache runs on general cores");
+  }
   if (element.IsFilter()) {
     // Timer-based stream shaping needs user-space cooperation; only the
-    // stateless-ish ones run in kernel.
+    // stateless-ish ones run in kernel. Aggregations are bounded per-CPU
+    // map updates — exactly the workload BPF maps exist for.
     if (element.filter_op->op == "rate_limit" ||
-        element.filter_op->op == "dedup") {
+        element.filter_op->op == "dedup" ||
+        IsAggFilterOp(element.filter_op->op)) {
       return FeasibilityReport::Yes();
     }
     return FeasibilityReport::No(
@@ -147,7 +158,18 @@ FeasibilityReport CheckEbpf(const ElementIr& element) {
 }
 
 FeasibilityReport CheckP4(const ElementIr& element) {
+  if (element.IsCache()) {
+    return FeasibilityReport::No(
+        "cache fills happen on the data path; P4 tables are "
+        "control-plane-written only");
+  }
   if (element.IsFilter()) {
+    if (IsAggFilterOp(element.filter_op->op)) {
+      // Counters, register sums and HashPipe-style heavy hitters are native
+      // match-action constructs. Whether a given placement works then hinges
+      // on CheckP4ParseDepth over the fields the aggregation keys on.
+      return FeasibilityReport::Yes();
+    }
     return FeasibilityReport::No("stream-shaping filters do not map to "
                                  "match-action pipelines");
   }

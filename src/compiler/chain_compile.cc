@@ -347,6 +347,12 @@ Status ProgramBuilder::AddElement(const ElementIr& element, uint16_t elem_idx,
                  "filter element " + element.name +
                      " has no SQL body to compile; use its FilterOp stage");
   }
+  if (element.IsCache()) {
+    return Error(ErrorCode::kUnsupported,
+                 "cache element " + element.name +
+                     " has no SQL body to compile; it runs through the "
+                     "interpreter's dedicated cache path");
+  }
   ChainProgram::ElementSeg seg;
   seg.name = element.name;
   seg.direction = element.direction;

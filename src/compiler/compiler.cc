@@ -80,7 +80,7 @@ Result<CompiledChain> Compiler::CompileChain(
   // filter elements keep per-stage execution (program stays null).
   bool all_sql = !optimized.chain.elements.empty();
   for (const auto& element : optimized.chain.elements) {
-    if (element->IsFilter()) all_sql = false;
+    if (element->IsFilter() || element->IsCache()) all_sql = false;
   }
   if (all_sql) {
     ChainCompileOptions cc_options;

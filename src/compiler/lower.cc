@@ -698,8 +698,27 @@ const std::vector<FilterOpSpec>& FilterOpSpecs() {
        {{"error_threshold", ValueType::kFloat}},
        {{"window", ValueType::kInt}, {"cooldown_ms", ValueType::kInt}}},
       {"dedup", {}, {{"window", ValueType::kInt}}},
+      // Aggregation primitives (paper §5.1 "telemetry in the network"):
+      // pass-through observers that fold a stream statistic into local
+      // state. Field-name arguments are TEXT (the parser turns bare
+      // identifiers into text values); they feed fields_read so the P4
+      // parse-depth check and header prioritization see exactly which
+      // bytes a constrained processor must parse.
+      {"agg_count",
+       {},
+       {{"key", ValueType::kText}, {"groups", ValueType::kInt}}},
+      {"agg_sum",
+       {{"field", ValueType::kText}},
+       {{"key", ValueType::kText}, {"groups", ValueType::kInt}}},
+      {"agg_topk",
+       {{"key", ValueType::kText}},
+       {{"k", ValueType::kInt}}},
   };
   return kSpecs;
+}
+
+bool IsAggOp(std::string_view op) {
+  return op == "agg_count" || op == "agg_sum" || op == "agg_topk";
 }
 
 Result<ElementIr> LowerFilter(const dsl::FilterDecl& decl) {
@@ -756,11 +775,101 @@ Result<ElementIr> LowerFilter(const dsl::FilterDecl& decl) {
   out.direction = decl.direction;
   out.abort_message = decl.name + ": rejected";
   out.filter_op = ir::FilterIr{decl.op, decl.args};
-  // Conservative effects: stream-shaping operators may drop/delay messages
-  // and are timing-dependent; they read/write no RPC fields.
-  out.effects.may_drop = true;
+  if (IsAggOp(decl.op)) {
+    // Aggregations never drop and read only their named fields — precise
+    // effects are what lets the placement pass put them on constrained
+    // processors (the parse-depth check needs the exact field set).
+    out.effects.may_drop = false;
+    out.effects.nondeterministic = false;
+    out.effects.reads_metadata = true;
+    for (const auto& [k, v] : decl.args) {
+      if ((k == "key" || k == "field") && v.type() == ValueType::kText) {
+        out.effects.fields_read.push_back(std::string(v.AsText()));
+      }
+    }
+    std::sort(out.effects.fields_read.begin(), out.effects.fields_read.end());
+    out.effects.fields_read.erase(
+        std::unique(out.effects.fields_read.begin(),
+                    out.effects.fields_read.end()),
+        out.effects.fields_read.end());
+  } else {
+    // Conservative effects: stream-shaping operators may drop/delay messages
+    // and are timing-dependent; they read/write no RPC fields.
+    out.effects.may_drop = true;
+    out.effects.nondeterministic = true;
+    out.effects.reads_metadata = true;
+  }
+  return out;
+}
+
+// CACHE decl -> ElementIr with cache_op and a synthesized backing table
+// `__cache_<name>` (ckey INT PRIMARY KEY, resp BYTES, stored_at INT). The
+// rows are ordinary relational state, so snapshot/split/merge/migration all
+// work unchanged; the ARC recency metadata is runtime-only (ir/exec.cc).
+Result<ElementIr> LowerCache(const dsl::CacheDecl& decl) {
+  auto find_arg = [&](std::string_view name) -> const rpc::Value* {
+    for (const auto& [k, v] : decl.args) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  };
+  for (const auto& [k, v] : decl.args) {
+    (void)v;
+    if (k != "capacity" && k != "ttl_ms") {
+      return At(decl.location, ErrorCode::kInvalidArgument,
+                "CACHE has no argument '" + k + "'");
+    }
+  }
+  const rpc::Value* cap = find_arg("capacity");
+  if (cap == nullptr || cap->type() != ValueType::kInt) {
+    return At(decl.location, ErrorCode::kInvalidArgument,
+              "CACHE requires capacity => <int>");
+  }
+  if (cap->AsInt() <= 0) {
+    return At(decl.location, ErrorCode::kInvalidArgument,
+              "CACHE capacity must be positive, got " +
+                  std::to_string(cap->AsInt()));
+  }
+  ir::CacheIr cache;
+  cache.capacity = static_cast<size_t>(cap->AsInt());
+  if (const rpc::Value* ttl = find_arg("ttl_ms"); ttl != nullptr) {
+    if (ttl->type() != ValueType::kInt || ttl->AsInt() < 0) {
+      return At(decl.location, ErrorCode::kInvalidArgument,
+                "CACHE ttl_ms must be a non-negative integer");
+    }
+    cache.ttl_ns = ttl->AsInt() * 1'000'000;
+  }
+  if (decl.key_fields.empty()) {
+    return At(decl.location, ErrorCode::kInvalidArgument,
+              "CACHE needs at least one KEY field");
+  }
+  cache.key_fields = decl.key_fields;
+  cache.table = "__cache_" + decl.name;
+
+  ElementIr out;
+  out.name = decl.name;
+  out.direction = dsl::Direction::kBoth;  // lookup on request, fill on response
+  out.abort_message = decl.name + ": cache";
+  Schema schema;
+  (void)schema.AddColumn({"ckey", ValueType::kInt, /*primary_key=*/true});
+  (void)schema.AddColumn({"resp", ValueType::kBytes, false});
+  (void)schema.AddColumn({"stored_at", ValueType::kInt, false});
+  out.state_tables.emplace_back(cache.table, std::move(schema));
+  // Effects: reads the key fields on requests, rewrites the whole message on
+  // a hit (conservatively: no fields_written claim — the hit replaces the
+  // message rather than editing fields, and the chain stops there). TTL makes
+  // it timing-dependent.
+  out.effects.fields_read = decl.key_fields;
+  std::sort(out.effects.fields_read.begin(), out.effects.fields_read.end());
+  out.effects.fields_read.erase(
+      std::unique(out.effects.fields_read.begin(),
+                  out.effects.fields_read.end()),
+      out.effects.fields_read.end());
+  out.effects.tables_read.push_back(cache.table);
+  out.effects.tables_written.push_back(cache.table);
   out.effects.nondeterministic = true;
   out.effects.reads_metadata = true;
+  out.cache_op = std::move(cache);
   return out;
 }
 
@@ -807,6 +916,10 @@ Result<ProgramIr> LowerProgram(
   }
   for (const dsl::FilterDecl& decl : program.filters) {
     ADN_ASSIGN_OR_RETURN(ir::ElementIr e, LowerFilter(decl));
+    out.elements.push_back(std::make_shared<ir::ElementIr>(std::move(e)));
+  }
+  for (const dsl::CacheDecl& decl : program.caches) {
+    ADN_ASSIGN_OR_RETURN(ir::ElementIr e, LowerCache(decl));
     out.elements.push_back(std::make_shared<ir::ElementIr>(std::move(e)));
   }
 

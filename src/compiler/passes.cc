@@ -31,9 +31,9 @@ ir::ElementIr CopyElement(const ir::ElementIr& e) { return e; }
 
 Result<ir::ElementIr> FuseElements(const ir::ElementIr& a,
                                    const ir::ElementIr& b) {
-  if (a.IsFilter() || b.IsFilter()) {
+  if (a.IsFilter() || b.IsFilter() || a.IsCache() || b.IsCache()) {
     return Error(ErrorCode::kUnsupported,
-                 "cannot fuse filter elements ('" + a.name + "' + '" +
+                 "cannot fuse filter or cache elements ('" + a.name + "' + '" +
                      b.name + "')");
   }
   if (a.direction != b.direction) {
@@ -148,6 +148,7 @@ Result<OptimizedChain> RunPasses(const ChainIr& chain,
       size_t j = i + 1;
       while (j < out.chain.elements.size() &&
              !current->IsFilter() && !out.chain.elements[j]->IsFilter() &&
+             !current->IsCache() && !out.chain.elements[j]->IsCache() &&
              out.chain.constraints[j] == constraint &&
              out.chain.elements[j]->direction == current->direction) {
         auto fused = FuseElements(*current, *out.chain.elements[j]);

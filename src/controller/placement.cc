@@ -99,6 +99,29 @@ bool PlatformFeasible(const CompiledElement& element, Site site) {
   return false;
 }
 
+// Expected round trip a cache hit at `site` never takes: the request would
+// have continued to the server app and back. Each remaining path hop is
+// roughly a kernel/PCIe crossing each way; crossing the wire adds
+// propagation and transport both ways; the server app contributes its
+// handler. Earlier sites save more of the path — this is the term that
+// pulls caches toward the client.
+double CacheHitSavingNs(Site site, const sim::CostModel& model) {
+  size_t idx = 0;
+  for (size_t j = 0; j < kPathOrder.size(); ++j) {
+    if (kPathOrder[j] == site) idx = j;
+  }
+  const size_t last = kPathOrder.size() - 1;
+  double saving = static_cast<double>(last - idx) * 2.0 *
+                  static_cast<double>(model.kernel_crossing_ns);
+  const bool client_side_of_wire = idx <= 2;  // before kSwitch in path order
+  if (client_side_of_wire) {
+    saving += 2.0 * static_cast<double>(model.wire_propagation_ns) +
+              static_cast<double>(model.mrpc_tcp_tx_ns + model.mrpc_tcp_rx_ns);
+  }
+  saving += static_cast<double>(model.app_handler_ns);
+  return saving;
+}
+
 // Per-element cost of running at a site, by policy. Lower is better.
 double SiteCost(const CompiledElement& element, Site site,
                 PlacementPolicy policy, const sim::CostModel& model) {
@@ -137,6 +160,17 @@ double SiteCost(const CompiledElement& element, Site site,
           break;
         default:
           break;
+      }
+      if (element.ir->IsCache()) {
+        // Hit-rate-aware: expected per-message cache work plus the hop tax,
+        // minus the downstream round trip the expected hits never take. The
+        // saving term shrinks as the site moves toward the server, so under
+        // kMinLatency the cache lands as close to the client as constraints
+        // allow (net-negative cost is fine — the DP only compares sums).
+        double hit = model.cache_default_hit_rate;
+        double work = static_cast<double>(model.cache_lookup_ns) +
+                      (1.0 - hit) * static_cast<double>(model.cache_fill_ns);
+        return work + hop_tax - hit * CacheHitSavingNs(site, model);
       }
       return on_target_ns + hop_tax;
     }

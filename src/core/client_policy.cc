@@ -34,9 +34,15 @@ double RetryBudget::current_fraction() const {
 }
 
 int64_t BackoffForAttempt(const RetryPolicy& policy, int attempt) {
+  // Clamp in double space: casting a double beyond INT64_MAX to int64_t is
+  // UB (and in practice yields a negative value std::min would then pick).
+  const double max_ns = static_cast<double>(policy.max_backoff_ns);
   double backoff = static_cast<double>(policy.base_backoff_ns);
-  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
-  return std::min(policy.max_backoff_ns, static_cast<int64_t>(backoff));
+  for (int i = 1; i < attempt && backoff < max_ns; ++i) {
+    backoff *= policy.backoff_multiplier;
+  }
+  if (backoff >= max_ns) return policy.max_backoff_ns;
+  return static_cast<int64_t>(backoff);
 }
 
 bool IsRetriableError(std::string_view abort_message) {

@@ -17,8 +17,14 @@ ZipfSampler::ZipfSampler(size_t n, double skew) {
 }
 
 size_t ZipfSampler::Sample(Rng& rng) const {
+  // An empty population has no valid rank; 0 is the only sane answer and
+  // keeps callers (who index [0, n)) from reading past an empty CDF.
+  if (cdf_.empty()) return 0;
   double u = rng.NextDouble();
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  // FP rounding can leave cdf_.back() fractionally below 1.0, in which case
+  // lower_bound returns end(); clamp to the last rank instead of returning n.
+  if (it == cdf_.end()) --it;
   return static_cast<size_t>(it - cdf_.begin());
 }
 
@@ -42,8 +48,33 @@ size_t PayloadSizeSampler::Sample(Rng& rng) const {
   return static_cast<size_t>(size);
 }
 
-std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
+Result<std::function<rpc::Message(uint64_t, Rng&)>> MakeTraceWorkload(
     TraceWorkloadOptions options) {
+  // Cumulative-weight sampling: O(methods) memory regardless of weight
+  // magnitude, and non-positive weights are an error rather than silently
+  // vanishing from the mix.
+  struct MethodMix {
+    std::vector<std::string> names;
+    std::vector<int64_t> cumulative;
+    int64_t total = 0;
+  };
+  auto mix = std::make_shared<MethodMix>();
+  for (const auto& [method, weight] : options.method_mix) {
+    if (weight <= 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "method_mix weight for '" + method +
+                       "' must be positive, got " + std::to_string(weight));
+    }
+    mix->names.push_back(method);
+    mix->total += weight;
+    mix->cumulative.push_back(mix->total);
+  }
+  if (mix->names.empty()) {
+    mix->names.push_back("Trace.Call");
+    mix->total = 1;
+    mix->cumulative.push_back(1);
+  }
+
   auto users = std::make_shared<ZipfSampler>(options.user_population,
                                              options.user_skew);
   auto objects = std::make_shared<ZipfSampler>(options.object_population,
@@ -51,28 +82,27 @@ std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
   auto sizes = std::make_shared<PayloadSizeSampler>(
       options.payload_median_bytes, options.payload_sigma,
       options.payload_min_bytes, options.payload_max_bytes);
-  // Expand the method mix into a weighted pick table.
-  auto methods = std::make_shared<std::vector<std::string>>();
-  for (const auto& [method, weight] : options.method_mix) {
-    for (int i = 0; i < weight; ++i) methods->push_back(method);
-  }
-  if (methods->empty()) methods->push_back("Trace.Call");
 
-  return [users, objects, sizes, methods](uint64_t id, Rng& rng) {
-    size_t user_rank = users->Sample(rng);
-    size_t object_rank = objects->Sample(rng);
-    size_t payload_bytes = sizes->Sample(rng);
-    Bytes payload(payload_bytes);
-    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBelow(256));
-    const std::string& method =
-        (*methods)[rng.NextBelow(methods->size())];
-    return rpc::Message::MakeRequest(
-        id, method,
-        {{"username",
-          rpc::Value("user" + std::to_string(user_rank))},
-         {"object_id", rpc::Value(static_cast<int64_t>(object_rank))},
-         {"payload", rpc::Value(std::move(payload))}});
-  };
+  return std::function<rpc::Message(uint64_t, Rng&)>(
+      [users, objects, sizes, mix](uint64_t id, Rng& rng) {
+        size_t user_rank = users->Sample(rng);
+        size_t object_rank = objects->Sample(rng);
+        size_t payload_bytes = sizes->Sample(rng);
+        Bytes payload(payload_bytes);
+        for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBelow(256));
+        int64_t tick = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(mix->total)));
+        size_t pick = static_cast<size_t>(
+            std::upper_bound(mix->cumulative.begin(), mix->cumulative.end(),
+                             tick) -
+            mix->cumulative.begin());
+        const std::string& method = mix->names[pick];
+        return rpc::Message::MakeRequest(
+            id, method,
+            {{"username", rpc::Value("user" + std::to_string(user_rank))},
+             {"object_id", rpc::Value(static_cast<int64_t>(object_rank))},
+             {"payload", rpc::Value(std::move(payload))}});
+      });
 }
 
 double StepRateProfile::RateAt(int64_t t_ns) const {

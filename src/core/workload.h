@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "rpc/message.h"
 
 namespace adn::core {
@@ -59,7 +60,10 @@ struct TraceWorkloadOptions {
 
 // Build a request factory (compatible with WorkloadOptions::make_request)
 // producing username/object_id/payload fields drawn from the distributions.
-std::function<rpc::Message(uint64_t, Rng&)> MakeTraceWorkload(
+// Method picks use cumulative-weight sampling (O(#methods) memory however
+// large the weights); a non-positive weight in method_mix is an
+// InvalidArgument error, not a silent omission.
+Result<std::function<rpc::Message(uint64_t, Rng&)>> MakeTraceWorkload(
     TraceWorkloadOptions options);
 
 // Piecewise-constant offered-load profile (RPCs/sec over time) for

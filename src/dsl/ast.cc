@@ -100,6 +100,13 @@ const FilterDecl* Program::FindFilter(std::string_view name) const {
   return nullptr;
 }
 
+const CacheDecl* Program::FindCache(std::string_view name) const {
+  for (const auto& c : caches) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
 const ChainDecl* Program::FindChain(std::string_view name) const {
   for (const auto& c : chains) {
     if (c.name == name) return &c;

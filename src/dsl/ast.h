@@ -181,6 +181,19 @@ struct FilterDecl {
   SourceLocation location;
 };
 
+// CACHE name (capacity => N, ttl_ms => N) KEY (field, ...);
+// A memoizing response cache for idempotent RPCs. On the request path a hit
+// rewrites the message into the cached response in place and short-circuits
+// the rest of the chain (ProcessOutcome::kReply); a miss records a pending
+// entry that the response path fills. Always bidirectional — the lookup and
+// the fill are two halves of one element.
+struct CacheDecl {
+  std::string name;
+  std::vector<std::pair<std::string, rpc::Value>> args;  // capacity, ttl_ms
+  std::vector<std::string> key_fields;  // request fields forming the cache key
+  SourceLocation location;
+};
+
 // Placement constraint for one chain position (§4 Q1: "element location
 // constraints (e.g., the encryption element must be co-located with the
 // sender)").
@@ -210,11 +223,13 @@ struct Program {
   std::vector<TableDecl> tables;
   std::vector<ElementDecl> elements;
   std::vector<FilterDecl> filters;
+  std::vector<CacheDecl> caches;
   std::vector<ChainDecl> chains;
 
   const TableDecl* FindTable(std::string_view name) const;
   const ElementDecl* FindElement(std::string_view name) const;
   const FilterDecl* FindFilter(std::string_view name) const;
+  const CacheDecl* FindCache(std::string_view name) const;
   const ChainDecl* FindChain(std::string_view name) const;
 };
 

@@ -32,10 +32,19 @@ class Parser {
       } else if (CheckKeyword("FILTER")) {
         ADN_ASSIGN_OR_RETURN(FilterDecl f, ParseFilterDecl());
         if (program.FindElement(f.name) != nullptr ||
-            program.FindFilter(f.name) != nullptr) {
+            program.FindFilter(f.name) != nullptr ||
+            program.FindCache(f.name) != nullptr) {
           return DuplicateError("filter", f.name, f.location);
         }
         program.filters.push_back(std::move(f));
+      } else if (CheckKeyword("CACHE")) {
+        ADN_ASSIGN_OR_RETURN(CacheDecl c, ParseCacheDecl());
+        if (program.FindElement(c.name) != nullptr ||
+            program.FindFilter(c.name) != nullptr ||
+            program.FindCache(c.name) != nullptr) {
+          return DuplicateError("cache", c.name, c.location);
+        }
+        program.caches.push_back(std::move(c));
       } else if (CheckKeyword("CHAIN")) {
         ADN_ASSIGN_OR_RETURN(ChainDecl c, ParseChainDecl());
         if (program.FindChain(c.name) != nullptr) {
@@ -44,7 +53,7 @@ class Parser {
         program.chains.push_back(std::move(c));
       } else {
         return Error(ErrorCode::kParseError,
-                     "expected STATE, ELEMENT, FILTER or CHAIN, got " +
+                     "expected STATE, ELEMENT, FILTER, CACHE or CHAIN, got " +
                          Peek().Describe() + " at " +
                          Peek().location.ToString());
       }
@@ -214,18 +223,56 @@ class Parser {
     }
     ADN_RETURN_IF_ERROR(ExpectKeyword("USING"));
     ADN_ASSIGN_OR_RETURN(decl.op, ExpectIdentifier("operator"));
+    ADN_ASSIGN_OR_RETURN(decl.args, ParseArgList());
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    return decl;
+  }
+
+  // `name => literal` argument lists shared by FILTER and CACHE decls.
+  Result<std::vector<std::pair<std::string, rpc::Value>>> ParseArgList() {
+    std::vector<std::pair<std::string, rpc::Value>> args;
     ADN_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
     if (!Check(TokenKind::kRParen)) {
       do {
-        ADN_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier("argument"));
+        // Argument names may collide with DSL keywords (`key` for the agg
+        // ops), so accept either token kind and lowercase for lookup.
+        if (!Check(TokenKind::kIdentifier) && !Check(TokenKind::kKeyword)) {
+          return Error(ErrorCode::kParseError,
+                       "expected argument name, got " + Peek().Describe() +
+                           " at " + Peek().location.ToString());
+        }
+        std::string key = ToLowerAscii(Advance().text);
         // Arguments use `name => literal`; the lexer splits '=>' into '='
         // followed by '>'. Plain '=' is accepted too.
         ADN_RETURN_IF_ERROR(Expect(TokenKind::kEq));
         (void)Match(TokenKind::kGt);
-        ADN_ASSIGN_OR_RETURN(rpc::Value v, ParseLiteralValue());
-        decl.args.emplace_back(std::move(key), std::move(v));
+        // A bare identifier names an RPC field (agg key/value selectors);
+        // it becomes a text value.
+        rpc::Value v;
+        if (Check(TokenKind::kIdentifier)) {
+          v = rpc::Value(Advance().text);
+        } else {
+          ADN_ASSIGN_OR_RETURN(v, ParseLiteralValue());
+        }
+        args.emplace_back(std::move(key), std::move(v));
       } while (Match(TokenKind::kComma));
     }
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return args;
+  }
+
+  Result<CacheDecl> ParseCacheDecl() {
+    CacheDecl decl;
+    decl.location = Peek().location;
+    ADN_RETURN_IF_ERROR(ExpectKeyword("CACHE"));
+    ADN_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("cache"));
+    ADN_ASSIGN_OR_RETURN(decl.args, ParseArgList());
+    ADN_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+    ADN_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    do {
+      ADN_ASSIGN_OR_RETURN(std::string f, ExpectIdentifier("key field"));
+      decl.key_fields.push_back(std::move(f));
+    } while (Match(TokenKind::kComma));
     ADN_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
     ADN_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
     return decl;

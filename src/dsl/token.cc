@@ -55,7 +55,7 @@ std::string Token::Describe() const {
 bool IsDslKeyword(std::string_view upper) {
   static constexpr std::array kKeywords = {
       // Declarations.
-      "STATE", "TABLE", "ELEMENT", "FILTER", "CHAIN",
+      "STATE", "TABLE", "ELEMENT", "FILTER", "CACHE", "CHAIN",
       // Element modifiers.
       "ON", "REQUEST", "RESPONSE", "BOTH", "DROP", "ABORT", "SILENT",
       // SQL statements.

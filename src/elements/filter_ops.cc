@@ -115,6 +115,107 @@ ProcessResult CircuitBreakerOp::Process(rpc::Message& m, int64_t now_ns) {
   return ProcessResult::Pass();
 }
 
+// --- AggCountOp --------------------------------------------------------------
+
+AggCountOp::AggCountOp(std::optional<rpc::FieldId> key, size_t max_groups)
+    : key_(key), max_groups_(std::max<size_t>(max_groups, 1)) {}
+
+ProcessResult AggCountOp::Process(rpc::Message& m, int64_t) {
+  ++total_;
+  if (key_.has_value()) {
+    uint64_t group = rpc::HashValue(m.GetFieldOrNull(*key_));
+    auto it = groups_.find(group);
+    if (it != groups_.end()) {
+      ++it->second;
+    } else if (groups_.size() < max_groups_) {
+      groups_.emplace(group, 1);
+    } else {
+      ++overflow_;
+    }
+  }
+  return ProcessResult::Pass();
+}
+
+uint64_t AggCountOp::CountFor(const rpc::Value& key) const {
+  auto it = groups_.find(rpc::HashValue(key));
+  return it != groups_.end() ? it->second : 0;
+}
+
+// --- AggSumOp ----------------------------------------------------------------
+
+AggSumOp::AggSumOp(rpc::FieldId field, std::optional<rpc::FieldId> key,
+                   size_t max_groups)
+    : field_(field), key_(key), max_groups_(std::max<size_t>(max_groups, 1)) {}
+
+ProcessResult AggSumOp::Process(rpc::Message& m, int64_t) {
+  const rpc::Value* v = m.FindField(field_);
+  if (v == nullptr || !v->IsNumeric()) return ProcessResult::Pass();
+  double x = v->NumericAsDouble();
+  total_ += x;
+  ++samples_;
+  if (key_.has_value()) {
+    uint64_t group = rpc::HashValue(m.GetFieldOrNull(*key_));
+    auto it = groups_.find(group);
+    if (it != groups_.end()) {
+      it->second += x;
+    } else if (groups_.size() < max_groups_) {
+      groups_.emplace(group, x);
+    } else {
+      ++overflow_;
+    }
+  }
+  return ProcessResult::Pass();
+}
+
+double AggSumOp::SumFor(const rpc::Value& key) const {
+  auto it = groups_.find(rpc::HashValue(key));
+  return it != groups_.end() ? it->second : 0;
+}
+
+// --- AggTopkOp ---------------------------------------------------------------
+
+AggTopkOp::AggTopkOp(rpc::FieldId key, size_t k)
+    : key_(key), k_(std::max<size_t>(k, 1)) {}
+
+ProcessResult AggTopkOp::Process(rpc::Message& m, int64_t) {
+  const rpc::Value* v = m.FindField(key_);
+  if (v == nullptr) return ProcessResult::Pass();
+  std::string key = v->type() == rpc::ValueType::kText
+                        ? std::string(v->AsText())
+                        : v->ToDisplayString();
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    ++it->second.first;
+    return ProcessResult::Pass();
+  }
+  if (counts_.size() < k_) {
+    counts_.emplace(std::move(key), std::make_pair(uint64_t{1}, uint64_t{0}));
+    return ProcessResult::Pass();
+  }
+  // Space-saving eviction: the minimum-count entry yields its slot, and the
+  // newcomer inherits min as both base count and error bound.
+  auto min_it = counts_.begin();
+  for (auto cur = counts_.begin(); cur != counts_.end(); ++cur) {
+    if (cur->second.first < min_it->second.first) min_it = cur;
+  }
+  uint64_t floor = min_it->second.first;
+  counts_.erase(min_it);
+  counts_.emplace(std::move(key), std::make_pair(floor + 1, floor));
+  return ProcessResult::Pass();
+}
+
+std::vector<AggTopkOp::Hitter> AggTopkOp::TopK() const {
+  std::vector<Hitter> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, ce] : counts_) {
+    out.push_back({key, ce.first, ce.second});
+  }
+  std::sort(out.begin(), out.end(), [](const Hitter& a, const Hitter& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return out;
+}
+
 // --- Factory ----------------------------------------------------------------------
 
 Result<std::unique_ptr<mrpc::EngineStage>> MakeFilterStage(
@@ -135,6 +236,37 @@ Result<std::unique_ptr<mrpc::EngineStage>> MakeFilterStage(
         std::make_unique<CircuitBreakerOp>(
             threshold, static_cast<size_t>(IntArg(filter, "window", 64)),
             IntArg(filter, "cooldown_ms", 100) * 1'000'000));
+  }
+  // Aggregation args name RPC fields as TEXT values; intern at bind time so
+  // the hot path touches only FieldIds.
+  auto field_arg =
+      [&filter](std::string_view name) -> std::optional<rpc::FieldId> {
+    const rpc::Value* v = FindArg(filter, name);
+    if (v == nullptr || v->type() != rpc::ValueType::kText) return std::nullopt;
+    return rpc::InternFieldName(v->AsText());
+  };
+  if (filter.op == "agg_count") {
+    return std::unique_ptr<mrpc::EngineStage>(std::make_unique<AggCountOp>(
+        field_arg("key"), static_cast<size_t>(IntArg(filter, "groups", 1024))));
+  }
+  if (filter.op == "agg_sum") {
+    std::optional<rpc::FieldId> field = field_arg("field");
+    if (!field.has_value()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "agg_sum requires field => <rpc field name>");
+    }
+    return std::unique_ptr<mrpc::EngineStage>(std::make_unique<AggSumOp>(
+        *field, field_arg("key"),
+        static_cast<size_t>(IntArg(filter, "groups", 1024))));
+  }
+  if (filter.op == "agg_topk") {
+    std::optional<rpc::FieldId> key = field_arg("key");
+    if (!key.has_value()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "agg_topk requires key => <rpc field name>");
+    }
+    return std::unique_ptr<mrpc::EngineStage>(std::make_unique<AggTopkOp>(
+        *key, static_cast<size_t>(IntArg(filter, "k", 8))));
   }
   if (filter.op == "retry" || filter.op == "timeout") {
     return Error(ErrorCode::kUnsupported,

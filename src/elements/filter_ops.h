@@ -10,7 +10,12 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "ir/element_ir.h"
 #include "mrpc/engine.h"
@@ -89,6 +94,105 @@ class CircuitBreakerOp : public mrpc::EngineStage {
   size_t errors_ = 0;
   bool open_ = false;
   int64_t open_until_ns_ = 0;
+};
+
+// --- Aggregation observers ---------------------------------------------------
+// agg_count / agg_sum / agg_topk: pass-through telemetry primitives cheap
+// enough for constrained processors — bounded state, no drops, no field
+// writes, and a key/field set small enough for the backend's parse-depth
+// window. Unlike the shaping filters above they DO read RPC fields; their
+// effect summaries say so, which is what lets the compiler prioritize those
+// fields into the front of the wire header for in-network placement.
+
+// agg_count(key => field?): request counter, optionally grouped by a field.
+// Groups are keyed by the field value's hash so per-message work is
+// allocation-free; the group map is bounded and spill beyond it is counted.
+class AggCountOp : public mrpc::EngineStage {
+ public:
+  AggCountOp(std::optional<rpc::FieldId> key, size_t max_groups);
+
+  std::string_view name() const override { return "filter.agg_count"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return 2.0 * model.adn_op_ns;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t CountFor(const rpc::Value& key) const;
+  uint64_t overflow() const { return overflow_; }
+
+ private:
+  std::optional<rpc::FieldId> key_;
+  size_t max_groups_;
+  uint64_t total_ = 0;
+  uint64_t overflow_ = 0;  // arrivals whose new group missed the bounded map
+  std::unordered_map<uint64_t, uint64_t> groups_;  // HashValue(key) -> count
+};
+
+// agg_sum(field => f, key => g?): running sum of a numeric field, optionally
+// grouped. Messages without the field (or with a non-numeric value) are
+// passed through uncounted.
+class AggSumOp : public mrpc::EngineStage {
+ public:
+  AggSumOp(rpc::FieldId field, std::optional<rpc::FieldId> key,
+           size_t max_groups);
+
+  std::string_view name() const override { return "filter.agg_sum"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return 3.0 * model.adn_op_ns;
+  }
+
+  double total() const { return total_; }
+  uint64_t samples() const { return samples_; }
+  double SumFor(const rpc::Value& key) const;
+
+ private:
+  rpc::FieldId field_;
+  std::optional<rpc::FieldId> key_;
+  size_t max_groups_;
+  double total_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t overflow_ = 0;
+  std::unordered_map<uint64_t, double> groups_;
+};
+
+// agg_topk(key => f, k => N?): space-saving heavy hitters over a field's
+// values. At most k tracked entries; a new value evicts the current minimum
+// and inherits its count as overestimation error (the classic bound:
+// reported count - err <= true count <= reported count).
+class AggTopkOp : public mrpc::EngineStage {
+ public:
+  AggTopkOp(rpc::FieldId key, size_t k);
+
+  std::string_view name() const override { return "filter.agg_topk"; }
+  bool AppliesTo(rpc::MessageKind kind) const override {
+    return kind == rpc::MessageKind::kRequest;
+  }
+  ir::ProcessResult Process(rpc::Message& m, int64_t now_ns) override;
+  double CostNs(const sim::CostModel& model, size_t) const override {
+    return static_cast<double>(4 + k_) * model.adn_op_ns;
+  }
+
+  struct Hitter {
+    std::string key;
+    uint64_t count = 0;
+    uint64_t err = 0;  // max overcount inherited from evicted entries
+  };
+  // Tracked entries, highest count first.
+  std::vector<Hitter> TopK() const;
+
+ private:
+  rpc::FieldId key_;
+  size_t k_;
+  std::unordered_map<std::string, std::pair<uint64_t, uint64_t>>
+      counts_;  // key -> (count, err)
 };
 
 // Bind a FilterIr (from the compiler) to its host implementation.

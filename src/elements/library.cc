@@ -136,6 +136,16 @@ std::string_view DedupFilterSql() {
   return "FILTER Dedup ON REQUEST USING dedup(window => 4096);\n";
 }
 
+std::string_view AggTopkFilterSql() {
+  return "FILTER HotKeys ON REQUEST USING agg_topk(key => username, "
+         "k => 4);\n";
+}
+
+std::string_view ResponseCacheSql() {
+  return "CACHE RespCache (capacity => 1024, ttl_ms => 5000) "
+         "KEY (object_id);\n";
+}
+
 std::string Fig5ProgramSource() {
   std::string out;
   out += AclTableSql();
@@ -167,6 +177,31 @@ CHAIN fig2 FOR CALLS service_a -> service_b {
   Compress AT SENDER,
   Decompress AT RECEIVER,
   Acl AT TRUSTED
+}
+)";
+  return out;
+}
+
+std::string CacheChainSource() {
+  std::string out;
+  out += AclTableSql();
+  out += LogTableSql();
+  out += EndpointsTableSql();
+  out += ResponseCacheSql();
+  out += LoggingSql();
+  out += AclSql();
+  out += HashLbSql();
+  out += CompressSql();
+  // HashLb's INPUT declares object_id, which is also the cache key — the
+  // schema-evolution check requires some element to put the key field on
+  // the wire (the deploy-time "app emits what the chain needs" contract).
+  out += R"(
+CHAIN cached FOR CALLS client -> server {
+  RespCache,
+  Logging,
+  Acl AT TRUSTED,
+  HashLb,
+  Compress
 }
 )";
   return out;

@@ -40,6 +40,8 @@ std::string_view QuotaSql();
 std::string_view TelemetrySql();
 std::string_view RateLimitFilterSql();  // FILTER ... USING rate_limit(...)
 std::string_view DedupFilterSql();
+std::string_view AggTopkFilterSql();   // FILTER ... USING agg_topk(...)
+std::string_view ResponseCacheSql();   // CACHE RespCache ... KEY (object_id)
 
 // Full program sources used across tests/benches/examples.
 
@@ -51,5 +53,10 @@ std::string Fig2ProgramSource();
 
 // Everything in the library, one chain each (for compiler stress tests).
 std::string FullLibrarySource();
+
+// Memoization chain: RespCache in front of Logging -> Acl -> Compress. The
+// bench_cache workload and EXPERIMENTS.md E18 run this program; a hit at
+// RespCache short-circuits everything behind it.
+std::string CacheChainSource();
 
 }  // namespace adn::elements

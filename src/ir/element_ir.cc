@@ -68,6 +68,9 @@ int ElementIr::OpCount() const {
   int total = 2;  // element dispatch + result handling
   for (const StmtIr& s : statements) total += s.OpCount();
   if (IsFilter()) total += 4;  // operator invocation scaffolding
+  // Cache lookup: key hash + index probe + (hit) in-place rewrite,
+  // amortized. Small and constant — the point of the element.
+  if (IsCache()) total += 6;
   return total;
 }
 

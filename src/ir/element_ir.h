@@ -124,16 +124,30 @@ struct FilterIr {
   std::vector<std::pair<std::string, rpc::Value>> args;
 };
 
+// A cache element (CACHE decl): memoizes responses of idempotent RPCs keyed
+// on `key_fields`. The runtime keeps ARC recency/frequency metadata outside
+// the state table (ir/exec.cc); only the cached rows themselves are durable
+// state, so instances migrate like any other element.
+struct CacheIr {
+  size_t capacity = 0;     // max resident entries (>=1)
+  int64_t ttl_ns = 0;      // entry lifetime; 0 => never expires
+  std::vector<std::string> key_fields;  // request fields forming the key
+  std::string table;       // backing state table ("__cache_<name>")
+};
+
 struct ElementIr {
   std::string name;
   dsl::Direction direction = dsl::Direction::kRequest;
   dsl::DropBehavior on_drop = dsl::DropBehavior::kAbort;
   std::string abort_message;
 
-  // SQL elements have statements; filter elements have filter_op instead.
+  // SQL elements have statements; filter elements have filter_op instead;
+  // cache elements have cache_op (and a synthesized backing state table).
   std::vector<StmtIr> statements;
   std::optional<FilterIr> filter_op;
+  std::optional<CacheIr> cache_op;
   bool IsFilter() const { return filter_op.has_value(); }
+  bool IsCache() const { return cache_op.has_value(); }
 
   // Schemas of every state table the statements reference (copied from the
   // program so each compiled element is self-contained).

@@ -1,9 +1,15 @@
 #include "ir/exec.h"
 
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "common/strings.h"
 #include "ir/state_delta.h"
 #include "obs/intern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpc/flat_wire.h"
 
 namespace adn::ir {
 
@@ -11,6 +17,101 @@ using rpc::Message;
 using rpc::Row;
 using rpc::Table;
 using rpc::Value;
+
+// ARC (adaptive replacement cache) bookkeeping for a cache element. Only the
+// response rows live in the state table; this recency/frequency metadata is
+// derived, rebuilt from the rows whenever migration machinery replaces them
+// (InvalidateCacheRuntime), so the table alone defines the element's
+// migratable state. Counters survive rebuilds — they describe the instance,
+// not the current rows.
+struct ElementInstance::CacheRuntime {
+  using LruList = std::list<uint64_t>;
+  // Which of the four ARC lists a key is on: T1/T2 hold resident entries
+  // (recency / frequency), B1/B2 are ghosts (recently evicted keys, no row).
+  enum : uint8_t { kT1 = 0, kT2 = 1, kB1 = 2, kB2 = 3 };
+  struct Loc {
+    uint8_t list;
+    LruList::iterator it;
+  };
+
+  LruList t1, t2, b1, b2;
+  std::unordered_map<uint64_t, Loc> index;
+  size_t p = 0;  // adaptive target size for T1
+  // rpc id -> cache key for in-flight misses awaiting their response.
+  std::unordered_map<uint64_t, uint64_t> pending;
+  std::vector<rpc::FieldId> key_fids;
+  bool built = false;
+  Bytes scratch;  // fill-path encode buffer, reused across fills
+
+  uint64_t hits = 0, misses = 0, fills = 0, expired = 0, evicted = 0;
+
+  LruList& ListOf(uint8_t which) {
+    switch (which) {
+      case kT1: return t1;
+      case kT2: return t2;
+      case kB1: return b1;
+      default: return b2;
+    }
+  }
+
+  bool Resident(const Loc& loc) const {
+    return loc.list == kT1 || loc.list == kT2;
+  }
+
+  // Unlink `key` from whatever list holds it.
+  void Unlink(uint64_t key) {
+    auto it = index.find(key);
+    if (it == index.end()) return;
+    ListOf(it->second.list).erase(it->second.it);
+    index.erase(it);
+  }
+
+  void PushMru(uint8_t list, uint64_t key) {
+    LruList& l = ListOf(list);
+    l.push_front(key);
+    index[key] = Loc{list, l.begin()};
+  }
+
+  // Move a resident entry to the MRU end of T2 (a hit proves frequency).
+  void PromoteToT2(uint64_t key) {
+    auto it = index.find(key);
+    if (it == index.end()) return;
+    t2.splice(t2.begin(), ListOf(it->second.list), it->second.it);
+    it->second.list = kT2;
+    it->second.it = t2.begin();
+  }
+
+  // ARC REPLACE: evict one resident entry to its ghost list and drop the
+  // backing row. `in_b2` is whether the incoming key was a B2 ghost.
+  void Replace(Table& table, bool in_b2) {
+    uint64_t victim;
+    uint8_t ghost;
+    if (!t1.empty() && (t1.size() > p || (in_b2 && t1.size() == p))) {
+      victim = t1.back();
+      t1.pop_back();
+      ghost = kB1;
+    } else if (!t2.empty()) {
+      victim = t2.back();
+      t2.pop_back();
+      ghost = kB2;
+    } else {
+      return;
+    }
+    index.erase(victim);
+    PushMru(ghost, victim);
+    Row key_row;
+    key_row.push_back(Value(static_cast<int64_t>(victim)));
+    table.EraseByKey(key_row);
+    ++evicted;
+  }
+
+  void DropLru(uint8_t list) {
+    LruList& l = ListOf(list);
+    if (l.empty()) return;
+    index.erase(l.back());
+    l.pop_back();
+  }
+};
 
 ElementInstance::ElementInstance(std::shared_ptr<const ElementIr> code,
                                  uint64_t seed)
@@ -21,6 +122,8 @@ ElementInstance::ElementInstance(std::shared_ptr<const ElementIr> code,
   }
   ResolveObsInstruments();
 }
+
+ElementInstance::~ElementInstance() = default;
 
 void ElementInstance::ResolveObsInstruments() {
   obs_name_id_ = obs::InternName(code_->name);
@@ -70,6 +173,11 @@ ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
     }
     if (trace != nullptr) trace->CloseSpan(span);
   };
+  if (code_->IsCache()) {
+    ProcessResult r = RunCache(m, now_ns);
+    finish();
+    return r;
+  }
   EvalContext ctx;
   ctx.message = &m;
   ctx.fn_ctx.message = &m;
@@ -79,7 +187,9 @@ ProcessResult ElementInstance::Process(Message& m, int64_t now_ns) {
   for (const StmtIr& stmt : code_->statements) {
     ProcessResult r = RunStatement(stmt, m, ctx);
     if (r.outcome != ProcessOutcome::kPass) {
-      ++dropped_;
+      // kReply is a short-circuit success (the message became the response),
+      // not a drop; only true drops count.
+      if (r.outcome != ProcessOutcome::kReply) ++dropped_;
       finish();
       return r;
     }
@@ -298,6 +408,190 @@ ProcessResult ElementInstance::RunStatement(const StmtIr& stmt, Message& m,
   return AbortWith("internal: unhandled statement kind");
 }
 
+void ElementInstance::InvalidateCacheRuntime() {
+  if (cache_rt_ != nullptr) cache_rt_->built = false;
+}
+
+ElementInstance::CacheRuntime& ElementInstance::EnsureCacheRuntime() {
+  if (cache_rt_ == nullptr) cache_rt_ = std::make_unique<CacheRuntime>();
+  CacheRuntime& rt = *cache_rt_;
+  if (!rt.built) {
+    rt.t1.clear();
+    rt.t2.clear();
+    rt.b1.clear();
+    rt.b2.clear();
+    rt.index.clear();
+    rt.pending.clear();
+    rt.p = 0;
+    rt.key_fids.clear();
+    for (const std::string& f : code_->cache_op->key_fields) {
+      rt.key_fids.push_back(rpc::InternFieldName(f));
+    }
+    // Rebuild residency from the rows. Recency order did not survive the
+    // migration (it is not state), so every key starts on T1; the adaptive
+    // policy re-learns frequency from the traffic. Crucially this reads the
+    // table without modifying it, keeping StateContentHash invariant across
+    // snapshot/restore/split/merge.
+    if (const Table* table = FindTable(code_->cache_op->table);
+        table != nullptr) {
+      for (const Row& row : table->rows()) {
+        rt.PushMru(CacheRuntime::kT1,
+                   static_cast<uint64_t>(row[0].AsInt()));
+      }
+    }
+    rt.built = true;
+  }
+  return rt;
+}
+
+uint64_t ElementInstance::cache_hits() const {
+  return cache_rt_ != nullptr ? cache_rt_->hits : 0;
+}
+uint64_t ElementInstance::cache_misses() const {
+  return cache_rt_ != nullptr ? cache_rt_->misses : 0;
+}
+uint64_t ElementInstance::cache_fills() const {
+  return cache_rt_ != nullptr ? cache_rt_->fills : 0;
+}
+uint64_t ElementInstance::cache_expired() const {
+  return cache_rt_ != nullptr ? cache_rt_->expired : 0;
+}
+uint64_t ElementInstance::cache_evicted() const {
+  return cache_rt_ != nullptr ? cache_rt_->evicted : 0;
+}
+
+ProcessResult ElementInstance::RunCache(Message& m, int64_t now_ns) {
+  const CacheIr& cfg = *code_->cache_op;
+  CacheRuntime& rt = EnsureCacheRuntime();
+  Table* table = FindTable(cfg.table);
+  if (table == nullptr) {
+    return AbortWith("internal: missing cache table " + cfg.table);
+  }
+
+  // Cache key: method name mixed with the interned key fields' values.
+  // GetFieldOrNull gives absent fields SQL NULL semantics, so requests
+  // missing a key field still key consistently.
+  uint64_t key = Fnv1a64(m.method());
+  for (rpc::FieldId fid : rt.key_fids) {
+    key = (key ^ rpc::HashValue(m.GetFieldOrNull(fid))) * 0x100000001B3ULL;
+  }
+  const Value key_value(static_cast<int64_t>(key));
+
+  if (m.kind() == rpc::MessageKind::kRequest) {
+    auto it = rt.index.find(key);
+    if (it != rt.index.end() && rt.Resident(it->second)) {
+      const Row* row = table->LookupSingleKey(key_value);
+      bool stale = row == nullptr;
+      if (!stale && cfg.ttl_ns > 0 &&
+          now_ns - (*row)[2].AsInt() >= cfg.ttl_ns) {
+        ++rt.expired;
+        stale = true;
+      }
+      if (!stale) {
+        BytesView blob = (*row)[1].AsBytes();
+        Status decoded = rpc::DecodeFieldsFlatInto(
+            std::span<const uint8_t>(blob.data(), blob.size()), m);
+        if (decoded.ok()) {
+          // The request is now the response: flip the kind, bump the entry
+          // to the frequency list, stop the chain. Zero heap allocations on
+          // arena-backed messages — the decode binds arena slices.
+          m.set_kind(rpc::MessageKind::kResponse);
+          rt.PromoteToT2(key);
+          ++rt.hits;
+          ProcessResult r;
+          r.outcome = ProcessOutcome::kReply;
+          return r;
+        }
+        stale = true;  // unreadable blob: drop the entry, treat as miss
+      }
+      // Expired or unreadable: remove row + residency (no ghost — the entry
+      // did not lose a capacity contest, it timed out).
+      rt.Unlink(key);
+      Row key_row;
+      key_row.push_back(key_value);
+      table->EraseByKey(key_row);
+    }
+    ++rt.misses;
+    rt.pending[m.id()] = key;
+    // In-flight misses are bounded; drop the oldest hash-order entry if an
+    // unresponsive downstream lets them pile up.
+    if (rt.pending.size() > cfg.capacity * 4 + 64) {
+      rt.pending.erase(rt.pending.begin());
+    }
+    return ProcessResult::Pass();
+  }
+
+  // Response path: fill the pending entry for this rpc id, if any.
+  auto pit = rt.pending.find(m.id());
+  if (pit == rt.pending.end()) return ProcessResult::Pass();
+  const uint64_t fill_key = pit->second;
+  rt.pending.erase(pit);
+  const Value fill_key_value(static_cast<int64_t>(fill_key));
+
+  rt.scratch.clear();
+  if (!rpc::EncodeFieldsFlat(m, rt.scratch).ok()) return ProcessResult::Pass();
+  Row row;
+  row.reserve(3);
+  row.push_back(fill_key_value);
+  row.push_back(Value(Bytes(rt.scratch)));
+  row.push_back(Value(now_ns));
+
+  const size_t c = cfg.capacity;
+  auto it = rt.index.find(fill_key);
+  if (it != rt.index.end() && rt.Resident(it->second)) {
+    // A concurrent request already filled it; refresh the row in place.
+    (void)table->Insert(std::move(row));
+    rt.PromoteToT2(fill_key);
+    ++rt.fills;
+    return ProcessResult::Pass();
+  }
+  if (it != rt.index.end() && it->second.list == CacheRuntime::kB1) {
+    // Recency ghost hit: T1 was too small — grow its target.
+    const size_t delta =
+        rt.b1.empty() ? 1 : std::max<size_t>(1, rt.b2.size() / rt.b1.size());
+    rt.p = std::min(c, rt.p + delta);
+    rt.Replace(*table, /*in_b2=*/false);
+    rt.Unlink(fill_key);
+    rt.PushMru(CacheRuntime::kT2, fill_key);
+  } else if (it != rt.index.end() && it->second.list == CacheRuntime::kB2) {
+    // Frequency ghost hit: shrink T1's target.
+    const size_t delta =
+        rt.b2.empty() ? 1 : std::max<size_t>(1, rt.b1.size() / rt.b2.size());
+    rt.p = rt.p > delta ? rt.p - delta : 0;
+    rt.Replace(*table, /*in_b2=*/true);
+    rt.Unlink(fill_key);
+    rt.PushMru(CacheRuntime::kT2, fill_key);
+  } else {
+    // Brand-new key.
+    const size_t l1 = rt.t1.size() + rt.b1.size();
+    if (l1 >= c) {
+      if (rt.t1.size() < c) {
+        rt.DropLru(CacheRuntime::kB1);
+        rt.Replace(*table, /*in_b2=*/false);
+      } else {
+        // T1 itself is full: evict its LRU row outright.
+        uint64_t victim = rt.t1.back();
+        rt.Unlink(victim);
+        Row victim_row;
+        victim_row.push_back(Value(static_cast<int64_t>(victim)));
+        table->EraseByKey(victim_row);
+        ++rt.evicted;
+      }
+    } else {
+      const size_t total =
+          l1 + rt.t2.size() + rt.b2.size();
+      if (total >= c) {
+        if (total >= 2 * c) rt.DropLru(CacheRuntime::kB2);
+        rt.Replace(*table, /*in_b2=*/false);
+      }
+    }
+    rt.PushMru(CacheRuntime::kT1, fill_key);
+  }
+  (void)table->Insert(std::move(row));
+  ++rt.fills;
+  return ProcessResult::Pass();
+}
+
 Bytes ElementInstance::SnapshotState() const {
   Bytes out;
   ByteWriter w(out);
@@ -333,6 +627,7 @@ Status ElementInstance::RestoreState(std::span<const uint8_t> snapshot) {
     restored.push_back(std::move(table).value());
   }
   tables_ = std::move(restored);
+  InvalidateCacheRuntime();
   return Status::Ok();
 }
 
@@ -373,6 +668,7 @@ Status ElementInstance::MergeState(std::span<const uint8_t> snapshot) {
     if (!table.ok()) return table.status();
     ADN_RETURN_IF_ERROR(tables_[i].MergeFrom(table.value()));
   }
+  InvalidateCacheRuntime();
   return Status::Ok();
 }
 
@@ -390,6 +686,7 @@ Bytes ElementInstance::SnapshotSlice(size_t slot, size_t num_slots) const {
 size_t ElementInstance::EraseSlice(size_t slot, size_t num_slots) {
   size_t erased = 0;
   for (Table& t : tables_) erased += t.EraseKeySlot(slot, num_slots);
+  InvalidateCacheRuntime();
   return erased;
 }
 
@@ -420,6 +717,7 @@ Status ElementInstance::ReplaceCode(std::shared_ptr<const ElementIr> new_code) {
   ADN_RETURN_IF_ERROR(CheckStateCompatible(*code_, *new_code));
   code_ = std::move(new_code);
   ResolveObsInstruments();
+  InvalidateCacheRuntime();
   return Status::Ok();
 }
 

@@ -26,6 +26,9 @@ enum class ProcessOutcome : uint8_t {
   kPass,        // message continues down the chain (possibly modified)
   kDropAbort,   // message dropped; network must answer the caller with error
   kDropSilent,  // message dropped silently
+  kReply,       // message rewritten in place into a response (cache hit);
+                // the chain stops and the runtime routes it back to the
+                // caller as a SUCCESS, never as a drop
 };
 
 struct ProcessResult {
@@ -39,6 +42,10 @@ class ElementInstance {
  public:
   // `seed` drives random() and encryption nonces for this instance.
   ElementInstance(std::shared_ptr<const ElementIr> code, uint64_t seed);
+  ~ElementInstance();
+
+  ElementInstance(const ElementInstance&) = delete;
+  ElementInstance& operator=(const ElementInstance&) = delete;
 
   const ElementIr& code() const { return *code_; }
   const std::string& name() const { return code_->name; }
@@ -97,9 +104,31 @@ class ElementInstance {
   uint64_t processed() const { return processed_; }
   uint64_t dropped() const { return dropped_; }
 
+  // --- Cache elements (code().IsCache()) ------------------------------------
+  // Hit/miss/fill counters for benches and tests; zero for non-cache
+  // elements. `cache_hits` counts request-path kReply short-circuits.
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+  uint64_t cache_fills() const;
+  uint64_t cache_expired() const;
+  uint64_t cache_evicted() const;
+
  private:
+  struct CacheRuntime;
+
   ProcessResult RunStatement(const StmtIr& stmt, rpc::Message& m,
                              EvalContext& ctx);
+  // Per-message entry point for cache elements: request-path lookup
+  // (kReply on hit, pending record on miss) and response-path fill with
+  // ARC admission/eviction. See docs/ARCHITECTURE.md "Reply-path
+  // short-circuit".
+  ProcessResult RunCache(rpc::Message& m, int64_t now_ns);
+  // ARC recency/frequency metadata lives outside the state table and is
+  // rebuilt lazily from the rows after anything replaces or merges the
+  // tables (restore/merge/slice-erase/hot-reload) — the table alone is the
+  // durable state, which is what keeps StateContentHash migration-invariant.
+  void InvalidateCacheRuntime();
+  CacheRuntime& EnsureCacheRuntime();
   // Resolve the interned span-name id and the element-latency histogram
   // once (construction / ReplaceCode), so Process never builds a label
   // string or takes the registry mutex per message.
@@ -113,6 +142,7 @@ class ElementInstance {
   uint64_t nonce_counter_;
   uint64_t processed_ = 0;
   uint64_t dropped_ = 0;
+  std::unique_ptr<CacheRuntime> cache_rt_;  // null unless code().IsCache()
 };
 
 }  // namespace adn::ir

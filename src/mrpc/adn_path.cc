@@ -217,17 +217,26 @@ struct Experiment {
     SiteRuntime& app = SiteAt(0);
     double cost = static_cast<double>(cfg.model.shm_hop_ns);
     bool drop = false;
+    bool reply = false;
     if (app.chain.size() > 0) {
       EngineChain::Outcome out = RunChain(app, rpc->message);
       cost += out.cost_ns;
-      if (out.result.outcome != ir::ProcessOutcome::kPass) {
+      if (out.result.outcome == ir::ProcessOutcome::kReply) {
+        // An in-app cache answered locally; the message is already the
+        // response and never leaves the client.
+        reply = true;
+      } else if (out.result.outcome != ir::ProcessOutcome::kPass) {
         rpc->message = rpc::Message::MakeNetworkError(
             rpc->message, out.result.abort_message);
         drop = true;
       }
     }
     ChargeStage("client-app", cost, true);
-    app.station->Submit(static_cast<SimTime>(cost), [this, rpc, drop] {
+    app.station->Submit(static_cast<SimTime>(cost), [this, rpc, drop, reply] {
+      if (reply) {
+        CompleteRpc(rpc, /*success=*/true);
+        return;
+      }
       if (drop) {
         CompleteRpc(rpc, /*success=*/false);
         return;
@@ -263,6 +272,7 @@ struct Experiment {
     double cost = 0;
     bool drop = false;
     bool silent = false;
+    bool reply = false;
     if (site.chain.size() > 0 &&
         rpc->message.kind() != rpc::MessageKind::kError) {
       EngineChain::Outcome out = RunChain(site, rpc->message);
@@ -276,6 +286,13 @@ struct Experiment {
       } else if (out.result.outcome == ir::ProcessOutcome::kDropSilent) {
         drop = true;
         silent = true;
+      } else if (out.result.outcome == ir::ProcessOutcome::kReply) {
+        // Cache hit at this site: the request became the response here; it
+        // turns around as a success without ever reaching the server. The
+        // sites between this one and the client now process it on their
+        // response path — the closer to the client the cache sits, the more
+        // of the round trip a hit saves.
+        reply = true;
       }
     } else if (site.site == Site::kClientEngine ||
                site.site == Site::kServerEngine) {
@@ -290,7 +307,11 @@ struct Experiment {
     }
     ChargeStage(std::string(SiteName(site.site)), cost, site.on_host);
     site.station->Submit(static_cast<SimTime>(cost),
-                         [this, rpc, idx, drop, silent] {
+                         [this, rpc, idx, drop, silent, reply] {
+                           if (reply) {
+                             Backward(rpc, idx, /*success=*/true);
+                             return;
+                           }
                            if (drop) {
                              if (silent) {
                                // The message vanishes; a real client would
@@ -331,23 +352,31 @@ struct Experiment {
     double cost = static_cast<double>(cfg.model.app_handler_ns +
                                       cfg.model.shm_hop_ns);
     bool drop = false;
+    bool reply = false;
     if (app.chain.size() > 0) {
       EngineChain::Outcome out = RunChain(app, rpc->message);
       cost += out.cost_ns;
-      if (out.result.outcome != ir::ProcessOutcome::kPass) {
+      if (out.result.outcome == ir::ProcessOutcome::kReply) {
+        // The chain already rewrote the request into the response; skip the
+        // application handler.
+        reply = true;
+      } else if (out.result.outcome != ir::ProcessOutcome::kPass) {
         rpc->message = rpc::Message::MakeNetworkError(
             rpc->message, out.result.abort_message);
         drop = true;
       }
     }
     ChargeStage("server-app", cost, true);
-    app.station->Submit(static_cast<SimTime>(cost), [this, rpc, drop] {
+    app.station->Submit(static_cast<SimTime>(cost), [this, rpc, drop, reply] {
       if (drop) {
         Backward(rpc, 7, /*success=*/false);
         return;
       }
-      rpc->message = rpc::Message::MakeResponse(
-          rpc->message, {{"payload", rpc->message.GetFieldOrNull("payload")}});
+      if (!reply) {
+        rpc->message = rpc::Message::MakeResponse(
+            rpc->message,
+            {{"payload", rpc->message.GetFieldOrNull("payload")}});
+      }
       Backward(rpc, 7, /*success=*/true);
     });
   }
@@ -394,7 +423,10 @@ struct Experiment {
             rpc->message.kind() == rpc::MessageKind::kResponse) {
           EngineChain::Outcome out = RunChain(site, rpc->message);
           cost += out.cost_ns;
-          if (out.result.outcome != ir::ProcessOutcome::kPass) failed = true;
+          if (out.result.outcome != ir::ProcessOutcome::kPass &&
+              out.result.outcome != ir::ProcessOutcome::kReply) {
+            failed = true;
+          }
         }
         ChargeStage("client-app", cost, true);
         site.station->Submit(static_cast<SimTime>(cost),
@@ -422,7 +454,8 @@ struct Experiment {
             rpc->message.kind() == rpc::MessageKind::kResponse) {
           EngineChain::Outcome out = RunChain(site, rpc->message);
           cost = out.cost_ns;
-          if (out.result.outcome != ir::ProcessOutcome::kPass) {
+          if (out.result.outcome != ir::ProcessOutcome::kPass &&
+              out.result.outcome != ir::ProcessOutcome::kReply) {
             rpc->message = rpc::Message::MakeNetworkError(
                 rpc->message, out.result.abort_message);
             failed = true;

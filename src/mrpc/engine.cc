@@ -29,6 +29,13 @@ GeneratedStage::GeneratedStage(std::shared_ptr<const ir::ElementIr> code,
 
 double GeneratedStage::CostNs(const sim::CostModel& model,
                               size_t payload_bytes) const {
+  if (instance_.code().IsCache()) {
+    // Expected per-message cache work under the planner's hit-rate prior.
+    // Simulated tiers charge this; bench_cache measures the real thing.
+    return static_cast<double>(model.cache_lookup_ns) +
+           (1.0 - model.cache_default_hit_rate) *
+               static_cast<double>(model.cache_fill_ns);
+  }
   if (program_ != nullptr) {
     const ir::ChainProgram::ElementSeg& seg = program_->elements[0];
     return model.CompiledElementCostNs(seg.instr_count, seg.per_byte_cost_ns,
@@ -62,8 +69,12 @@ ir::ProcessResult EngineChain::Process(rpc::Message& message,
     if (!stage->AppliesTo(message.kind())) continue;
     ir::ProcessResult r = stage->Process(message, now_ns);
     if (r.outcome != ir::ProcessOutcome::kPass) {
-      ++dropped_;
-      if (timing) drops_counter_->Inc();
+      // kReply ends the chain as a success (the message is now the
+      // response); only real drops count or bump the drop counter.
+      if (r.outcome != ir::ProcessOutcome::kReply) {
+        ++dropped_;
+        if (timing) drops_counter_->Inc();
+      }
       return r;
     }
   }
@@ -111,7 +122,10 @@ void EngineChain::ProcessBurst(rpc::Message* messages, size_t n,
   }
   uint64_t drops = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
+    if (results[i].outcome != ir::ProcessOutcome::kPass &&
+        results[i].outcome != ir::ProcessOutcome::kReply) {
+      ++drops;
+    }
   }
   dropped_ += drops;
   if (timing && drops > 0) drops_counter_->Inc(drops);
@@ -159,8 +173,10 @@ EngineChain::Outcome EngineChain::ProcessWithCost(
     group_max = std::max(group_max, stage_cost);
     ir::ProcessResult r = stage->Process(message, now_ns);
     if (r.outcome != ir::ProcessOutcome::kPass) {
-      ++dropped_;
-      if (timing) drops_counter_->Inc();
+      if (r.outcome != ir::ProcessOutcome::kReply) {
+        ++dropped_;
+        if (timing) drops_counter_->Inc();
+      }
       out.result = r;
       close_group();
       return out;

@@ -424,7 +424,11 @@ void EnginePool::WorkerLoop(int index) {
       }
       uint64_t drops = 0;
       for (size_t i = 0; i < got; ++i) {
-        if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
+        // kReply lanes completed successfully (cache short-circuit).
+        if (results[i].outcome != ir::ProcessOutcome::kPass &&
+            results[i].outcome != ir::ProcessOutcome::kReply) {
+          ++drops;
+        }
         if (config_.on_done) config_.on_done(index, burst[i], results[i]);
       }
       if (drops > 0) w.dropped.fetch_add(drops, std::memory_order_relaxed);
@@ -524,7 +528,10 @@ void EnginePool::ProcessBatch(Worker& w, rpc::Message* msgs, size_t n,
       w.rpcs_counter->Inc(n);
       uint64_t drops = 0;
       for (size_t i = 0; i < n; ++i) {
-        if (results[i].outcome != ir::ProcessOutcome::kPass) ++drops;
+        if (results[i].outcome != ir::ProcessOutcome::kPass &&
+            results[i].outcome != ir::ProcessOutcome::kReply) {
+          ++drops;
+        }
       }
       if (drops > 0) w.drops_counter->Inc(drops);
     }
@@ -560,7 +567,8 @@ ir::ProcessResult EnginePool::ProcessMessage(Worker& w, rpc::Message& m,
       if (result.outcome != ir::ProcessOutcome::kPass) break;
     }
   }
-  if (timing && result.outcome != ir::ProcessOutcome::kPass) {
+  if (timing && result.outcome != ir::ProcessOutcome::kPass &&
+      result.outcome != ir::ProcessOutcome::kReply) {
     w.drops_counter->Inc();
   }
   return result;

@@ -54,4 +54,18 @@ Result<Message> DecodeFlat(std::span<const uint8_t> wire,
 // Exact encoded size of `m` in the flat format (frame sizing / cost models).
 size_t FlatEncodedSize(const Message& m);
 
+// --- Fields-only framing (response cache blobs) ----------------------------
+// The cache element stores responses as field sections without the base
+// header: the hit path grafts the cached fields onto the live request
+// message, whose id/method/endpoints must survive the rewrite.
+//   [u16 nfields][u32 var_len]
+//   nfields x [u16 fid][u8 type][u8 0][u32 len][u64 payload]
+//   [var_len bytes]
+// Appends the section for `m`'s fields to `out`.
+Status EncodeFieldsFlat(const Message& m, Bytes& out);
+// Replaces `m`'s fields with the decoded section; metadata is untouched.
+// Arena-backed messages get one bulk arena copy plus slice binding (zero
+// heap allocations); heap messages get per-field owned copies.
+Status DecodeFieldsFlatInto(std::span<const uint8_t> wire, Message& m);
+
 }  // namespace adn::rpc

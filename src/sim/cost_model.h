@@ -104,6 +104,19 @@ struct CostModel {
   double udf_decompress_per_byte_ns = 0.9;
   double udf_encrypt_per_byte_ns = 2.4;
 
+  // --- Response cache (cache element) ---------------------------------------
+  // Hit-path work: key hash, residency lookup, field graft from the stored
+  // flat blob. The real number comes from bench_cache on actual hardware;
+  // this constant only feeds the simulated tiers and the placement planner.
+  SimTime cache_lookup_ns = 900;
+  // Fill on the response path: flat-encode the response, ARC bookkeeping,
+  // table insert.
+  SimTime cache_fill_ns = 2'500;
+  // Planning-time hit-rate prior the placement pass uses before live
+  // counters exist (zipf-ish request mixes land around here; the controller
+  // can re-plan once cache_hits()/cache_misses() report reality).
+  double cache_default_hit_rate = 0.6;
+
   // --- Alternative processors (paper §3, Figure 2) --------------------------
   // eBPF in-kernel execution: cheaper per op (no user crossing) but verifier
   // constraints apply (compiler/ebpf_backend.h).

@@ -83,6 +83,11 @@ FilterResult AdnChainFilter::OnMessage(FilterContext& ctx) {
     // behavior is a 503 with no detail.
     return abort_with(503, std::move(r.abort_message));
   }
+  // kReply (cache hit) rewrote `m` into the response in place. The generic
+  // proxy has no direct-response primitive, so the rewritten body continues
+  // down the stream and the upstream echoes it — the hit still saves the
+  // handler work, but not the mesh hops. This layering cost is exactly what
+  // the engine tiers avoid (they turn the message around at the hit site).
 
   size_t encode_span = 0;
   if (trace != nullptr) encode_span = trace->OpenSpan(SpanIds().encode);

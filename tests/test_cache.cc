@@ -1,0 +1,494 @@
+// The Cache element (ISSUE 10 tentpole): DSL surface, ARC hit/miss/fill
+// semantics, TTL expiry, capacity eviction, tier parity (interpreter vs
+// engine stage vs burst), migration invariance, aggregation primitives and
+// the hit-rate-aware placement of caches toward the client.
+#include <gtest/gtest.h>
+
+#include "compiler/backend.h"
+#include "compiler/compiler.h"
+#include "compiler/lower.h"
+#include "controller/placement.h"
+#include "dsl/parser.h"
+#include "elements/filter_ops.h"
+#include "elements/library.h"
+#include "ir/exec.h"
+#include "mrpc/engine.h"
+
+namespace adn {
+namespace {
+
+using ir::ProcessOutcome;
+using ir::ProcessResult;
+using rpc::Message;
+using rpc::Value;
+
+constexpr char kCacheSrc[] =
+    "CACHE C (capacity => 4, ttl_ms => 0) KEY (object_id);\n";
+
+std::shared_ptr<const ir::ElementIr> LowerNamed(const std::string& source,
+                                                const std::string& name) {
+  auto parsed = dsl::ParseProgram(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto program = compiler::LowerProgram(*parsed);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto element = program->FindElement(name);
+  EXPECT_NE(element, nullptr);
+  return element;
+}
+
+Message Request(uint64_t id, int64_t object_id) {
+  return Message::MakeRequest(id, "Get", {{"object_id", Value(object_id)}});
+}
+
+Message ResponseFor(const Message& request, int64_t object_id) {
+  return Message::MakeResponse(
+      request, {{"result", Value("v" + std::to_string(object_id))},
+                {"payload", Value(Bytes(16, static_cast<uint8_t>(object_id)))}});
+}
+
+// Round-trips one key through an instance: request (miss) then response
+// (fill). Returns the request outcome.
+ProcessOutcome Fill(ir::ElementInstance& inst, uint64_t id, int64_t key,
+                    int64_t now_ns) {
+  Message req = Request(id, key);
+  ProcessResult r = inst.Process(req, now_ns);
+  Message resp = ResponseFor(req, key);
+  EXPECT_EQ(inst.Process(resp, now_ns).outcome, ProcessOutcome::kPass);
+  return r.outcome;
+}
+
+// --- DSL surface -------------------------------------------------------------
+
+TEST(CacheDsl, ParsesDeclaration) {
+  auto parsed = dsl::ParseProgram(
+      "CACHE RC (capacity => 128, ttl_ms => 250) KEY (user, object_id);\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->caches.size(), 1u);
+  const dsl::CacheDecl& decl = parsed->caches[0];
+  EXPECT_EQ(decl.name, "RC");
+  ASSERT_EQ(decl.args.size(), 2u);
+  EXPECT_EQ(decl.args[0].first, "capacity");
+  EXPECT_EQ(decl.args[0].second.AsInt(), 128);
+  EXPECT_EQ(decl.args[1].first, "ttl_ms");
+  ASSERT_EQ(decl.key_fields.size(), 2u);
+  EXPECT_EQ(decl.key_fields[0], "user");
+  EXPECT_EQ(decl.key_fields[1], "object_id");
+  EXPECT_NE(parsed->FindCache("RC"), nullptr);
+}
+
+TEST(CacheDsl, RejectsDuplicateAndMalformed) {
+  // Cache name colliding with an element.
+  EXPECT_FALSE(dsl::ParseProgram("ELEMENT X ON REQUEST { INPUT (a INT); "
+                                 "SELECT * FROM input; }\n"
+                                 "CACHE X (capacity => 4) KEY (a);\n")
+                   .ok());
+  // Empty key list.
+  EXPECT_FALSE(dsl::ParseProgram("CACHE C (capacity => 4) KEY ();\n").ok());
+}
+
+TEST(CacheDsl, LoweringValidatesArgs) {
+  auto lower = [](const std::string& src) {
+    auto parsed = dsl::ParseProgram(src);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return compiler::LowerProgram(*parsed);
+  };
+  EXPECT_FALSE(lower("CACHE C (ttl_ms => 5) KEY (k);\n").ok());      // no cap
+  EXPECT_FALSE(lower("CACHE C (capacity => 0) KEY (k);\n").ok());    // zero
+  EXPECT_FALSE(lower("CACHE C (capacity => -3) KEY (k);\n").ok());   // neg
+  EXPECT_FALSE(
+      lower("CACHE C (capacity => 4, nope => 1) KEY (k);\n").ok());  // unknown
+  EXPECT_FALSE(
+      lower("CACHE C (capacity => 4, ttl_ms => -1) KEY (k);\n").ok());
+
+  auto ok = lower(kCacheSrc);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  auto element = ok->FindElement("C");
+  ASSERT_NE(element, nullptr);
+  ASSERT_TRUE(element->IsCache());
+  EXPECT_EQ(element->cache_op->capacity, 4u);
+  EXPECT_EQ(element->cache_op->ttl_ns, 0);
+  EXPECT_EQ(element->cache_op->table, "__cache_C");
+  EXPECT_EQ(element->direction, dsl::Direction::kBoth);
+  ASSERT_EQ(element->effects.fields_read,
+            std::vector<std::string>{"object_id"});
+  ASSERT_EQ(element->effects.tables_written,
+            std::vector<std::string>{"__cache_C"});
+}
+
+// --- Interpreter semantics ---------------------------------------------------
+
+TEST(CacheExec, MissFillHitCycle) {
+  auto code = LowerNamed(kCacheSrc, "C");
+  ir::ElementInstance inst(code, 1);
+
+  // First sight of the key: miss, passes down the chain.
+  Message req = Request(1, 7);
+  EXPECT_EQ(inst.Process(req, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_misses(), 1u);
+  EXPECT_EQ(inst.cache_hits(), 0u);
+
+  // Response fills the pending entry.
+  Message resp = ResponseFor(req, 7);
+  EXPECT_EQ(inst.Process(resp, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_fills(), 1u);
+  EXPECT_EQ(inst.FindTable("__cache_C")->RowCount(), 1u);
+
+  // Same key again: reply short-circuit with the cached fields grafted on.
+  Message again = Request(2, 7);
+  ProcessResult r = inst.Process(again, 0);
+  EXPECT_EQ(r.outcome, ProcessOutcome::kReply);
+  EXPECT_EQ(again.kind(), rpc::MessageKind::kResponse);
+  EXPECT_EQ(again.id(), 2u) << "hit must preserve the live request envelope";
+  EXPECT_EQ(again.method(), "Get");
+  EXPECT_EQ(again.GetFieldOrNull("result").AsText(), "v7");
+  EXPECT_EQ(inst.cache_hits(), 1u);
+  EXPECT_EQ(inst.dropped(), 0u) << "kReply is a success, never a drop";
+
+  // A different key misses independently.
+  Message other = Request(3, 8);
+  EXPECT_EQ(inst.Process(other, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_misses(), 2u);
+}
+
+TEST(CacheExec, ResponseWithoutPendingIsIgnored) {
+  auto code = LowerNamed(kCacheSrc, "C");
+  ir::ElementInstance inst(code, 1);
+  Message orphan = Message::MakeResponse(Request(99, 5), {{"result",
+                                                           Value("x")}});
+  EXPECT_EQ(inst.Process(orphan, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_fills(), 0u);
+  EXPECT_EQ(inst.FindTable("__cache_C")->RowCount(), 0u);
+}
+
+TEST(CacheExec, TtlExpiresEntries) {
+  auto code =
+      LowerNamed("CACHE C (capacity => 4, ttl_ms => 1) KEY (object_id);\n",
+                 "C");
+  ir::ElementInstance inst(code, 1);
+  EXPECT_EQ(Fill(inst, 1, 7, 0), ProcessOutcome::kPass);
+
+  // Inside the 1 ms TTL: hit.
+  Message fresh = Request(2, 7);
+  EXPECT_EQ(inst.Process(fresh, 500'000).outcome, ProcessOutcome::kReply);
+
+  // Past the TTL: expired, erased, treated as a miss.
+  Message stale = Request(3, 7);
+  EXPECT_EQ(inst.Process(stale, 2'000'000).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_expired(), 1u);
+  EXPECT_EQ(inst.FindTable("__cache_C")->RowCount(), 0u);
+
+  // The miss re-registered a pending entry; the response refills.
+  Message refill = ResponseFor(stale, 7);
+  EXPECT_EQ(inst.Process(refill, 2'000'000).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.FindTable("__cache_C")->RowCount(), 1u);
+  Message again = Request(4, 7);
+  EXPECT_EQ(inst.Process(again, 2'100'000).outcome, ProcessOutcome::kReply);
+}
+
+TEST(CacheExec, CapacityBoundsResidency) {
+  auto code = LowerNamed(kCacheSrc, "C");  // capacity 4
+  ir::ElementInstance inst(code, 1);
+  for (int64_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(Fill(inst, static_cast<uint64_t>(k + 1), k, k),
+              ProcessOutcome::kPass);
+    EXPECT_LE(inst.FindTable("__cache_C")->RowCount(), 4u)
+        << "after key " << k;
+  }
+  EXPECT_EQ(inst.cache_fills(), 20u);
+  EXPECT_EQ(inst.cache_evicted(), 16u) << "every fill past capacity evicts";
+  // The most recent key is resident.
+  Message req = Request(100, 19);
+  EXPECT_EQ(inst.Process(req, 100).outcome, ProcessOutcome::kReply);
+}
+
+TEST(CacheExec, ArcKeepsFrequentKeyThroughScans) {
+  auto code = LowerNamed(kCacheSrc, "C");  // capacity 4
+  ir::ElementInstance inst(code, 1);
+  uint64_t id = 1;
+  // Establish a hot key and promote it to the frequency list.
+  EXPECT_EQ(Fill(inst, id++, 0, 0), ProcessOutcome::kPass);
+  Message hot1 = Request(id++, 0);
+  EXPECT_EQ(inst.Process(hot1, 1).outcome, ProcessOutcome::kReply);
+  // A one-shot scan churns through 12 cold keys.
+  for (int64_t k = 100; k < 112; ++k) {
+    (void)Fill(inst, id++, k, 2);
+  }
+  // The hot key survived the scan: recency-only churn evicts from T1.
+  Message hot2 = Request(id++, 0);
+  EXPECT_EQ(inst.Process(hot2, 3).outcome, ProcessOutcome::kReply);
+}
+
+// --- Tier parity -------------------------------------------------------------
+
+// The cache has exactly one implementation (the interpreter's RunCache), but
+// it is reachable through three execution paths: direct interpreter calls,
+// a GeneratedStage on an engine (compiled tier declines caches and falls
+// back), and the engine's stage-major burst loop. All three must produce
+// identical outcomes, message rewrites, counters and state hashes.
+TEST(CacheParity, ScalarStageAndBurstAgree) {
+  auto code = LowerNamed(
+      "CACHE C (capacity => 8, ttl_ms => 0) KEY (object_id);\n", "C");
+  ir::ElementInstance interp(code, 3);
+  mrpc::GeneratedStage scalar(code, 3);
+  EXPECT_FALSE(scalar.compiled()) << "caches must decline the compiled tier";
+
+  mrpc::EngineChain chain;
+  auto burst_owner = std::make_unique<mrpc::GeneratedStage>(code, 3);
+  mrpc::GeneratedStage* burst = burst_owner.get();
+  chain.AddStage(std::move(burst_owner));
+
+  Rng rng(2026);
+  uint64_t next_id = 1;
+  constexpr size_t kBurst = 8;
+  for (int round = 0; round < 60; ++round) {
+    const int64_t now = round;
+    // A burst of skewed requests.
+    std::vector<Message> base;
+    for (size_t i = 0; i < kBurst; ++i) {
+      // Favor small keys: key = r % 6 with two draws gives a rough zipf-ish
+      // skew without pulling in the sampler.
+      uint64_t draw = std::min(rng.NextBelow(12), rng.NextBelow(12));
+      base.push_back(Request(next_id++, static_cast<int64_t>(draw)));
+    }
+    std::vector<Message> m1 = base, m2 = base, m3 = base;
+    std::vector<ProcessResult> r3(kBurst);
+    chain.ProcessBurst(m3.data(), kBurst, now, r3.data());
+    for (size_t i = 0; i < kBurst; ++i) {
+      ProcessResult r1 = interp.Process(m1[i], now);
+      ProcessResult r2 = scalar.Process(m2[i], now);
+      ASSERT_EQ(r1.outcome, r2.outcome) << "round " << round << " lane " << i;
+      ASSERT_EQ(r1.outcome, r3[i].outcome)
+          << "round " << round << " lane " << i;
+      ASSERT_EQ(m1[i].DebugString(), m2[i].DebugString());
+      ASSERT_EQ(m1[i].DebugString(), m3[i].DebugString());
+    }
+    // Misses get responses, again burst vs scalar.
+    std::vector<Message> resp_base;
+    for (size_t i = 0; i < kBurst; ++i) {
+      if (r3[i].outcome == ProcessOutcome::kPass) {
+        resp_base.push_back(
+            ResponseFor(base[i], base[i].GetFieldOrNull("object_id").AsInt()));
+      }
+    }
+    if (resp_base.empty()) continue;
+    std::vector<Message> p1 = resp_base, p2 = resp_base, p3 = resp_base;
+    std::vector<ProcessResult> pr3(resp_base.size());
+    chain.ProcessBurst(p3.data(), p3.size(), now, pr3.data());
+    for (size_t i = 0; i < resp_base.size(); ++i) {
+      ASSERT_EQ(interp.Process(p1[i], now).outcome, ProcessOutcome::kPass);
+      ASSERT_EQ(scalar.Process(p2[i], now).outcome, ProcessOutcome::kPass);
+      ASSERT_EQ(pr3[i].outcome, ProcessOutcome::kPass);
+    }
+  }
+
+  ir::ElementInstance& stage_state = scalar.instance();
+  ir::ElementInstance& burst_state = burst->instance();
+  EXPECT_GT(interp.cache_hits(), 0u);
+  EXPECT_GT(interp.cache_misses(), 0u);
+  EXPECT_EQ(interp.cache_hits(), stage_state.cache_hits());
+  EXPECT_EQ(interp.cache_hits(), burst_state.cache_hits());
+  EXPECT_EQ(interp.cache_misses(), stage_state.cache_misses());
+  EXPECT_EQ(interp.cache_misses(), burst_state.cache_misses());
+  EXPECT_EQ(interp.cache_fills(), burst_state.cache_fills());
+  EXPECT_EQ(interp.StateContentHash(), stage_state.StateContentHash());
+  EXPECT_EQ(interp.StateContentHash(), burst_state.StateContentHash());
+  EXPECT_EQ(chain.dropped(), 0u) << "cache replies must not count as drops";
+}
+
+// --- Migration ---------------------------------------------------------------
+
+TEST(CacheMigration, SnapshotRestorePreservesStateAndServesHits) {
+  auto code = LowerNamed(kCacheSrc, "C");
+  ir::ElementInstance a(code, 5);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(Fill(a, static_cast<uint64_t>(k + 1), k, 0),
+              ProcessOutcome::kPass);
+  }
+  const uint64_t hash_before = a.StateContentHash();
+
+  ir::ElementInstance b(code, 99);
+  ASSERT_TRUE(b.RestoreState(a.SnapshotState()).ok());
+  // The ARC metadata is derived, not state: the hash must match exactly.
+  EXPECT_EQ(b.StateContentHash(), hash_before);
+
+  // The restored instance serves hits for the migrated rows (the ARC
+  // residency index is rebuilt lazily from the table).
+  Message req = Request(50, 2);
+  EXPECT_EQ(b.Process(req, 0).outcome, ProcessOutcome::kReply);
+  EXPECT_EQ(req.GetFieldOrNull("result").AsText(), "v2");
+  // And reading through the cache did not change the durable state.
+  EXPECT_EQ(b.StateContentHash(), hash_before);
+}
+
+TEST(CacheMigration, EraseSliceInvalidatesResidency) {
+  auto code = LowerNamed(kCacheSrc, "C");
+  ir::ElementInstance inst(code, 5);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(Fill(inst, static_cast<uint64_t>(k + 1), k, 0),
+              ProcessOutcome::kPass);
+  }
+  // Hand the whole key space away (1 slot of 1): all rows leave.
+  size_t erased = inst.EraseSlice(0, 1);
+  EXPECT_EQ(erased, 4u);
+  // No stale hits off the dropped slice.
+  Message req = Request(50, 2);
+  EXPECT_EQ(inst.Process(req, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(inst.cache_hits(), 0u);
+}
+
+// --- Aggregation primitives --------------------------------------------------
+
+constexpr char kAggSrc[] =
+    "FILTER CountAll ON REQUEST USING agg_count(key => username);\n"
+    "FILTER SumBytes ON REQUEST USING agg_sum(field => amount, "
+    "key => username);\n"
+    "FILTER Hot ON REQUEST USING agg_topk(key => username, k => 2);\n";
+
+Message AggMessage(uint64_t id, const std::string& user, int64_t amount) {
+  return Message::MakeRequest(
+      id, "M", {{"username", Value(user)}, {"amount", Value(amount)}});
+}
+
+TEST(AggOps, CountSumTopkTrackTheStream) {
+  auto parsed = dsl::ParseProgram(kAggSrc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto program = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto stage = [&](const char* name) {
+    auto element = program->FindElement(name);
+    EXPECT_NE(element, nullptr);
+    auto made = elements::MakeFilterStage(*element->filter_op);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    return std::move(made).value();
+  };
+  auto count_stage = stage("CountAll");
+  auto sum_stage = stage("SumBytes");
+  auto topk_stage = stage("Hot");
+  auto* count = static_cast<elements::AggCountOp*>(count_stage.get());
+  auto* sum = static_cast<elements::AggSumOp*>(sum_stage.get());
+  auto* topk = static_cast<elements::AggTopkOp*>(topk_stage.get());
+
+  // u0 x6, u1 x3, u2 x1 — all observers see the same stream and pass.
+  const struct { const char* user; int n; } mix[] = {
+      {"u0", 6}, {"u1", 3}, {"u2", 1}};
+  uint64_t id = 1;
+  for (const auto& [user, n] : mix) {
+    for (int i = 0; i < n; ++i) {
+      Message m = AggMessage(id++, user, 10);
+      EXPECT_EQ(count->Process(m, 0).outcome, ProcessOutcome::kPass);
+      EXPECT_EQ(sum->Process(m, 0).outcome, ProcessOutcome::kPass);
+      EXPECT_EQ(topk->Process(m, 0).outcome, ProcessOutcome::kPass);
+    }
+  }
+
+  EXPECT_EQ(count->total(), 10u);
+  EXPECT_EQ(count->CountFor(Value("u0")), 6u);
+  EXPECT_EQ(count->CountFor(Value("u2")), 1u);
+  EXPECT_EQ(count->CountFor(Value("nobody")), 0u);
+
+  EXPECT_DOUBLE_EQ(sum->total(), 100.0);
+  EXPECT_EQ(sum->samples(), 10u);
+  EXPECT_DOUBLE_EQ(sum->SumFor(Value("u0")), 60.0);
+
+  // k=2: the heavy hitters are u0 and u1; space-saving error bound holds.
+  auto hitters = topk->TopK();
+  ASSERT_EQ(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0].key, "u0");
+  EXPECT_GE(hitters[0].count, 6u);
+  EXPECT_LE(hitters[0].count - hitters[0].err, 6u);
+
+  // A message without the summed field passes through uncounted.
+  Message bare = Message::MakeRequest(id++, "M", {{"username", Value("u0")}});
+  EXPECT_EQ(sum->Process(bare, 0).outcome, ProcessOutcome::kPass);
+  EXPECT_EQ(sum->samples(), 10u);
+}
+
+TEST(AggOps, PreciseEffectsAndConstrainedProcessorFeasibility) {
+  auto parsed = dsl::ParseProgram(kAggSrc);
+  ASSERT_TRUE(parsed.ok());
+  auto program = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto sum_elem = program->FindElement("SumBytes");
+  ASSERT_NE(sum_elem, nullptr);
+  EXPECT_FALSE(sum_elem->effects.may_drop);
+  EXPECT_FALSE(sum_elem->effects.nondeterministic);
+  EXPECT_EQ(sum_elem->effects.fields_read,
+            (std::vector<std::string>{"amount", "username"}));
+
+  // Aggregations run on constrained processors; shaping filters do not.
+  for (const char* name : {"CountAll", "SumBytes", "Hot"}) {
+    auto e = program->FindElement(name);
+    EXPECT_TRUE(
+        compiler::CheckFeasible(*e, compiler::TargetPlatform::kEbpf).feasible)
+        << name;
+    EXPECT_TRUE(
+        compiler::CheckFeasible(*e, compiler::TargetPlatform::kP4Switch)
+            .feasible)
+        << name;
+  }
+  auto limiter = LowerNamed(std::string(elements::RateLimitFilterSql()),
+                            "Limiter");
+  EXPECT_FALSE(
+      compiler::CheckFeasible(*limiter, compiler::TargetPlatform::kP4Switch)
+          .feasible);
+
+  // Caches never leave general cores.
+  auto cache = LowerNamed(kCacheSrc, "C");
+  EXPECT_FALSE(
+      compiler::CheckFeasible(*cache, compiler::TargetPlatform::kEbpf)
+          .feasible);
+  EXPECT_FALSE(
+      compiler::CheckFeasible(*cache, compiler::TargetPlatform::kP4Switch)
+          .feasible);
+}
+
+TEST(AggOps, ParseDepthWindowGatesSwitchPlacement) {
+  auto parsed = dsl::ParseProgram(kAggSrc);
+  ASSERT_TRUE(parsed.ok());
+  auto program = compiler::LowerProgram(*parsed);
+  ASSERT_TRUE(program.ok());
+  auto count_elem = program->FindElement("CountAll");  // reads `username`
+  ASSERT_NE(count_elem, nullptr);
+
+  const size_t window = sim::CostModel::Default().p4_parse_depth_bytes;
+  // Key field parseable at a fixed offset near the front: feasible.
+  rpc::HeaderSpec front;
+  front.fields.push_back({"username", rpc::ValueType::kInt});
+  EXPECT_TRUE(
+      compiler::CheckP4ParseDepth(*count_elem, front, window).feasible);
+  // Behind a variable-length field: the switch parser cannot reach it.
+  rpc::HeaderSpec behind;
+  behind.fields.push_back({"payload", rpc::ValueType::kBytes});
+  behind.fields.push_back({"username", rpc::ValueType::kInt});
+  EXPECT_FALSE(
+      compiler::CheckP4ParseDepth(*count_elem, behind, window).feasible);
+}
+
+// --- Placement ---------------------------------------------------------------
+
+TEST(CachePlacement, MinLatencyPullsCacheTowardClient) {
+  compiler::Compiler c;
+  auto program = c.CompileSource(elements::CacheChainSource(), {});
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const compiler::CompiledChain& chain = program->chains[0];
+  ASSERT_TRUE(chain.elements[0].ir->IsCache());
+
+  controller::PathEnvironment env;  // in-app allowed, apps untrusted
+  auto in_app =
+      controller::PlaceChain(chain, env, controller::PlacementPolicy::kMinLatency);
+  ASSERT_TRUE(in_app.ok()) << in_app.status().ToString();
+  EXPECT_EQ(in_app->sites[0], mrpc::Site::kClientApp)
+      << in_app->DebugString(chain);
+
+  env.allow_in_app = false;
+  auto engines =
+      controller::PlaceChain(chain, env, controller::PlacementPolicy::kMinLatency);
+  ASSERT_TRUE(engines.ok()) << engines.status().ToString();
+  EXPECT_EQ(engines->sites[0], mrpc::Site::kClientEngine)
+      << engines->DebugString(chain);
+}
+
+}  // namespace
+}  // namespace adn

@@ -163,6 +163,25 @@ TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
   EXPECT_EQ(BackoffForAttempt(policy, 4), 6'000'000);  // capped
 }
 
+TEST(RetryPolicyTest, BackoffStaysCappedAtLargeAttemptCounts) {
+  // Regression: the pre-clamp implementation multiplied the double out to
+  // 2^99 * 1ms before casting to int64_t — UB whose practical result was a
+  // negative backoff that std::min then selected. Every attempt up to a
+  // max_attempts = 100 policy must return the cap, never a negative or
+  // wrapped value.
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.base_backoff_ns = 1'000'000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = 64'000'000;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    int64_t backoff = BackoffForAttempt(policy, attempt);
+    EXPECT_GE(backoff, policy.base_backoff_ns) << "attempt " << attempt;
+    EXPECT_LE(backoff, policy.max_backoff_ns) << "attempt " << attempt;
+  }
+  EXPECT_EQ(BackoffForAttempt(policy, 100), 64'000'000);
+}
+
 TEST(RetryPolicyTest, BudgetLimitsRetryFraction) {
   RetryPolicy policy;
   policy.budget_fraction = 0.2;

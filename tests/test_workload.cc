@@ -43,6 +43,27 @@ TEST(Zipf, SamplesStayInRange) {
   }
 }
 
+TEST(Zipf, EmptyPopulationYieldsRankZero) {
+  // n == 0 builds an empty CDF; Sample must not binary-search it.
+  ZipfSampler empty(0, 1.1);
+  Rng rng(11);
+  EXPECT_EQ(empty.size(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(empty.Sample(rng), 0u);
+}
+
+TEST(Zipf, DrawAtOrAboveCdfBackStaysInRange) {
+  // FP rounding can leave cdf_.back() < 1.0; a draw landing in that sliver
+  // makes lower_bound return end(). The sampler must clamp to the last rank
+  // rather than return n. Exercised indirectly: many draws over a tiny
+  // population with heavy skew (maximizes accumulated rounding error) must
+  // never leave [0, n).
+  ZipfSampler zipf(3, 3.0);
+  Rng rng(12);
+  for (int i = 0; i < 200'000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 3u);
+  }
+}
+
 TEST(PayloadSizes, MedianAndClamping) {
   PayloadSizeSampler sizes(256, 1.0, 16, 4096);
   Rng rng(4);
@@ -60,7 +81,9 @@ TEST(PayloadSizes, MedianAndClamping) {
 TEST(TraceWorkload, ProducesWellFormedRequests) {
   TraceWorkloadOptions options;
   options.method_mix = {{"Store.Get", 3}, {"Store.Put", 1}};
-  auto factory = MakeTraceWorkload(options);
+  auto factory_or = MakeTraceWorkload(options);
+  ASSERT_TRUE(factory_or.ok()) << factory_or.status().ToString();
+  auto factory = std::move(factory_or).value();
   Rng rng(5);
   int gets = 0, puts = 0;
   for (uint64_t id = 0; id < 4'000; ++id) {
@@ -75,8 +98,39 @@ TEST(TraceWorkload, ProducesWellFormedRequests) {
   EXPECT_NEAR(static_cast<double>(gets) / 4'000, 0.75, 0.05);
 }
 
+TEST(TraceWorkload, RejectsNonPositiveWeights) {
+  TraceWorkloadOptions zero;
+  zero.method_mix = {{"Store.Get", 1}, {"Store.Scan", 0}};
+  auto zero_or = MakeTraceWorkload(zero);
+  ASSERT_FALSE(zero_or.ok());
+  EXPECT_EQ(zero_or.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(zero_or.error().message().find("Store.Scan"), std::string::npos);
+
+  TraceWorkloadOptions negative;
+  negative.method_mix = {{"Store.Put", -4}};
+  EXPECT_FALSE(MakeTraceWorkload(negative).ok());
+}
+
+TEST(TraceWorkload, LargeWeightsSampleWithoutExpansion) {
+  // Pre-fix, this mix would have materialized a 2-billion-entry pick table.
+  TraceWorkloadOptions options;
+  options.method_mix = {{"Store.Get", 1'500'000'000}, {"Store.Put", 500'000'000}};
+  auto factory_or = MakeTraceWorkload(options);
+  ASSERT_TRUE(factory_or.ok()) << factory_or.status().ToString();
+  auto factory = std::move(factory_or).value();
+  Rng rng(7);
+  int gets = 0;
+  constexpr int kSamples = 2'000;
+  for (uint64_t id = 0; id < kSamples; ++id) {
+    if (factory(id, rng).method() == "Store.Get") ++gets;
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / kSamples, 0.75, 0.05);
+}
+
 TEST(TraceWorkload, DeterministicUnderSeed) {
-  auto factory = MakeTraceWorkload({});
+  auto factory_or = MakeTraceWorkload({});
+  ASSERT_TRUE(factory_or.ok()) << factory_or.status().ToString();
+  auto factory = std::move(factory_or).value();
   Rng a(9), b(9);
   for (uint64_t id = 0; id < 200; ++id) {
     rpc::Message ma = factory(id, a);
@@ -101,7 +155,9 @@ TEST(TraceWorkload, DrivesTheFig2ChainEndToEnd) {
   workload.concurrency = 16;
   workload.measured_requests = 1'500;
   workload.warmup_requests = 150;
-  workload.make_request = MakeTraceWorkload(trace);
+  auto trace_factory = MakeTraceWorkload(trace);
+  ASSERT_TRUE(trace_factory.ok()) << trace_factory.status().ToString();
+  workload.make_request = std::move(trace_factory).value();
   auto result = (*network)->RunWorkload("fig2", workload);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->stats.completed, 1'650u);  // all users have W

@@ -47,10 +47,22 @@ zero — the zero-drop contract of docs/RECONFIG.md is binary. When a
 baseline (use a generous factor: blackout is a tail latency on a shared
 runner, far noisier than throughput).
 
+A fifth mode gates BENCH_cache.json (written by bench_cache): pass
+``--min-cache-speedup`` to require the fresh file's ``cached_hit_speedup``
+(miss-path p50 over hit-path p50 at the gate skew, same host same run, so
+runner-speed-immune) to stay above the floor, plus the bounds committed in
+bench/baselines/cache_baseline.json: ``hit_rate`` at or above the
+baseline's ``min_hit_rate`` (the ARC hit rate at skew 1.1 is
+workload-determined, not timing-determined, so the floor is tight) and
+``cached_hit_ns_per_msg`` at or below ``max_cached_hit_ns`` (absolute, so
+deliberately generous). Run the same file through ``--max-allocs 0`` to
+pin the hits-allocate-nothing invariant.
+
 Usage: check_perf.py FRESH_JSON [--baseline PATH] [--max-regress FRACTION]
                      [--min-speedup RATIO] [--max-allocs N]
                      [--max-obs-overhead FRACTION]
                      [--min-blackout-improvement RATIO]
+                     [--min-cache-speedup RATIO]
 Exits 0 when within bounds, 1 with a one-line verdict otherwise.
 """
 
@@ -122,6 +134,47 @@ def check_reconfig(args):
     return 0
 
 
+def check_cache(args):
+    try:
+        fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_perf: cannot read {args.fresh}: {e}")
+    try:
+        base = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_perf: cannot read {args.baseline}: {e}")
+    hit_rate = fresh.get("hit_rate")
+    hit_ns = fresh.get("cached_hit_ns_per_msg")
+    speedup = fresh.get("cached_hit_speedup")
+    for name, value in (("hit_rate", hit_rate),
+                        ("cached_hit_ns_per_msg", hit_ns),
+                        ("cached_hit_speedup", speedup)):
+        if not isinstance(value, (int, float)):
+            print(f"check_perf: FAIL — fresh file has no {name} field")
+            return 1
+    min_hit_rate = base.get("min_hit_rate", 0.0)
+    max_hit_ns = base.get("max_cached_hit_ns", float("inf"))
+    print(f"hit rate: {hit_rate * 100:.1f}% (floor {min_hit_rate * 100:.0f}%), "
+          f"cached hit: {hit_ns:.0f} ns/msg (ceiling {max_hit_ns:g}), "
+          f"speedup {speedup:.1f}x [sha {fresh.get('git_sha', '?')}]")
+    if hit_rate < min_hit_rate:
+        print(f"check_perf: FAIL — hit rate {hit_rate * 100:.1f}% at the gate "
+              f"skew below the {min_hit_rate * 100:.0f}% floor "
+              f"(cache admission/eviction regressed)")
+        return 1
+    if hit_ns > max_hit_ns:
+        print(f"check_perf: FAIL — cached hit costs {hit_ns:.0f} ns/msg "
+              f"(> {max_hit_ns:g} allowed)")
+        return 1
+    if speedup < args.min_cache_speedup:
+        print(f"check_perf: FAIL — cached hit only {speedup:.1f}x faster than "
+              f"the full chain (floor {args.min_cache_speedup:g}x)")
+        return 1
+    print(f"check_perf: OK — cache gate holds (hit rate, hit cost, "
+          f"{speedup:.1f}x >= {args.min_cache_speedup:g}x speedup)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", help="BENCH_exec.json from this build")
@@ -141,10 +194,18 @@ def main():
                              "blackout_improvement >= this ratio and zero "
                              "drops; with --baseline also bound "
                              "live_blackout_p99_ns regression")
+    parser.add_argument("--min-cache-speedup", type=float, default=None,
+                        help="gate a BENCH_cache.json: require "
+                             "cached_hit_speedup >= this ratio plus the "
+                             "hit-rate floor and hit-cost ceiling from the "
+                             "--baseline file")
     args = parser.parse_args()
 
     if args.min_blackout_improvement is not None:
         return check_reconfig(args)
+
+    if args.min_cache_speedup is not None:
+        return check_cache(args)
 
     if args.max_allocs is not None:
         try:
